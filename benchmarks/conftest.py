@@ -1,0 +1,27 @@
+"""Shared benchmark infrastructure.
+
+Each benchmark regenerates one table/figure of the paper (or an ablation
+from DESIGN.md), asserts the paper's qualitative claims — who wins, by
+roughly what factor, where crossovers fall — and prints the regenerated
+rows/series.  Absolute paper numbers are not asserted (different
+horizon/replication counts), shapes are.
+
+Scale: ``REPRO_SCALE`` env (smoke/quick/paper), default quick.  The
+recorded EXPERIMENTS.md numbers come from these benches.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments import active_scale
+
+
+@pytest.fixture(scope="session")
+def scale():
+    return active_scale()
+
+
+def run_once(benchmark, fn, *args, **kwargs):
+    """Run an experiment exactly once under pytest-benchmark timing."""
+    return benchmark.pedantic(fn, args=args, kwargs=kwargs, rounds=1, iterations=1)

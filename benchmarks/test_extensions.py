@@ -1,0 +1,145 @@
+"""Extension benches (beyond the paper's matrix; see DESIGN.md §4).
+
+1. Diurnal load — the paper's "use a long-run average ρ" advice breaks
+   when instantaneous load swings ±50% around the mean: the fixed-ρ̄
+   allocation behaves like Figure 6's underestimation case at every
+   peak, and plain WRR overtakes it.  The adaptive controller (windowed
+   re-estimation, still zero inter-computer messages) restores the ORR
+   advantage.
+2. JSQ(d) information spectrum — capacity-weighted power-of-two-choices
+   sits between ORR and Least-Load, while *uniform* JSQ(2) on a
+   slow-machine-heavy cluster is outright unstable (offered load per
+   speed class follows head-count, not capacity).
+3. Feedback staleness — Dynamic Least-Load's advantage decays as its
+   load-update messages age; with sufficiently stale information the
+   expensive dynamic policy does no better than free static ORR, which
+   is the paper's core argument for static scheduling.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core import evaluate_policy, get_policy, run_policy_once
+from repro.core.policies import SchedulingPolicy
+from repro.dispatch import PowerOfDChoicesDispatcher
+from repro.experiments import format_table
+from repro.experiments.extension_adaptive import run_adaptive_extension
+from repro.sim import FeedbackModel, SimulationConfig
+
+from .conftest import run_once
+
+
+def test_extension_adaptive_orr_under_diurnal_load(benchmark, scale):
+    result = run_once(benchmark, run_adaptive_extension, scale)
+    print()
+    print(result.format())
+
+    fixed = result.ratio("ORR (fixed rho)")
+    adaptive = result.ratio("ADAPTIVE_ORR")
+    wrr = result.ratio("WRR")
+    least_load = result.ratio("LEAST_LOAD")
+
+    # The headline: adaptation beats both the stale-average ORR and WRR.
+    assert adaptive < fixed
+    assert adaptive < wrr
+    # Fixed-rho ORR loses its edge under the swing (peaks behave like
+    # Figure 6's underestimation): it no longer clearly beats WRR.
+    assert fixed > wrr * 0.95
+    # Ordering against the fully dynamic yardstick still holds.
+    assert least_load < adaptive
+
+
+def test_extension_jsq_information_spectrum(benchmark, scale):
+    duration = min(scale.duration, 1.5e5)
+    speeds = (1.0,) * 4 + (8.0,) * 2  # slow machines outnumber capacity share
+    config = SimulationConfig(speeds=speeds, utilization=0.7, duration=duration)
+
+    def uniform_jsq_policy():
+        return SchedulingPolicy(
+            name="JSQ2-uniform",
+            allocator=None,
+            dispatcher_factory=lambda s, rng: PowerOfDChoicesDispatcher(
+                s, d=2, rng=rng, weighted_sampling=False
+            ),
+            is_static=False,
+        )
+
+    def run():
+        out = {}
+        for label, policy in (
+            ("ORR", get_policy("ORR")),
+            ("JSQ2 (weighted)", get_policy("JSQ2")),
+            ("JSQ2 (uniform)", uniform_jsq_policy()),
+            ("LEAST_LOAD", get_policy("LEAST_LOAD")),
+        ):
+            r = run_policy_once(config, policy, seed=scale.base_seed)
+            out[label] = r.metrics.mean_response_ratio
+        return out
+
+    ratios = run_once(benchmark, run)
+    print()
+    print(format_table(
+        ["policy", "mean response ratio"],
+        [[k, v] for k, v in ratios.items()],
+        title=f"Extension: information spectrum on {speeds} at rho=0.7",
+    ))
+
+    # Information spectrum: more (usable) information → better.
+    assert ratios["LEAST_LOAD"] <= ratios["JSQ2 (weighted)"] * 1.05
+    assert ratios["JSQ2 (weighted)"] < ratios["ORR"]
+    # The pitfall: uniform sampling overloads the slow class (its
+    # offered work exceeds capacity, so the backlog grows with the
+    # horizon) — far worse than every speed-aware policy.
+    assert ratios["JSQ2 (uniform)"] > 3.0 * ratios["JSQ2 (weighted)"]
+    assert ratios["JSQ2 (uniform)"] > ratios["ORR"]
+
+
+def test_extension_feedback_staleness(benchmark, scale):
+    """Least-Load degrades toward (and past) static ORR as its
+    load-update messages get stale.
+
+    The paper's feedback path is fast (~0.55 s mean lag vs 76.8 s mean
+    job size).  Sweeping the message delay shows how much of Least-
+    Load's advantage is purchased by that freshness — and therefore what
+    the static schemes save by not needing it at all.
+    """
+    duration = min(scale.duration, 1.0e5)
+    speeds = (1.0,) * 4 + (8.0,) * 2
+    reps = max(scale.replications, 3)
+    delays = (0.05, 10.0, 100.0, 1000.0)
+
+    def run():
+        orr_cfg = SimulationConfig(speeds=speeds, utilization=0.7,
+                                   duration=duration)
+        orr = evaluate_policy(orr_cfg, get_policy("ORR"),
+                              replications=reps, base_seed=scale.base_seed)
+        rows = []
+        for delay in delays:
+            cfg = SimulationConfig(
+                speeds=speeds, utilization=0.7, duration=duration,
+                feedback=FeedbackModel(detection_window=1.0,
+                                       message_delay_mean=delay),
+            )
+            ll = evaluate_policy(cfg, get_policy("LEAST_LOAD"),
+                                 replications=reps, base_seed=scale.base_seed)
+            rows.append((delay, ll.mean_response_ratio.mean))
+        return orr.mean_response_ratio.mean, rows
+
+    orr_ratio, rows = run_once(benchmark, run)
+    print()
+    print(format_table(
+        ["message delay (s)", "Least-Load mean response ratio", "vs ORR"],
+        [[d, r, r / orr_ratio] for d, r in rows],
+        title=(
+            "Extension: Least-Load vs feedback staleness "
+            f"(static ORR reference: {orr_ratio:.4g})"
+        ),
+    ))
+    ratios = [r for _, r in rows]
+    # Fresh feedback: the dynamic policy clearly beats static ORR.
+    assert ratios[0] < orr_ratio
+    # Staleness degrades it monotonically-ish (allow one inversion of
+    # neighbouring points from replication noise, none across the sweep).
+    assert ratios[-1] > ratios[0] * 1.3
+    # With ~13 mean-job-size staleness the advantage is gone entirely.
+    assert ratios[-1] > orr_ratio

@@ -1,0 +1,54 @@
+"""Bench: regenerate Figure 3 (effect of speed skewness, Section 5.1).
+
+Paper claims encoded below:
+* homogeneous system (fast speed 1): optimized ≈ weighted allocation;
+* the O-vs-W gap grows with skew; at 20:1 ORR beats WRR by tens of
+  percent in mean response ratio (paper: 42%) and ORAN beats WRAN
+  (paper: 49%);
+* crossover: WRR > ORAN near homogeneity, ORAN > WRR at high skew;
+* optimized allocation has much better fairness than weighted;
+* Least-Load lower-bounds the statics and O* approaches it at high skew.
+"""
+
+from repro.experiments import format_figure3, run_figure3
+
+from .conftest import run_once
+
+
+def test_figure3_speed_skewness(benchmark, scale):
+    result = run_once(benchmark, run_figure3, scale)
+    print()
+    print(format_figure3(result))
+
+    ratio = {p: result.series(p, "mean_response_ratio") for p in result.policies}
+    fairness = {p: result.series(p, "fairness") for p in result.policies}
+    xs = result.x_values
+    homo = xs.index(1.0)
+    skewed = xs.index(20.0)
+
+    # Homogeneous: allocation scheme is irrelevant (same dispatcher).
+    assert abs(ratio["ORR"][homo] - ratio["WRR"][homo]) < 0.1 * ratio["WRR"][homo]
+    assert abs(ratio["ORAN"][homo] - ratio["WRAN"][homo]) < 0.1 * ratio["WRAN"][homo]
+
+    # High skew: optimized allocation wins big (paper: 42% / 49%).
+    orr_gain = 1.0 - ratio["ORR"][skewed] / ratio["WRR"][skewed]
+    oran_gain = 1.0 - ratio["ORAN"][skewed] / ratio["WRAN"][skewed]
+    assert orr_gain > 0.25, f"ORR gain over WRR at 20:1 only {orr_gain:.0%}"
+    assert oran_gain > 0.30, f"ORAN gain over WRAN at 20:1 only {oran_gain:.0%}"
+
+    # The gain grows with skew.
+    gains = result.improvement("ORR", "WRR", "mean_response_ratio")
+    assert gains[skewed] > gains[homo] + 0.15
+
+    # Crossover: dispatcher dominates near homogeneity, allocator at skew.
+    assert ratio["WRR"][homo] < ratio["ORAN"][homo]
+    assert ratio["ORAN"][skewed] < ratio["WRR"][skewed]
+
+    # Least-Load is the yardstick everywhere; O* approaches it at skew.
+    for p in ("WRAN", "ORAN", "WRR", "ORR"):
+        assert ratio["LEAST_LOAD"][skewed] <= ratio[p][skewed] * 1.02
+    assert ratio["ORR"][skewed] < 1.5 * ratio["LEAST_LOAD"][skewed]
+
+    # Fairness: optimized allocation is much fairer at high skew.
+    assert fairness["ORR"][skewed] < fairness["WRR"][skewed]
+    assert fairness["ORAN"][skewed] < fairness["WRAN"][skewed]

@@ -1,0 +1,43 @@
+"""Bench: regenerate Figure 4 (effect of system size, Section 5.2).
+
+Paper claims encoded below:
+* ORR keeps a large (paper: 35–40%) mean-response-ratio gain over WRAN
+  once the system has more than ~6 computers;
+* the gap between ORR and Dynamic Least-Load widens with system size;
+* round-robin dispatch improves with size (smoother substreams), so the
+  RR-vs-random gap does not shrink.
+"""
+
+import numpy as np
+
+from repro.experiments import format_figure4, run_figure4
+
+from .conftest import run_once
+
+
+def test_figure4_system_size(benchmark, scale):
+    result = run_once(benchmark, run_figure4, scale)
+    print()
+    print(format_figure4(result))
+
+    ratio = {p: result.series(p, "mean_response_ratio") for p in result.policies}
+    xs = np.asarray(result.x_values)
+    big = xs >= 6.0
+
+    # ORR gains over WRAN on every system with > 6 computers
+    # (paper: 35–40%; require > 20% to absorb scale noise).
+    gains = result.improvement("ORR", "WRAN", "mean_response_ratio")[big]
+    assert np.all(gains > 0.20), f"ORR-over-WRAN gains too small: {gains}"
+
+    # ORR-vs-Least-Load gap widens with size.
+    gap = ratio["ORR"] / ratio["LEAST_LOAD"]
+    assert gap[-1] > gap[0], "dynamic advantage should grow with system size"
+
+    # Round-robin beats random dispatching under both allocations on the
+    # larger systems.
+    assert np.all(ratio["ORR"][big] <= ratio["ORAN"][big] * 1.02)
+    assert np.all(ratio["WRR"][big] <= ratio["WRAN"][big] * 1.02)
+
+    # Fairness: optimized allocation fairer than weighted at scale.
+    fair = {p: result.series(p, "fairness") for p in ("ORR", "WRR")}
+    assert np.all(fair["ORR"][big] < fair["WRR"][big])

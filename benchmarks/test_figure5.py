@@ -1,0 +1,57 @@
+"""Bench: regenerate Figure 5 (effect of system load, Section 5.3).
+
+Paper claims encoded below:
+* ORR is the best static policy at every load level;
+* at 90% load ORR's mean response ratio is far below WRR (paper: −24%)
+  and WRAN (paper: −34%);
+* at low/moderate load the optimized policies run close to Least-Load;
+* the Least-Load advantage grows under heavy load.
+"""
+
+import numpy as np
+
+from repro.experiments import format_figure5, run_figure5
+
+from .conftest import run_once
+
+
+def test_figure5_system_load(benchmark, scale):
+    result = run_once(benchmark, run_figure5, scale)
+    print()
+    print(format_figure5(result))
+
+    ratio = {p: result.series(p, "mean_response_ratio") for p in result.policies}
+    xs = result.x_values
+    heavy = xs.index(0.9)
+    light = xs.index(0.3)
+
+    # ORR is the best static at every load.  Tolerance covers ORAN ties
+    # at light load (dispatching barely matters) and the residual noise
+    # of the ρ = 0.9 point, whose variance shrinks only with the paper's
+    # full 4e6 s × 10-run protocol.
+    tol = 1.03 if scale.name == "paper" else 1.08
+    for p in ("WRAN", "ORAN", "WRR"):
+        assert np.all(ratio["ORR"] <= ratio[p] * tol), f"ORR not best vs {p}"
+
+    # Heavy-load gains (paper: 24% vs WRR, 34% vs WRAN at 4e6 s; the
+    # gap grows with horizon — measured ~8%/25% at 1.5e5 s, ~21%/24% at
+    # 6e5 s — so reduced scales assert correspondingly reduced floors).
+    gain_wrr = 1.0 - ratio["ORR"][heavy] / ratio["WRR"][heavy]
+    gain_wran = 1.0 - ratio["ORR"][heavy] / ratio["WRAN"][heavy]
+    wrr_floor, wran_floor = (0.15, 0.25) if scale.name == "paper" else (0.0, 0.10)
+    assert gain_wrr > wrr_floor, f"ORR gain over WRR at rho=0.9 only {gain_wrr:.0%}"
+    assert gain_wran > wran_floor, f"ORR gain over WRAN at rho=0.9 only {gain_wran:.0%}"
+
+    # Light load: optimized statics sit near the dynamic yardstick
+    # (while weighted statics sit several times above it).
+    assert ratio["ORR"][light] < 1.5 * ratio["LEAST_LOAD"][light]
+    assert ratio["WRAN"][light] > 2.0 * ratio["LEAST_LOAD"][light]
+
+    # The dynamic advantage grows with load.
+    rel = ratio["ORR"] / ratio["LEAST_LOAD"]
+    assert rel[heavy] > rel[light]
+
+    # Fairness: optimized beats weighted across the sweep.
+    fair = {p: result.series(p, "fairness") for p in ("ORR", "WRR", "ORAN", "WRAN")}
+    assert np.all(fair["ORR"] < fair["WRR"] * 1.02)
+    assert np.all(fair["ORAN"] < fair["WRAN"] * 1.02)

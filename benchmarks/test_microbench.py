@@ -1,0 +1,66 @@
+"""Micro-benchmarks of the hot kernels (throughput guards).
+
+These keep the simulator honest against performance regressions: the
+per-server PS replay and the per-job dispatch decisions dominate every
+experiment's wall time (profiled per the HPC guide before optimizing).
+"""
+
+import numpy as np
+import pytest
+
+from repro.allocation import optimized_fractions
+from repro.dispatch import RandomDispatcher, RoundRobinDispatcher
+from repro.queueing import HeterogeneousNetwork
+from repro.sim import ps_replay
+
+
+@pytest.fixture(scope="module")
+def workload():
+    rng = np.random.default_rng(0)
+    n = 100_000
+    times = np.cumsum(rng.exponential(1.0, n))
+    sizes = rng.pareto(1.5, n) + 0.5
+    return times, sizes
+
+
+def test_ps_replay_throughput(benchmark, workload):
+    times, sizes = workload
+    completions = benchmark(ps_replay, times, sizes, 2.0)
+    assert completions.shape == times.shape
+    assert np.all(completions >= times)
+
+
+def test_round_robin_dispatch_throughput(benchmark):
+    alphas = np.array([0.35, 0.22, 0.15, 0.12, 0.04, 0.04, 0.04, 0.04])
+    sizes = np.ones(50_000)
+
+    def run():
+        d = RoundRobinDispatcher()
+        d.reset(alphas)
+        return d.select_batch(sizes)
+
+    targets = benchmark(run)
+    counts = np.bincount(targets, minlength=8)
+    np.testing.assert_allclose(counts / sizes.size, alphas, atol=1e-3)
+
+
+def test_random_dispatch_throughput(benchmark):
+    alphas = np.array([0.35, 0.22, 0.15, 0.12, 0.04, 0.04, 0.04, 0.04])
+    sizes = np.ones(50_000)
+
+    def run():
+        d = RandomDispatcher(np.random.default_rng(1))
+        d.reset(alphas)
+        return d.select_batch(sizes)
+
+    targets = benchmark(run)
+    assert targets.size == sizes.size
+
+
+def test_algorithm1_latency(benchmark):
+    """Algorithm 1 on a 1000-computer network stays sub-millisecond —
+    the 'low overhead' claim that motivates static scheduling."""
+    rng = np.random.default_rng(2)
+    net = HeterogeneousNetwork(rng.uniform(0.5, 20.0, 1000), utilization=0.7)
+    alphas = benchmark(optimized_fractions, net)
+    assert alphas.sum() == pytest.approx(1.0)

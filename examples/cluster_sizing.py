@@ -1,0 +1,148 @@
+#!/usr/bin/env python
+"""Cluster sizing: a few fast machines or many slow ones?
+
+A procurement question the paper's model answers analytically: for a
+fixed aggregate capacity, how does the *composition* of the cluster
+(and the scheduling policy on top of it) change user-visible slowdown?
+
+We compare three clusters with identical total speed 16:
+
+* ``flat``   — 16 × speed-1 machines,
+* ``mixed``  — 8 × speed-1 + 2 × speed-4 machines,
+* ``skewed`` — 4 × speed-1 + 1 × speed-12 machine,
+
+under the simple weighted scheme and under ORR, across the load range,
+using both the analytic model (instant) and simulation (verification).
+
+Run:  python examples/cluster_sizing.py [--simulate]
+"""
+
+from __future__ import annotations
+
+import argparse
+
+import numpy as np
+
+from repro import (
+    HeterogeneousNetwork,
+    OptimizedAllocator,
+    SimulationConfig,
+    WeightedAllocator,
+    evaluate_policy,
+    get_policy,
+)
+from repro.allocation import (
+    best_single_upgrade,
+    marginal_response_time,
+    value_of_added_machine,
+)
+from repro.experiments import format_table
+from repro.queueing import MMc
+
+CLUSTERS = {
+    "flat (16x1)": (1.0,) * 16,
+    "mixed (8x1 + 2x4)": (1.0,) * 8 + (4.0,) * 2,
+    "skewed (4x1 + 1x12)": (1.0,) * 4 + (12.0,),
+}
+LOADS = (0.3, 0.5, 0.7, 0.9)
+
+
+def analytic_rows():
+    rows = []
+    for label, speeds in CLUSTERS.items():
+        for scheme_label, allocator in (
+            ("weighted", WeightedAllocator()),
+            ("optimized", OptimizedAllocator()),
+        ):
+            row: list[object] = [label, scheme_label]
+            for rho in LOADS:
+                network = HeterogeneousNetwork(np.asarray(speeds), utilization=rho)
+                result = allocator.compute(network)
+                row.append(result.predicted_mean_response_ratio())
+            rows.append(row)
+    return rows
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--simulate", action="store_true",
+                        help="verify the analytic winners by simulation")
+    parser.add_argument("--duration", type=float, default=6.0e4)
+    args = parser.parse_args()
+
+    print("All clusters have aggregate speed 16; lower slowdown is better.\n")
+    print(format_table(
+        ["cluster", "allocation"] + [f"rho={rho}" for rho in LOADS],
+        analytic_rows(),
+        title="Analytic mean response ratio (paper equation (3))",
+        float_fmt="{:.3f}",
+    ))
+    print(
+        "\nReadings:\n"
+        "* under *weighted* allocation the model gives R = (n/Σs)/(1−ρ):\n"
+        "  at fixed capacity, fewer-but-faster machines already win because\n"
+        "  every job runs on a faster CPU;\n"
+        "* *optimized* allocation widens the gap further, most dramatically\n"
+        "  at low/moderate load where the speed-12 machine becomes a fast\n"
+        "  lane for nearly all jobs (flat cluster: nothing to optimize);\n"
+        "* at 90% load the optimization advantage narrows — saturation\n"
+        "  forces the optimized scheme back toward proportional weights —\n"
+        "  but the composition advantage remains."
+    )
+
+    # Pooled-queue reference: if the flat cluster's 16 machines shared a
+    # single central queue (M/M/16), how much of the dispatch problem
+    # would disappear?  (Only the homogeneous cluster has this form.)
+    print("\nPooled central-queue reference (flat cluster, exponential "
+          "work, normalized mu=1):")
+    rows = []
+    for rho in LOADS:
+        pooled = MMc(arrival_rate=16.0 * rho, service_rate=1.0, servers=16)
+        rows.append([rho, pooled.mean_response_time,
+                     pooled.pooling_gain_vs_split()])
+    print(format_table(
+        ["rho", "M/M/16 mean response", "gain vs 16 split queues"],
+        rows,
+        title="Central queue (no dispatch decisions at all)",
+        float_fmt="{:.3f}",
+    ))
+
+    # Procurement analysis on the mixed cluster via the closed form.
+    mixed = HeterogeneousNetwork(
+        np.asarray(CLUSTERS["mixed (8x1 + 2x4)"]), utilization=0.7
+    )
+    marginals = marginal_response_time(mixed)
+    idx, gain = best_single_upgrade(mixed, 1.0)
+    print("\nProcurement analysis (mixed cluster at rho=0.7):")
+    print(f"* marginal value of +1 speed unit: slow machine "
+          f"{-marginals[0]:.4g} s, fast machine {-marginals[-1]:.4g} s "
+          f"of mean response time per unit")
+    print(f"* best single +1.0 upgrade: machine {idx} "
+          f"(speed {mixed.speeds[idx]:.0f}) — saves {gain:.4g} s")
+    print(f"* adding a new speed-4 machine instead saves "
+          f"{value_of_added_machine(mixed, 4.0):.4g} s")
+
+    if args.simulate:
+        print("\nSimulation check (ORR on each cluster):")
+        rows = []
+        for label, speeds in CLUSTERS.items():
+            row: list[object] = [label]
+            for rho in LOADS:
+                config = SimulationConfig(
+                    speeds=speeds, utilization=rho, duration=args.duration
+                )
+                ev = evaluate_policy(
+                    config, get_policy("ORR"), replications=2, base_seed=23
+                )
+                row.append(ev.mean_response_ratio.mean)
+            rows.append(row)
+        print(format_table(
+            ["cluster"] + [f"rho={rho}" for rho in LOADS],
+            rows,
+            title="Simulated mean response ratio under ORR",
+            float_fmt="{:.3f}",
+        ))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,103 @@
+#!/usr/bin/env python
+"""Trace-driven evaluation: replay a recorded job trace through policies.
+
+The paper's workload model is justified by trace measurements (Zhou's
+inter-arrival CV of 2.64).  When you have an actual trace — arrival
+timestamps and job sizes — you can skip the synthetic model entirely:
+
+1. load (or here: synthesize and save) a two-column CSV trace;
+2. inspect its moments: offered load, inter-arrival CV, size skew;
+3. replay the *identical* job sequence through each static policy, so
+   policy differences are exact (no sampling noise between policies);
+4. pick balancer weights accordingly.
+
+Run:  python examples/trace_replay.py [--trace FILE.csv]
+"""
+
+from __future__ import annotations
+
+import argparse
+import tempfile
+from pathlib import Path
+
+import numpy as np
+
+from repro import OptimizedAllocator, WeightedAllocator
+from repro.dispatch import RandomDispatcher, RoundRobinDispatcher
+from repro.experiments import format_table
+from repro.queueing import HeterogeneousNetwork
+from repro.rng import StreamFactory
+from repro.sim import JobTrace, Workload, run_trace_simulation
+
+SPEEDS = (1.0, 1.0, 2.0, 6.0)
+
+
+def synthesize_demo_trace(path: Path) -> None:
+    """Write a demo trace shaped like the paper's workload (CV-3 bursty
+    arrivals, Bounded Pareto sizes) at 65% offered load."""
+    workload = Workload(total_speed=sum(SPEEDS), utilization=0.65)
+    trace = JobTrace.synthesize(workload, StreamFactory(404).arrivals, horizon=6.0e4)
+    # synthesize() reuses the arrival stream; sizes come from its own stream.
+    trace.to_csv(path)
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--trace", type=Path, default=None,
+                        help="two-column CSV (arrival_time, size); "
+                             "a demo trace is generated if omitted")
+    args = parser.parse_args()
+
+    if args.trace is None:
+        args.trace = Path(tempfile.gettempdir()) / "repro_demo_trace.csv"
+        synthesize_demo_trace(args.trace)
+        print(f"generated demo trace at {args.trace}")
+
+    trace = JobTrace.from_csv(args.trace)
+    rho = trace.offered_load(sum(SPEEDS))
+    print(format_table(
+        ["property", "value"],
+        [
+            ["jobs", trace.n_jobs],
+            ["horizon (s)", trace.horizon],
+            ["mean job size (s)", trace.mean_size],
+            ["inter-arrival CV", trace.interarrival_cv],
+            ["offered load vs cluster", rho],
+        ],
+        title=f"Trace properties against cluster speeds {SPEEDS}",
+    ))
+
+    # Compute both allocations from the trace's own offered load.
+    network = HeterogeneousNetwork(np.asarray(SPEEDS), utilization=min(rho, 0.99))
+    schemes = {
+        "weighted + round-robin": (WeightedAllocator(), RoundRobinDispatcher()),
+        "optimized + round-robin": (OptimizedAllocator(), RoundRobinDispatcher()),
+        "optimized + random": (
+            OptimizedAllocator(),
+            RandomDispatcher(StreamFactory(7).dispatch),
+        ),
+    }
+    rows = []
+    for label, (allocator, dispatcher) in schemes.items():
+        alphas = allocator.compute(network).alphas
+        result = run_trace_simulation(
+            trace, SPEEDS, dispatcher, alphas, warmup=0.1 * trace.horizon
+        )
+        rows.append([
+            label,
+            result.metrics.mean_response_ratio,
+            result.metrics.fairness,
+        ])
+    print()
+    print(format_table(
+        ["scheme", "mean response ratio", "fairness"],
+        rows,
+        title="Replay of the identical job sequence (no cross-policy noise)",
+    ))
+    print("\nBecause every scheme saw the same jobs at the same instants, "
+          "the differences\nabove are purely due to allocation and "
+          "dispatching — the cleanest comparison\nthe simulator offers.")
+
+
+if __name__ == "__main__":
+    main()

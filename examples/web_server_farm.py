@@ -1,0 +1,116 @@
+#!/usr/bin/env python
+"""Heterogeneous web-server farm: optimized DNS/load-balancer weights.
+
+The paper's introduction points at exactly this deployment: a cluster of
+HTTP servers of mixed generations behind a request distributor (weighted
+DNS or an L4 balancer).  Classic practice sets the weights proportional
+to server capacity; Section 2.3 shows that is suboptimal whenever the
+farm is not saturated.
+
+This example models a farm with three server generations, compares
+
+* capacity-proportional weights (what nginx `weight=` / DNS RR do),
+* the paper's optimized weights (Algorithm 1),
+* dynamic least-connections (the Least-Load yardstick),
+
+under a bursty request stream (hyperexponential, CV 3) with heavy-tailed
+response sizes, then re-runs the comparison across the farm's daily load
+range to show where the optimized weights matter most.
+
+Run:  python examples/web_server_farm.py [--duration SECONDS]
+"""
+
+from __future__ import annotations
+
+import argparse
+
+import numpy as np
+
+from repro import (
+    OptimizedAllocator,
+    SimulationConfig,
+    WeightedAllocator,
+    evaluate_policy,
+    get_policy,
+)
+from repro.experiments import format_table
+
+# The farm: 6 legacy servers, 4 mid-generation, 2 latest-generation.
+# Speeds are relative request-processing capacities.
+FARM = (1.0,) * 6 + (2.5,) * 4 + (8.0,) * 2
+
+
+def weights_table(utilization: float) -> str:
+    config = SimulationConfig(speeds=FARM, utilization=utilization, duration=1.0)
+    network = config.network()
+    weighted = WeightedAllocator().compute(network)
+    optimized = OptimizedAllocator().compute(network)
+    # Express as integer balancer weights per 1000 requests.
+    rows = []
+    for generation, speed in (("legacy", 1.0), ("mid", 2.5), ("latest", 8.0)):
+        idx = FARM.index(speed)
+        rows.append([
+            generation,
+            speed,
+            round(1000 * float(weighted.alphas[idx])),
+            round(1000 * float(optimized.alphas[idx])),
+        ])
+    return format_table(
+        ["server class", "capacity", "proportional weight", "optimized weight"],
+        rows,
+        title=f"Per-server balancer weights (per 1000 requests) at {utilization:.0%} load",
+    )
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--duration", type=float, default=6.0e4)
+    parser.add_argument("--replications", type=int, default=3)
+    args = parser.parse_args()
+
+    print(f"farm: {len(FARM)} servers, aggregate capacity {sum(FARM):.0f}x\n")
+
+    # How the weights differ at typical vs peak load.
+    print(weights_table(0.5))
+    print()
+    print(weights_table(0.9))
+    print("\nNote how the optimized weights shift work toward the latest "
+          "generation at\nmoderate load and converge toward proportional "
+          "weights as the farm saturates.\n")
+
+    # Simulated mean response ratio (a.k.a. request slowdown) over the
+    # daily load range.
+    loads = (0.4, 0.6, 0.8)
+    policies = ("WRAN", "WRR", "ORR", "LEAST_LOAD")
+    labels = {
+        "WRAN": "proportional + random",
+        "WRR": "proportional + round-robin",
+        "ORR": "optimized + round-robin (paper)",
+        "LEAST_LOAD": "least-connections (dynamic)",
+    }
+    rows = []
+    for name in policies:
+        row: list[object] = [labels[name]]
+        for rho in loads:
+            config = SimulationConfig(
+                speeds=FARM, utilization=rho, duration=args.duration
+            )
+            ev = evaluate_policy(
+                config, get_policy(name),
+                replications=args.replications, base_seed=11,
+            )
+            row.append(ev.mean_response_ratio.mean)
+        rows.append(row)
+    print(format_table(
+        ["distribution policy"] + [f"slowdown @ {rho:.0%}" for rho in loads],
+        rows,
+        title="Simulated request slowdown (mean response ratio)",
+    ))
+    print("\nTakeaway: swapping the balancer's proportional weights for the "
+          "optimized ones\nis a config-only change (no feedback channel "
+          "needed) that recovers most of the\ngap to dynamic "
+          "least-connections.")
+
+
+if __name__ == "__main__":
+    main()

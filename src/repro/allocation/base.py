@@ -1,0 +1,83 @@
+"""Workload-allocation interfaces.
+
+An *allocator* maps the system model (speeds + utilization) to the
+fraction vector α = (α₁..αₙ) that the dispatcher then realizes job by
+job.  All allocators are pure functions of the model — static scheduling
+never looks at instantaneous state.
+"""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..queueing.network import HeterogeneousNetwork, validate_allocation
+
+__all__ = ["Allocator", "AllocationResult"]
+
+
+@dataclass(frozen=True)
+class AllocationResult:
+    """An allocation α with provenance and convenience accessors."""
+
+    alphas: np.ndarray
+    network: HeterogeneousNetwork
+    allocator_name: str
+
+    def __post_init__(self):
+        object.__setattr__(self, "alphas", validate_allocation(self.alphas))
+
+    @property
+    def n(self) -> int:
+        return int(self.alphas.size)
+
+    @property
+    def zero_share_indices(self) -> list[int]:
+        """Computers allocated exactly no workload (Theorem 2 cutoff)."""
+        return np.nonzero(self.alphas == 0.0)[0].tolist()
+
+    @property
+    def active_count(self) -> int:
+        return int(np.count_nonzero(self.alphas))
+
+    def per_server_utilization(self) -> np.ndarray:
+        return self.network.per_server_utilization(self.alphas)
+
+    def predicted_mean_response_time(self) -> float:
+        """Analytical T̄ under this allocation (paper equation (3))."""
+        return self.network.mean_response_time(self.alphas)
+
+    def predicted_mean_response_ratio(self) -> float:
+        """Analytical R̄ = μT̄ under this allocation."""
+        return self.network.mean_response_ratio(self.alphas)
+
+    def skewness_vs_weighted(self) -> np.ndarray:
+        """αᵢ / (sᵢ/Σs): >1 means over-proportional share (fast machines
+        under the optimized scheme), <1 under-proportional."""
+        weighted = self.network.speeds / self.network.total_speed
+        return self.alphas / weighted
+
+
+class Allocator(abc.ABC):
+    """Strategy object computing workload fractions for a network."""
+
+    #: Short name used in experiment tables ("weighted", "optimized", ...).
+    name: str = "base"
+
+    @abc.abstractmethod
+    def compute(self, network: HeterogeneousNetwork) -> AllocationResult:
+        """Return the allocation for *network*.
+
+        Implementations must return fractions that sum to one, are
+        non-negative, and keep every individual computer unsaturated
+        (αᵢλ < sᵢμ) whenever the system itself is unsaturated.
+        """
+
+    def __call__(self, network: HeterogeneousNetwork) -> AllocationResult:
+        return self.compute(network)
+
+    def fractions(self, network: HeterogeneousNetwork) -> np.ndarray:
+        """Shorthand returning just the α vector."""
+        return self.compute(network).alphas

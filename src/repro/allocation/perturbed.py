@@ -1,0 +1,74 @@
+"""Allocation under misestimated system load (Figure 6's sensitivity study).
+
+The optimized scheme needs the system utilization ρ as input.  In
+practice ρ is estimated, so the paper studies ORR(±e%): the allocation
+is computed with ρ̂ = (1 ± e)·ρ while the system actually runs at ρ.
+
+* Underestimation (ρ̂ < ρ) makes the allocation *more* skewed than
+  optimal and can saturate the fast computers at high true load — the
+  failure mode Figure 6(a) shows.
+* Overestimation pushes the allocation toward the simple weighted scheme
+  (its ρ → 1 limit) and is nearly harmless — Figure 6(b).
+
+:func:`clamp_estimated_utilization` mirrors the paper's footnote 7: at
+ρ̂ ≥ 1 the optimized scheme converges to weighted, so estimates are
+clamped just below 1 rather than rejected.
+"""
+
+from __future__ import annotations
+
+from ..queueing.network import HeterogeneousNetwork
+from .base import AllocationResult, Allocator
+from .optimized import OptimizedAllocator
+
+__all__ = ["MisestimatedOptimizedAllocator", "clamp_estimated_utilization"]
+
+#: ρ̂ values at or above 1 collapse to this, i.e. effectively weighted.
+_MAX_ESTIMATE = 1.0 - 1e-9
+
+
+def clamp_estimated_utilization(rho_hat: float) -> float:
+    """Clamp an estimated utilization into the solvable range (0, 1).
+
+    Raises for non-positive estimates (they carry no information), clamps
+    ρ̂ ≥ 1 to just below 1 where the optimized scheme equals weighted
+    allocation (paper footnote 7).
+    """
+    if rho_hat <= 0.0:
+        raise ValueError(f"estimated utilization must be positive, got {rho_hat}")
+    return min(rho_hat, _MAX_ESTIMATE)
+
+
+class MisestimatedOptimizedAllocator(Allocator):
+    """Optimized allocation computed from (1 + relative_error)·ρ.
+
+    ``relative_error`` is the paper's bracket notation: ORR(+5%) is
+    ``relative_error=0.05``, ORR(−10%) is ``relative_error=-0.10``.
+    """
+
+    def __init__(self, relative_error: float):
+        if relative_error <= -1.0:
+            raise ValueError(
+                f"relative error must exceed -100%, got {relative_error:+.0%}"
+            )
+        self.relative_error = float(relative_error)
+        self.name = f"optimized({relative_error:+.0%})"
+
+    def compute(self, network: HeterogeneousNetwork) -> AllocationResult:
+        rho_hat = clamp_estimated_utilization(
+            network.utilization * (1.0 + self.relative_error)
+        )
+        inner = OptimizedAllocator(utilization_override=rho_hat)
+        result = inner.compute(network)
+        return AllocationResult(
+            alphas=result.alphas, network=network, allocator_name=self.name
+        )
+
+    def is_feasible(self, network: HeterogeneousNetwork) -> bool:
+        """True when the perturbed allocation keeps every computer stable
+        at the *true* load.  Underestimation at high ρ can violate this —
+        the instability the paper warns about in Section 5.4."""
+        alphas = self.compute(network).alphas
+        return bool(
+            (alphas * network.arrival_rate < network.service_rates()).all()
+        )

@@ -1,0 +1,333 @@
+"""Command-line interface: ``repro-sched`` / ``python -m repro``.
+
+Subcommands
+-----------
+
+* ``run <experiment-id> [--scale smoke|quick|paper]`` — regenerate one
+  of the paper's tables/figures and print it.
+* ``list`` — list available experiments.
+* ``allocate --speeds 1,1,10 --utilization 0.7`` — print the weighted
+  and optimized allocations plus their predicted metrics.
+* ``simulate --speeds 1,1,10 --utilization 0.7 [--policies ORR,WRR]`` —
+  run the scheduling policies on a custom system and print the three
+  paper metrics.
+* ``validate --speeds 1,4 --utilization 0.6`` — compare a static
+  policy's simulated metrics against the analytical model.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+import numpy as np
+
+__all__ = ["main", "build_parser"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-sched",
+        description=(
+            "Reproduction of 'Optimizing Static Job Scheduling in a Network "
+            "of Heterogeneous Computers' (Tang & Chanson, ICPP 2000)"
+        ),
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    run_p = sub.add_parser("run", help="regenerate a table or figure")
+    run_p.add_argument(
+        "experiment",
+        help="experiment id (see `list`), or 'all' for every experiment",
+    )
+    run_p.add_argument(
+        "--scale",
+        choices=("smoke", "quick", "paper"),
+        default=None,
+        help="run length preset (default: REPRO_SCALE env or 'quick')",
+    )
+    run_p.add_argument(
+        "--json",
+        metavar="PATH",
+        default=None,
+        help="also export structured results (figure3-6 sweeps only)",
+    )
+
+    sub.add_parser("list", help="list available experiments")
+
+    alloc_p = sub.add_parser(
+        "allocate", help="compute allocations for a given system"
+    )
+    alloc_p.add_argument(
+        "--speeds", required=True,
+        help="comma-separated relative speeds, e.g. 1,1.5,2,10",
+    )
+    alloc_p.add_argument(
+        "--utilization", type=float, required=True, help="system load in (0, 1)"
+    )
+
+    sim_p = sub.add_parser(
+        "simulate", help="simulate scheduling policies on a custom system"
+    )
+    sim_p.add_argument("--speeds", required=True,
+                       help="comma-separated relative speeds")
+    sim_p.add_argument("--utilization", type=float, required=True)
+    sim_p.add_argument("--policies", default="WRAN,WRR,ORAN,ORR,LEAST_LOAD",
+                       help="comma-separated policy names")
+    sim_p.add_argument("--duration", type=float, default=1.0e5,
+                       help="simulated seconds per replication")
+    sim_p.add_argument("--replications", type=int, default=3)
+    sim_p.add_argument("--arrival-cv", type=float, default=3.0,
+                       help="inter-arrival coefficient of variation")
+    sim_p.add_argument("--seed", type=int, default=0)
+
+    val_p = sub.add_parser(
+        "validate", help="compare simulation against the analytical model"
+    )
+    val_p.add_argument("--speeds", required=True)
+    val_p.add_argument("--utilization", type=float, required=True)
+    val_p.add_argument("--policy", default="WRAN")
+    # Heavy-tailed sizes converge slowly: validation needs long runs.
+    val_p.add_argument("--duration", type=float, default=5.0e5)
+    val_p.add_argument("--replications", type=int, default=4)
+    val_p.add_argument("--arrival-cv", type=float, default=1.0,
+                       help="1.0 (Poisson) makes the model exact")
+
+    char_p = sub.add_parser(
+        "characterize", help="measure a job trace's workload properties"
+    )
+    char_p.add_argument("trace", help="two-column CSV: arrival_time,size")
+    char_p.add_argument("--speeds", default=None,
+                        help="optional cluster speeds to compute offered load")
+    return parser
+
+
+def _parse_speeds(text: str) -> list[float] | None:
+    try:
+        speeds = [float(s) for s in text.split(",") if s.strip()]
+    except ValueError:
+        return None
+    return speeds or None
+
+
+_SWEEP_RUNNERS = {
+    "figure3": ("run_figure3", "format_figure3"),
+    "figure4": ("run_figure4", "format_figure4"),
+    "figure5": ("run_figure5", "format_figure5"),
+    "figure6": ("run_figure6", "format_figure6"),
+}
+
+
+def _cmd_run(args) -> int:
+    from . import experiments
+
+    if args.experiment == "all":
+        if args.json:
+            print("error: --json is per-experiment; run figures individually",
+                  file=sys.stderr)
+            return 2
+        for key in experiments.experiment_ids():
+            print(experiments.run_experiment(key, args.scale))
+            print()
+        return 0
+
+    if args.json:
+        if args.experiment not in _SWEEP_RUNNERS:
+            print(
+                f"error: --json supports {sorted(_SWEEP_RUNNERS)}, "
+                f"not {args.experiment!r}",
+                file=sys.stderr,
+            )
+            return 2
+        run_name, fmt_name = _SWEEP_RUNNERS[args.experiment]
+        result = getattr(experiments, run_name)(args.scale)
+        print(getattr(experiments, fmt_name)(result))
+        path = experiments.save_sweep_json(result, args.json)
+        print(f"\nstructured results written to {path}")
+        return 0
+
+    print(experiments.run_experiment(args.experiment, args.scale))
+    return 0
+
+
+def _cmd_list(args) -> int:
+    from .experiments import EXPERIMENTS
+
+    width = max(len(k) for k in EXPERIMENTS)
+    for key, (description, _) in EXPERIMENTS.items():
+        print(f"{key.ljust(width)}  {description}")
+    return 0
+
+
+def _cmd_allocate(args) -> int:
+    from .allocation import OptimizedAllocator, WeightedAllocator
+    from .experiments.reporting import format_table
+    from .queueing import HeterogeneousNetwork
+
+    try:
+        speeds = [float(s) for s in args.speeds.split(",") if s.strip()]
+    except ValueError:
+        print(f"error: could not parse speeds {args.speeds!r}", file=sys.stderr)
+        return 2
+    if not speeds:
+        print("error: no speeds given", file=sys.stderr)
+        return 2
+    if not 0.0 < args.utilization < 1.0:
+        print(
+            f"error: utilization must lie in (0, 1), got {args.utilization}",
+            file=sys.stderr,
+        )
+        return 2
+
+    network = HeterogeneousNetwork(speeds, utilization=args.utilization)
+    weighted = WeightedAllocator().compute(network)
+    optimized = OptimizedAllocator().compute(network)
+    rows = [
+        [s, float(w), float(o)]
+        for s, w, o in zip(speeds, weighted.alphas, optimized.alphas)
+    ]
+    print(
+        format_table(
+            ["speed", "weighted alpha", "optimized alpha"],
+            rows,
+            title=f"Workload allocation at utilization {args.utilization}",
+        )
+    )
+    print()
+    print(
+        "predicted mean response ratio: "
+        f"weighted={weighted.predicted_mean_response_ratio():.4g}, "
+        f"optimized={optimized.predicted_mean_response_ratio():.4g}"
+    )
+    dropped = optimized.zero_share_indices
+    if dropped:
+        print(f"computers receiving zero work under optimized: {dropped}")
+    return 0
+
+
+def _cmd_simulate(args) -> int:
+    from .core import evaluate_policy, get_policy
+    from .experiments.reporting import format_table
+    from .sim import SimulationConfig
+
+    speeds = _parse_speeds(args.speeds)
+    if speeds is None:
+        print(f"error: could not parse speeds {args.speeds!r}", file=sys.stderr)
+        return 2
+    try:
+        config = SimulationConfig(
+            speeds=speeds, utilization=args.utilization,
+            duration=args.duration, arrival_cv=args.arrival_cv,
+        )
+    except ValueError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+
+    rows = []
+    for name in (p for p in args.policies.split(",") if p.strip()):
+        try:
+            policy = get_policy(name.strip())
+        except KeyError as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 2
+        ev = evaluate_policy(
+            config, policy, replications=args.replications, base_seed=args.seed
+        )
+        rows.append([
+            policy.name,
+            ev.mean_response_time.mean,
+            ev.mean_response_ratio.mean,
+            ev.fairness.mean,
+            ev.mean_response_ratio.half_width,
+        ])
+    print(format_table(
+        ["policy", "mean resp time", "mean resp ratio", "fairness", "ratio ±CI"],
+        rows,
+        title=(
+            f"speeds={speeds} rho={args.utilization} cv={args.arrival_cv} "
+            f"({args.replications} x {args.duration:.0f} s)"
+        ),
+    ))
+    return 0
+
+
+def _cmd_validate(args) -> int:
+    from .analysis import validate_against_theory
+    from .core import get_policy
+    from .sim import SimulationConfig
+
+    speeds = _parse_speeds(args.speeds)
+    if speeds is None:
+        print(f"error: could not parse speeds {args.speeds!r}", file=sys.stderr)
+        return 2
+    try:
+        config = SimulationConfig(
+            speeds=speeds, utilization=args.utilization,
+            duration=args.duration, arrival_cv=args.arrival_cv,
+        )
+        policy = get_policy(args.policy)
+        report = validate_against_theory(
+            config, policy, replications=args.replications
+        )
+    except (KeyError, ValueError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    print(report.summary())
+    print(
+        f"response time: measured {report.measured_response_time:.4g} vs "
+        f"predicted {report.predicted_response_time:.4g} "
+        f"({report.response_time_error:+.1%})"
+    )
+    if args.arrival_cv == 1.0:
+        print("Poisson arrivals: the M/G/1-PS model is exact; residual error "
+              "is simulation noise.")
+    else:
+        print("non-Poisson arrivals: positive error measures the burstiness "
+              "penalty the model ignores.")
+    return 0
+
+
+def _cmd_characterize(args) -> int:
+    from .analysis import characterize
+    from .sim import JobTrace
+
+    try:
+        trace = JobTrace.from_csv(args.trace)
+    except (OSError, ValueError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    report = characterize(trace)
+    print(report.summary())
+    for p, v in report.size_percentiles.items():
+        print(f"  size p{p}: {v:.6g} s")
+    if args.speeds:
+        speeds = _parse_speeds(args.speeds)
+        if speeds is None:
+            print(f"error: could not parse speeds {args.speeds!r}", file=sys.stderr)
+            return 2
+        rho = trace.offered_load(sum(speeds))
+        print(f"  offered load vs speeds {speeds}: {rho:.3f}")
+    model = report.recommended_model()
+    print(
+        "suggested synthetic model: "
+        f"sizes mean={model['size_mean']:.6g} cv={model['size_cv']:.3g}; "
+        f"inter-arrivals cv={model['interarrival_cv']:.3g}"
+    )
+    return 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    handlers = {
+        "run": _cmd_run,
+        "list": _cmd_list,
+        "allocate": _cmd_allocate,
+        "simulate": _cmd_simulate,
+        "validate": _cmd_validate,
+        "characterize": _cmd_characterize,
+    }
+    return handlers[args.command](args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

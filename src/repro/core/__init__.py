@@ -1,0 +1,25 @@
+"""The paper's primary contribution assembled: named scheduling policies
+(Table 2) and the replicated evaluation protocol (Section 4.1)."""
+
+from .adaptive import AdaptiveOrrDispatcher
+from .evaluate import (
+    PolicyEvaluation,
+    evaluate_policy,
+    evaluate_policy_to_precision,
+    run_policy_once,
+)
+from .parallel import evaluate_policy_parallel
+from .policies import PAPER_POLICIES, SchedulingPolicy, get_policy, policy_names
+
+__all__ = [
+    "SchedulingPolicy",
+    "get_policy",
+    "policy_names",
+    "PAPER_POLICIES",
+    "PolicyEvaluation",
+    "evaluate_policy",
+    "evaluate_policy_to_precision",
+    "evaluate_policy_parallel",
+    "run_policy_once",
+    "AdaptiveOrrDispatcher",
+]

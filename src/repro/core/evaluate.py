@@ -1,0 +1,197 @@
+"""High-level evaluation API: policy × configuration → replicated metrics.
+
+This is the library's main entry point.  One call runs the paper's
+protocol: R independent replications with distinct random streams, each
+collecting statistics only after the warm-up period, summarized with
+confidence intervals per metric.
+
+Static policies are routed to the vectorized fast path automatically
+(identical statistics, several times faster); Dynamic Least-Load and the
+non-PS disciplines go through the event engine.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..metrics import ReplicationSummary, summarize_replications
+from ..rng import replication_seeds, substream
+from ..sim import SimulationConfig, SimulationResults, run_simulation, run_static_simulation
+from .policies import SchedulingPolicy
+
+__all__ = [
+    "PolicyEvaluation",
+    "evaluate_policy",
+    "evaluate_policy_to_precision",
+    "run_policy_once",
+]
+
+
+@dataclass(frozen=True)
+class PolicyEvaluation:
+    """Replication-averaged metrics for one (policy, configuration) pair."""
+
+    policy_name: str
+    config: SimulationConfig
+    mean_response_time: ReplicationSummary
+    mean_response_ratio: ReplicationSummary
+    fairness: ReplicationSummary
+    #: Replication-averaged post-warm-up dispatch fraction per computer.
+    dispatch_fractions: np.ndarray
+    replications: int
+    jobs_per_replication: float
+
+    def metric(self, name: str) -> ReplicationSummary:
+        """Look up one of the paper's three metrics by name."""
+        try:
+            return {
+                "mean_response_time": self.mean_response_time,
+                "mean_response_ratio": self.mean_response_ratio,
+                "fairness": self.fairness,
+            }[name]
+        except KeyError:
+            raise KeyError(
+                f"unknown metric {name!r}; expected mean_response_time, "
+                "mean_response_ratio, or fairness"
+            ) from None
+
+
+def run_policy_once(
+    config: SimulationConfig,
+    policy: SchedulingPolicy,
+    *,
+    seed: int | np.random.SeedSequence = 0,
+    record_trace: bool = False,
+    force_engine: bool = False,
+) -> SimulationResults:
+    """One replication of *policy* on *config*.
+
+    The dispatcher's random stream is derived from *seed* under the
+    "dispatch" role, so two policies evaluated with the same seed see
+    identical arrival/size streams (common random numbers).
+    """
+    network = config.network()
+    alphas = policy.fractions(network)
+    dispatcher = policy.build_dispatcher(config.speeds, substream(seed, "dispatch"))
+    use_fast = (
+        policy.is_static
+        and dispatcher.is_static
+        and config.discipline == "ps"
+        and not force_engine
+    )
+    if use_fast:
+        return run_static_simulation(
+            config, dispatcher, alphas, seed=seed, record_trace=record_trace
+        )
+    return run_simulation(
+        config, dispatcher, alphas, seed=seed, record_trace=record_trace
+    )
+
+
+def evaluate_policy(
+    config: SimulationConfig,
+    policy: SchedulingPolicy,
+    *,
+    replications: int = 10,
+    base_seed: int = 0,
+    confidence: float = 0.95,
+    force_engine: bool = False,
+) -> PolicyEvaluation:
+    """Replicate :func:`run_policy_once` and summarize the paper metrics."""
+    if replications < 1:
+        raise ValueError(f"need at least one replication, got {replications}")
+    seeds = replication_seeds(base_seed, replications)
+    times, ratios, fairs, jobs = [], [], [], []
+    fractions = np.zeros(config.n)
+    for seed in seeds:
+        result = run_policy_once(
+            config, policy, seed=seed, force_engine=force_engine
+        )
+        times.append(result.metrics.mean_response_time)
+        ratios.append(result.metrics.mean_response_ratio)
+        fairs.append(result.metrics.fairness)
+        jobs.append(result.metrics.jobs)
+        fractions += result.dispatch_fractions
+    return PolicyEvaluation(
+        policy_name=policy.name,
+        config=config,
+        mean_response_time=summarize_replications(times, confidence),
+        mean_response_ratio=summarize_replications(ratios, confidence),
+        fairness=summarize_replications(fairs, confidence),
+        dispatch_fractions=fractions / replications,
+        replications=replications,
+        jobs_per_replication=float(np.mean(jobs)),
+    )
+
+
+def evaluate_policy_to_precision(
+    config: SimulationConfig,
+    policy: SchedulingPolicy,
+    *,
+    target_relative_half_width: float = 0.05,
+    metric: str = "mean_response_ratio",
+    min_replications: int = 3,
+    max_replications: int = 50,
+    base_seed: int = 0,
+    confidence: float = 0.95,
+) -> PolicyEvaluation:
+    """Sequential replication: run until the chosen metric's CI is tight.
+
+    Adds replications one at a time (reusing the deterministic
+    per-replication seeds, so results are a strict extension of a fixed
+    ``evaluate_policy`` call) until the confidence interval's relative
+    half-width drops below the target or ``max_replications`` is hit.
+
+    The heavy-load points of Figures 5/6 are exactly where a fixed
+    replication count under-delivers; this is the data-driven version
+    of the replication boost those experiments apply.
+    """
+    if not 0.0 < target_relative_half_width:
+        raise ValueError(
+            f"target half-width must be positive, got {target_relative_half_width}"
+        )
+    if not 1 <= min_replications <= max_replications:
+        raise ValueError(
+            f"need 1 <= min_replications <= max_replications, got "
+            f"{min_replications}/{max_replications}"
+        )
+    seeds = replication_seeds(base_seed, max_replications)
+    times, ratios, fairs, jobs = [], [], [], []
+    fractions = np.zeros(config.n)
+    done = 0
+    for seed in seeds:
+        result = run_policy_once(config, policy, seed=seed)
+        times.append(result.metrics.mean_response_time)
+        ratios.append(result.metrics.mean_response_ratio)
+        fairs.append(result.metrics.fairness)
+        jobs.append(result.metrics.jobs)
+        fractions += result.dispatch_fractions
+        done += 1
+        if done < min_replications:
+            continue
+        tracked = {
+            "mean_response_time": times,
+            "mean_response_ratio": ratios,
+            "fairness": fairs,
+        }
+        try:
+            values = tracked[metric]
+        except KeyError:
+            raise KeyError(
+                f"unknown metric {metric!r}; expected one of {sorted(tracked)}"
+            ) from None
+        summary = summarize_replications(values, confidence)
+        if summary.relative_half_width <= target_relative_half_width:
+            break
+    return PolicyEvaluation(
+        policy_name=policy.name,
+        config=config,
+        mean_response_time=summarize_replications(times, confidence),
+        mean_response_ratio=summarize_replications(ratios, confidence),
+        fairness=summarize_replications(fairs, confidence),
+        dispatch_fractions=fractions / done,
+        replications=done,
+        jobs_per_replication=float(np.mean(jobs)),
+    )

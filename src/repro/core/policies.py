@@ -1,0 +1,198 @@
+"""Scheduling policies: the paper's Table 2 matrix plus yardsticks.
+
+A *policy* pairs a workload-allocation scheme with a job-dispatching
+strategy:
+
+===========  ==================  =====================
+policy       allocation          dispatching
+===========  ==================  =====================
+WRAN         simple weighted     random
+ORAN         optimized (Alg. 1)  random
+WRR          simple weighted     round robin (Alg. 2)
+ORR          optimized (Alg. 1)  round robin (Alg. 2)
+LEAST_LOAD   —                   dynamic least load
+===========  ==================  =====================
+
+ORR is the paper's headline combination; LEAST_LOAD is the dynamic
+upper-bound yardstick.  Extensions beyond the paper's matrix: SITA
+(clairvoyant size-interval dispatch) and ORR(±e%) variants with a
+misestimated utilization (Figure 6).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable
+
+import numpy as np
+
+from ..allocation import (
+    Allocator,
+    MisestimatedOptimizedAllocator,
+    OptimizedAllocator,
+    WeightedAllocator,
+)
+from ..dispatch import (
+    Dispatcher,
+    LeastLoadDispatcher,
+    RandomDispatcher,
+    RoundRobinDispatcher,
+    SitaDispatcher,
+)
+from ..distributions import paper_job_sizes
+from ..queueing.network import HeterogeneousNetwork
+
+__all__ = ["SchedulingPolicy", "get_policy", "policy_names", "PAPER_POLICIES"]
+
+
+@dataclass(frozen=True)
+class SchedulingPolicy:
+    """A named (allocator, dispatcher factory) pair.
+
+    ``dispatcher_factory(speeds, rng)`` builds a fresh dispatcher per
+    run; random-based dispatchers consume the provided generator so
+    replications stay independent and common-random-number comparisons
+    stay aligned.
+    """
+
+    name: str
+    allocator: Allocator | None
+    dispatcher_factory: Callable[[np.ndarray, np.random.Generator], Dispatcher]
+    is_static: bool = True
+
+    def fractions(self, network: HeterogeneousNetwork) -> np.ndarray | None:
+        """The α vector this policy targets, or None (dynamic policy)."""
+        if self.allocator is None:
+            return None
+        return self.allocator.compute(network).alphas
+
+    def build_dispatcher(
+        self, speeds, rng: np.random.Generator
+    ) -> Dispatcher:
+        return self.dispatcher_factory(np.asarray(speeds, dtype=float), rng)
+
+
+def _wran() -> SchedulingPolicy:
+    return SchedulingPolicy(
+        name="WRAN",
+        allocator=WeightedAllocator(),
+        dispatcher_factory=lambda speeds, rng: RandomDispatcher(rng),
+    )
+
+
+def _oran() -> SchedulingPolicy:
+    return SchedulingPolicy(
+        name="ORAN",
+        allocator=OptimizedAllocator(),
+        dispatcher_factory=lambda speeds, rng: RandomDispatcher(rng),
+    )
+
+
+def _wrr() -> SchedulingPolicy:
+    return SchedulingPolicy(
+        name="WRR",
+        allocator=WeightedAllocator(),
+        dispatcher_factory=lambda speeds, rng: RoundRobinDispatcher(),
+    )
+
+
+def _orr() -> SchedulingPolicy:
+    return SchedulingPolicy(
+        name="ORR",
+        allocator=OptimizedAllocator(),
+        dispatcher_factory=lambda speeds, rng: RoundRobinDispatcher(),
+    )
+
+
+def _least_load() -> SchedulingPolicy:
+    return SchedulingPolicy(
+        name="LEAST_LOAD",
+        allocator=None,
+        dispatcher_factory=lambda speeds, rng: LeastLoadDispatcher(speeds),
+        is_static=False,
+    )
+
+
+def _jsq2() -> SchedulingPolicy:
+    # Power-of-two-choices with the same stale feedback as Least-Load:
+    # the midpoint of the information spectrum (extension).
+    from ..dispatch.jsq import PowerOfDChoicesDispatcher
+
+    return SchedulingPolicy(
+        name="JSQ2",
+        allocator=None,
+        dispatcher_factory=lambda speeds, rng: PowerOfDChoicesDispatcher(
+            speeds, d=min(2, len(speeds)), rng=rng
+        ),
+        is_static=False,
+    )
+
+
+def _adaptive_orr() -> SchedulingPolicy:
+    # ORR with periodic utilization re-estimation (extension, §5.4):
+    # still static in the paper's sense — no inter-computer messages.
+    from .adaptive import AdaptiveOrrDispatcher
+
+    return SchedulingPolicy(
+        name="ADAPTIVE_ORR",
+        allocator=None,
+        dispatcher_factory=lambda speeds, rng: AdaptiveOrrDispatcher(speeds),
+        is_static=False,
+    )
+
+
+def _sita() -> SchedulingPolicy:
+    # Clairvoyant extension: weighted work shares split by size bands.
+    return SchedulingPolicy(
+        name="SITA",
+        allocator=WeightedAllocator(),
+        dispatcher_factory=lambda speeds, rng: SitaDispatcher(paper_job_sizes(), speeds),
+    )
+
+
+_FACTORIES: dict[str, Callable[[], SchedulingPolicy]] = {
+    "WRAN": _wran,
+    "ORAN": _oran,
+    "WRR": _wrr,
+    "ORR": _orr,
+    "LEAST_LOAD": _least_load,
+    "SITA": _sita,
+    "JSQ2": _jsq2,
+    "ADAPTIVE_ORR": _adaptive_orr,
+}
+
+#: The five algorithms of the paper's evaluation (Section 4.2).
+PAPER_POLICIES = ("WRAN", "ORAN", "WRR", "ORR", "LEAST_LOAD")
+
+
+def policy_names() -> tuple[str, ...]:
+    """All registered policy names, paper set first."""
+    extras = tuple(k for k in _FACTORIES if k not in PAPER_POLICIES)
+    return PAPER_POLICIES + extras
+
+
+def get_policy(name: str, *, estimation_error: float | None = None) -> SchedulingPolicy:
+    """Look up a policy by name (case-insensitive).
+
+    ``estimation_error`` applies only to ORR/ORAN: it swaps the
+    optimized allocator for the Figure 6 misestimated variant, e.g.
+    ``get_policy("ORR", estimation_error=-0.10)`` is the paper's
+    ORR(−10%).
+    """
+    key = name.upper()
+    if key not in _FACTORIES:
+        raise KeyError(f"unknown policy {name!r}; expected one of {policy_names()}")
+    policy = _FACTORIES[key]()
+    if estimation_error is None:
+        return policy
+    if not isinstance(policy.allocator, OptimizedAllocator):
+        raise ValueError(
+            f"estimation_error only applies to optimized-allocation policies, not {key}"
+        )
+    allocator = MisestimatedOptimizedAllocator(estimation_error)
+    return SchedulingPolicy(
+        name=f"{key}({estimation_error:+.0%})",
+        allocator=allocator,
+        dispatcher_factory=policy.dispatcher_factory,
+        is_static=policy.is_static,
+    )

@@ -1,0 +1,89 @@
+"""Burst (quota-based) weighted round robin — the naive WRR baseline.
+
+Classic router/balancer WRR implementations serve each target its whole
+per-cycle quota *consecutively*: with weights (2, 1, 1) the dispatch
+order is A A B C, A A B C, ...  That realizes the long-run fractions
+exactly but concentrates each computer's jobs into bursts — precisely
+the behaviour the paper's Algorithm 2 is designed to avoid (its
+objective is to *interleave*, equalizing the arrival count between
+successive jobs to the same computer).
+
+This dispatcher exists as a contrast baseline: the deviation ablation
+shows Algorithm 2's per-interval allocation deviation matches burst-WRR
+(both are deterministic and exact per cycle) while its *smoothness* —
+the variance of per-computer inter-assignment gaps — is far better,
+which is what shows up as lower response times under load.
+
+Quotas come from rounding ``cycle_length × αᵢ`` with largest-remainder
+apportionment, so every cycle realizes the fractions as exactly as an
+integer cycle can.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .base import StaticDispatcher
+
+__all__ = ["BurstWeightedRoundRobinDispatcher"]
+
+
+def _largest_remainder_quotas(alphas: np.ndarray, cycle_length: int) -> np.ndarray:
+    """Integer quotas summing to cycle_length, proportional to alphas."""
+    raw = alphas * cycle_length
+    quotas = np.floor(raw).astype(np.int64)
+    short = cycle_length - int(quotas.sum())
+    if short > 0:
+        order = np.argsort(-(raw - quotas), kind="stable")
+        quotas[order[:short]] += 1
+    return quotas
+
+
+class BurstWeightedRoundRobinDispatcher(StaticDispatcher):
+    """Quota WRR: each cycle serves every computer its quota in one burst.
+
+    Parameters
+    ----------
+    cycle_length:
+        Jobs per cycle.  Larger cycles realize fractional weights more
+        precisely but make the bursts longer (worse smoothness).
+    """
+
+    name = "burst_wrr"
+
+    def __init__(self, cycle_length: int = 100):
+        super().__init__()
+        if cycle_length < 1:
+            raise ValueError(f"cycle_length must be positive, got {cycle_length}")
+        self.cycle_length = int(cycle_length)
+        self._schedule: np.ndarray | None = None
+        self._pos = 0
+
+    def _setup(self) -> None:
+        quotas = _largest_remainder_quotas(self.alphas, self.cycle_length)
+        if quotas.sum() == 0:
+            raise ValueError("cycle too short: every quota rounded to zero")
+        # The burst schedule: each computer's quota served consecutively.
+        self._schedule = np.repeat(
+            np.arange(self.alphas.size, dtype=np.int64), quotas
+        )
+        self._pos = 0
+
+    def select(self, size: float) -> int:
+        self._require_reset()
+        choice = int(self._schedule[self._pos])
+        self._pos = (self._pos + 1) % self._schedule.size
+        return choice
+
+    def select_batch(self, sizes: np.ndarray) -> np.ndarray:
+        self._require_reset()
+        count = np.asarray(sizes).size
+        idx = (self._pos + np.arange(count)) % self._schedule.size
+        self._pos = int((self._pos + count) % self._schedule.size)
+        return self._schedule[idx]
+
+    @property
+    def quotas(self) -> np.ndarray:
+        """Per-computer jobs per cycle (copy)."""
+        self._require_reset()
+        return np.bincount(self._schedule, minlength=self.alphas.size)

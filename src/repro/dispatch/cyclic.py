@@ -1,0 +1,45 @@
+"""Plain cyclic round robin (the degenerate case of Algorithm 2).
+
+Ignores the magnitude of the fractions beyond which computers are
+active: jobs go 0, 1, 2, ..., n−1, 0, ... over the α > 0 computers.
+Exactly what Algorithm 2 reduces to when all active fractions are equal;
+kept as an independent implementation so tests can verify the reduction.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .base import StaticDispatcher
+
+__all__ = ["CyclicDispatcher"]
+
+
+class CyclicDispatcher(StaticDispatcher):
+    """Strict cycle over the computers with a positive fraction."""
+
+    name = "cyclic"
+
+    def __init__(self):
+        super().__init__()
+        self._order: np.ndarray | None = None
+        self._pos = 0
+
+    def _setup(self) -> None:
+        self._order = np.nonzero(self.alphas > 0)[0]
+        if self._order.size == 0:
+            raise ValueError("cyclic dispatch needs at least one positive fraction")
+        self._pos = 0
+
+    def select(self, size: float) -> int:
+        self._require_reset()
+        choice = int(self._order[self._pos])
+        self._pos = (self._pos + 1) % self._order.size
+        return choice
+
+    def select_batch(self, sizes: np.ndarray) -> np.ndarray:
+        self._require_reset()
+        count = np.asarray(sizes).size
+        idx = (self._pos + np.arange(count)) % self._order.size
+        self._pos = int((self._pos + count) % self._order.size)
+        return self._order[idx].astype(np.int64)

@@ -1,0 +1,52 @@
+"""Random based job dispatching (Section 3.1).
+
+Each arriving job is sent to computer cᵢ with probability αᵢ,
+independently of everything else.  Combined with the weighted and
+optimized allocations this yields the paper's WRAN and ORAN algorithms.
+Its weakness — the motivation for Section 3.2 — is that the realized
+fractions over short intervals fluctuate widely, so individual
+computers see bursty substreams.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .base import StaticDispatcher
+
+__all__ = ["RandomDispatcher"]
+
+
+class RandomDispatcher(StaticDispatcher):
+    """Probability-proportional random splitting driven by *rng*."""
+
+    name = "random"
+
+    def __init__(self, rng: np.random.Generator):
+        super().__init__()
+        self.rng = rng
+        self._cum: np.ndarray | None = None
+
+    def _setup(self) -> None:
+        # Inverse-CDF lookup over the cumulative fractions: a single
+        # uniform per job, searchsorted for the branch.  Guarantees the
+        # last bucket absorbs rounding so every draw maps to a computer.
+        cum = np.cumsum(self.alphas)
+        cum[-1] = 1.0
+        self._cum = cum
+
+    def select(self, size: float) -> int:
+        cum = self._cum
+        if cum is None:
+            self._require_reset()
+            raise AssertionError("unreachable")  # pragma: no cover
+        return int(np.searchsorted(cum, self.rng.random(), side="right"))
+
+    def select_batch(self, sizes: np.ndarray) -> np.ndarray:
+        cum = self._cum
+        if cum is None:
+            self._require_reset()
+            raise AssertionError("unreachable")  # pragma: no cover
+        n_jobs = np.asarray(sizes).size
+        u = self.rng.random(n_jobs)
+        return np.searchsorted(cum, u, side="right").astype(np.int64)

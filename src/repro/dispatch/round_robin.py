@@ -1,0 +1,138 @@
+"""Round-robin based job dispatching — the paper's Algorithm 2 (Section 3.2).
+
+The strategy equalizes the number of *overall* arrivals falling between
+successive jobs sent to the same computer, which smooths each computer's
+substream without measuring inter-arrival times.  Each computer carries
+two attributes:
+
+* ``assign`` — jobs sent to it so far;
+* ``next``   — expected number of further arrivals before its next job.
+
+On each arrival the computer with the smallest ``next`` wins; ties go to
+the smallest ``(assign + 1)/α`` (step 2.c.3 — the algorithm listing
+normalizes by the workload fraction, which is the speed-proportional
+quantity under weighted allocation).  The winner's ``next`` is advanced
+by 1/α — it expects one job out of every 1/α arrivals — and every
+computer that has started receiving jobs counts the dispatched arrival
+down (step 2.h).
+
+The guard initialization ``next = 1`` (step 1) staggers *first*
+assignments: big-fraction computers start immediately (smallest
+normalized assign), while small-fraction computers are held off until a
+started computer's ``next`` drops below the guard, spreading their first
+jobs evenly through a cycle.  When all fractions are equal the whole
+scheme degenerates to the classic round robin.
+
+Implementation notes: this is a *bit-exact* transcription of the paper's
+listing (the test suite checks it against an independent oracle), with
+state in plain Python lists — ``select`` runs once per arriving job and
+small-list access is several times faster than numpy scalar indexing.
+Only computers with α > 0 are scanned (step 2.c.1's ``continue``), and
+the step 2.h decrement touches only started computers, exactly as the
+guard semantics require.  ``next`` values stay bounded (they decrease by
+1 per arrival and rise by 1/α on selection), so no drift accumulates
+over multi-million-job runs beyond the ±ulp rounding the paper's own
+float implementation had.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .base import StaticDispatcher
+
+__all__ = ["RoundRobinDispatcher"]
+
+
+class RoundRobinDispatcher(StaticDispatcher):
+    """Deterministic weighted round robin per Algorithm 2.
+
+    Parameters
+    ----------
+    guard_init:
+        Initial value of every ``next`` field.  The paper uses 1 (the
+        guard that staggers first assignments); the ablation benchmark
+        sets 0 to show the resulting early-cycle clumping.
+    """
+
+    name = "round_robin"
+
+    def __init__(self, guard_init: float = 1.0):
+        super().__init__()
+        if guard_init < 0:
+            raise ValueError(f"guard_init must be non-negative, got {guard_init}")
+        self.guard_init = float(guard_init)
+        self._assign: list[int] = []
+        self._next: list[float] = []
+        self._started: list[int] = []  # indices with assign > 0, scan order
+        self._active: list[int] = []   # indices with alpha > 0
+        self._inv_alpha: list[float] = []
+
+    def _setup(self) -> None:
+        alphas = self.alphas
+        n = alphas.size
+        active = np.nonzero(alphas > 0)[0]
+        if active.size == 0:
+            raise ValueError("round robin needs at least one positive fraction")
+        self._assign = [0] * n
+        self._next = [self.guard_init] * n
+        self._started = []
+        self._active = [int(i) for i in active]
+        self._inv_alpha = [
+            (1.0 / float(alphas[i]) if alphas[i] > 0 else float("inf"))
+            for i in range(n)
+        ]
+
+    def select(self, size: float) -> int:
+        """One iteration of Algorithm 2's dispatch loop (steps 2.b–2.h)."""
+        self._require_reset()
+        assign = self._assign
+        nxt = self._next
+        inv = self._inv_alpha
+
+        # Steps 2.b/2.c: smallest `next` wins; ties by smallest
+        # (assign + 1)/alpha.  Only alpha > 0 computers participate
+        # (the `continue` of step 2.c.1).
+        select = -1
+        minnext = 0.0
+        norassign = 0.0
+        for i in self._active:
+            ni = nxt[i]
+            if select == -1 or ni < minnext:
+                minnext = ni
+                norassign = (assign[i] + 1) * inv[i]
+                select = i
+            elif ni == minnext:
+                cand = (assign[i] + 1) * inv[i]
+                if cand < norassign:
+                    norassign = cand
+                    select = i
+
+        # Step 2.d: a first-time winner resets its `next` to 0 ("now").
+        if assign[select] == 0:
+            nxt[select] = 0.0
+            self._started.append(select)
+        # Steps 2.e/2.f: it expects its next job 1/alpha arrivals out.
+        nxt[select] += inv[select]
+        assign[select] += 1
+        # Step 2.h: the dispatched arrival counts down every computer
+        # that has started receiving jobs (assign != 0).
+        for i in self._started:
+            nxt[i] -= 1.0
+        return select
+
+    # ------------------------------------------------------------------
+    # Introspection helpers used by tests
+    # ------------------------------------------------------------------
+
+    @property
+    def assigned_counts(self) -> np.ndarray:
+        """Jobs dispatched per computer so far (copy)."""
+        self._require_reset()
+        return np.asarray(self._assign, dtype=np.int64)
+
+    @property
+    def next_fields(self) -> np.ndarray:
+        """Current ``next`` values (copy)."""
+        self._require_reset()
+        return np.asarray(self._next, dtype=float)

@@ -1,0 +1,122 @@
+"""SITA — size-interval task assignment (extension, not in the paper's matrix).
+
+The related work the paper builds on (Crovella, Harchol-Balter et al.)
+improves heavy-tailed performance by routing jobs to servers *by size
+band* so short jobs never queue behind elephants.  The paper explicitly
+avoids assuming job sizes are known a priori; this clairvoyant
+dispatcher is included as an extension so the benchmark suite can show
+where size information would (and would not) beat ORR.
+
+SITA-E ("equal load") picks size cutoffs k = x₀ < x₁ < … < xₙ = p such
+that the expected *work* falling in band i matches a target share wᵢ —
+here the allocation fractions translated into work shares.  Small-size
+bands go to slow computers, the largest band to the fastest computer
+(big jobs finish soonest there).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..distributions.bounded_pareto import BoundedPareto
+from .base import StaticDispatcher
+
+__all__ = ["SitaDispatcher", "sita_cutoffs"]
+
+
+def sita_cutoffs(sizes: BoundedPareto, work_shares, *, tol: float = 1e-12) -> np.ndarray:
+    """Return the n+1 size cutoffs splitting work into the given shares.
+
+    ``work_shares`` must be non-negative and sum to 1; zero shares
+    produce zero-width (duplicate) cutoffs.  Cutoff i is found by
+    bisection on the work-below function W(x) = 1 − load_share_above(x),
+    which is continuous and strictly increasing on [k, p].
+    """
+    shares = np.asarray(work_shares, dtype=float)
+    if shares.ndim != 1 or shares.size == 0:
+        raise ValueError("work_shares must be a non-empty 1-D vector")
+    if np.any(shares < 0):
+        raise ValueError(f"work shares must be non-negative, got {shares}")
+    total = shares.sum()
+    if abs(total - 1.0) > 1e-9:
+        raise ValueError(f"work shares must sum to 1, got {total}")
+
+    def work_below(x: float) -> float:
+        return 1.0 - sizes.load_share_above(x)
+
+    cutoffs = np.empty(shares.size + 1)
+    cutoffs[0] = sizes.k
+    cutoffs[-1] = sizes.p
+    target = 0.0
+    for i, share in enumerate(shares[:-1]):
+        target += share
+        lo, hi = cutoffs[i], sizes.p
+        # Bisection: W is monotone, so 60 iterations pin the cutoff to
+        # ~(p-k)/2^60 absolute accuracy.
+        for _ in range(200):
+            mid = 0.5 * (lo + hi)
+            if work_below(mid) < target:
+                lo = mid
+            else:
+                hi = mid
+            if hi - lo <= tol * max(1.0, hi):
+                break
+        cutoffs[i + 1] = 0.5 * (lo + hi)
+    return cutoffs
+
+
+class SitaDispatcher(StaticDispatcher):
+    """Clairvoyant size-interval dispatcher over Bounded Pareto sizes.
+
+    ``reset(alphas)`` interprets the fractions as *job-count* fractions
+    under the given allocation; SITA instead needs *work* shares, so the
+    canonical use is ``SitaDispatcher.for_speeds(...)`` which balances
+    utilization like the weighted allocator.  Computers are used in
+    speed order: slowest gets the smallest size band.
+    """
+
+    name = "sita"
+
+    def __init__(self, sizes: BoundedPareto, speeds):
+        super().__init__()
+        self.sizes = sizes
+        self.speeds = np.asarray(speeds, dtype=float)
+        if np.any(self.speeds <= 0):
+            raise ValueError(f"speeds must be positive, got {self.speeds}")
+        self._cutoffs: np.ndarray | None = None
+        self._band_to_server: np.ndarray | None = None
+
+    def _setup(self) -> None:
+        if self.alphas.size != self.speeds.size:
+            raise ValueError(
+                f"{self.alphas.size} fractions for {self.speeds.size} speeds"
+            )
+        # Work share of computer i under the fractions: relative to its
+        # speed the paper's weighted allocation gives equal utilization;
+        # in general a fraction alpha of *jobs* is alpha of *work* since
+        # static non-size-based splits are size-blind.  SITA reassigns
+        # that same work by size band.
+        order = np.argsort(self.speeds, kind="stable")  # slow → fast
+        shares_sorted = self.alphas[order]
+        self._cutoffs = sita_cutoffs(self.sizes, shares_sorted)
+        self._band_to_server = order
+
+    def select(self, size: float) -> int:
+        self._require_reset()
+        cutoffs, band_map = self._cutoffs, self._band_to_server
+        band = int(np.searchsorted(cutoffs, size, side="right")) - 1
+        band = min(max(band, 0), band_map.size - 1)
+        return int(band_map[band])
+
+    def select_batch(self, sizes: np.ndarray) -> np.ndarray:
+        self._require_reset()
+        cutoffs, band_map = self._cutoffs, self._band_to_server
+        bands = np.searchsorted(cutoffs, np.asarray(sizes, dtype=float), side="right") - 1
+        bands = np.clip(bands, 0, band_map.size - 1)
+        return band_map[bands].astype(np.int64)
+
+    @property
+    def cutoffs(self) -> np.ndarray:
+        """Size cutoffs in slow→fast computer order (copy)."""
+        self._require_reset()
+        return self._cutoffs.copy()

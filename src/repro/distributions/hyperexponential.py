@@ -1,0 +1,115 @@
+"""Two-stage hyperexponential (H2) distribution.
+
+The paper models the job arrival process with a two-stage hyperexponential
+distribution fitted so the inter-arrival coefficient of variation is 3.0
+(Section 4.1), motivated by Zhou's trace measurement of CV = 2.64.
+
+A two-stage hyperexponential mixes two exponentials: with probability
+``p1`` draw Exp(rate1), else Exp(rate2).  Any (mean, CV ≥ 1) pair can be
+matched; we use the standard *balanced means* fit (p1/rate1 = p2/rate2),
+which uniquely determines the three H2 parameters from two moments.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from .base import Distribution, validate_probability
+
+__all__ = ["Hyperexponential", "fit_h2_balanced_means"]
+
+
+def fit_h2_balanced_means(mean: float, cv: float) -> tuple[float, float, float]:
+    """Fit H2 parameters ``(p1, rate1, rate2)`` to a target mean and CV.
+
+    Uses the balanced-means condition ``p1/rate1 == p2/rate2`` (each branch
+    contributes half of the mean), giving
+
+    .. math::  p_1 = \\tfrac12\\bigl(1 + \\sqrt{(c^2-1)/(c^2+1)}\\bigr),
+               \\quad \\lambda_1 = 2 p_1/m, \\quad \\lambda_2 = 2 p_2/m.
+
+    Requires ``cv >= 1``; at ``cv == 1`` the fit degenerates to a plain
+    exponential (both rates equal).
+    """
+    if mean <= 0:
+        raise ValueError(f"mean must be positive, got {mean}")
+    if cv < 1.0:
+        raise ValueError(
+            f"a hyperexponential cannot have cv < 1 (got {cv}); use Erlang for cv < 1"
+        )
+    c2 = cv * cv
+    p1 = 0.5 * (1.0 + math.sqrt((c2 - 1.0) / (c2 + 1.0)))
+    p2 = 1.0 - p1
+    rate1 = 2.0 * p1 / mean
+    rate2 = 2.0 * p2 / mean
+    return p1, rate1, rate2
+
+
+class Hyperexponential(Distribution):
+    """H2 mixture: Exp(rate1) w.p. p1, Exp(rate2) w.p. 1 − p1."""
+
+    def __init__(self, p1: float, rate1: float, rate2: float):
+        validate_probability(p1, "p1")
+        if rate1 <= 0 or rate2 <= 0:
+            raise ValueError(f"rates must be positive, got {rate1}, {rate2}")
+        self.p1 = float(p1)
+        self.p2 = 1.0 - self.p1
+        self.rate1 = float(rate1)
+        self.rate2 = float(rate2)
+
+    @classmethod
+    def from_mean_cv(cls, mean: float, cv: float) -> "Hyperexponential":
+        """Balanced-means fit to a target mean and CV (see module docs)."""
+        p1, rate1, rate2 = fit_h2_balanced_means(mean, cv)
+        return cls(p1, rate1, rate2)
+
+    @property
+    def mean(self) -> float:
+        return self.p1 / self.rate1 + self.p2 / self.rate2
+
+    @property
+    def second_moment(self) -> float:
+        return 2.0 * (self.p1 / self.rate1**2 + self.p2 / self.rate2**2)
+
+    def cdf(self, x):
+        x = np.asarray(x, dtype=float)
+        out = np.where(
+            x < 0,
+            0.0,
+            -(self.p1 * np.expm1(-self.rate1 * x) + self.p2 * np.expm1(-self.rate2 * x)),
+        )
+        return out if out.ndim else float(out)
+
+    def ppf(self, q):
+        """Numerical inverse of the mixture CDF (vectorized bisection).
+
+        The mixture CDF has no closed-form inverse; 60 bisection steps give
+        ~1e-18 relative bracketing error, far below sampling noise.
+        """
+        q = np.asarray(q, dtype=float)
+        scalar = q.ndim == 0
+        q = np.atleast_1d(q)
+        if np.any((q < 0) | (q >= 1)):
+            raise ValueError("ppf requires 0 <= q < 1")
+        lo = np.zeros_like(q)
+        # Upper bracket from the slower branch: 1 - F(x) <= exp(-min_rate x).
+        min_rate = min(self.rate1, self.rate2)
+        with np.errstate(divide="ignore"):
+            hi = np.where(q > 0, -np.log1p(-q) / min_rate, 0.0)
+        for _ in range(60):
+            mid = 0.5 * (lo + hi)
+            below = self.cdf(mid) < q
+            lo = np.where(below, mid, lo)
+            hi = np.where(below, hi, mid)
+        out = 0.5 * (lo + hi)
+        return float(out[0]) if scalar else out
+
+    def sample(self, rng: np.random.Generator, size: int | None = None):
+        """Draw via branch selection — exact and much faster than ``ppf``."""
+        n = 1 if size is None else int(size)
+        branch = rng.random(n) < self.p1
+        rates = np.where(branch, self.rate1, self.rate2)
+        out = rng.exponential(1.0, n) / rates
+        return float(out[0]) if size is None else out

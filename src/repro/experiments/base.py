@@ -1,0 +1,168 @@
+"""Shared experiment infrastructure: scales, sweeps, result containers.
+
+Every experiment runner regenerates one table or figure of the paper.
+Runs are parameterized by a :class:`Scale`:
+
+* ``smoke`` — seconds-long runs for CI and unit tests;
+* ``quick`` — minutes-long runs whose *shape* already matches the paper
+  (default for the benchmark harness);
+* ``paper`` — the full Section 4.1 protocol (4.0e6 simulated seconds,
+  10 replications) for faithful regeneration.
+
+Select via the ``REPRO_SCALE`` environment variable or pass a scale
+explicitly.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass, field, replace
+
+import numpy as np
+
+from ..core import PolicyEvaluation, evaluate_policy, get_policy
+from ..sim import SimulationConfig
+
+__all__ = ["Scale", "SCALES", "active_scale", "SweepResult", "run_policy_sweep"]
+
+
+@dataclass(frozen=True)
+class Scale:
+    """Run-length preset (simulated seconds, replication count)."""
+
+    name: str
+    duration: float
+    replications: int
+    base_seed: int = 2000  # ICPP 2000 vintage
+
+    def __post_init__(self):
+        if self.duration <= 0:
+            raise ValueError(f"duration must be positive, got {self.duration}")
+        if self.replications < 1:
+            raise ValueError(
+                f"replications must be at least 1, got {self.replications}"
+            )
+
+    @property
+    def warmup(self) -> float:
+        """A quarter of the run, like the paper."""
+        return 0.25 * self.duration
+
+    def with_replications(self, replications: int) -> "Scale":
+        return replace(self, replications=replications)
+
+
+SCALES: dict[str, Scale] = {
+    "smoke": Scale("smoke", duration=2.0e4, replications=2),
+    "quick": Scale("quick", duration=1.5e5, replications=3),
+    "paper": Scale("paper", duration=4.0e6, replications=10),
+}
+
+
+def active_scale(override: str | Scale | None = None) -> Scale:
+    """Resolve the scale: explicit arg > ``REPRO_SCALE`` env > quick."""
+    if isinstance(override, Scale):
+        return override
+    name = override or os.environ.get("REPRO_SCALE", "quick")
+    try:
+        return SCALES[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown scale {name!r}; expected one of {sorted(SCALES)}"
+        ) from None
+
+
+@dataclass
+class SweepResult:
+    """Evaluations for (x value × policy), the shape of Figures 3–6.
+
+    ``cells[x][policy]`` is a :class:`PolicyEvaluation`.
+    """
+
+    experiment_id: str
+    title: str
+    x_label: str
+    x_values: list[float]
+    policies: list[str]
+    scale: Scale
+    cells: dict[float, dict[str, PolicyEvaluation]] = field(default_factory=dict)
+
+    def series(self, policy: str, metric: str) -> np.ndarray:
+        """Metric means across the sweep for one policy (a figure line)."""
+        if policy not in self.policies:
+            raise KeyError(f"unknown policy {policy!r}; have {self.policies}")
+        return np.asarray(
+            [self.cells[x][policy].metric(metric).mean for x in self.x_values]
+        )
+
+    def improvement(self, better: str, worse: str, metric: str) -> np.ndarray:
+        """Relative gain of *better* over *worse*: 1 − better/worse.
+
+        The paper's "ORR outperforms WRR by 42%" statements are this
+        quantity on mean response ratio.
+        """
+        b = self.series(better, metric)
+        w = self.series(worse, metric)
+        return 1.0 - b / w
+
+
+def run_policy_sweep(
+    experiment_id: str,
+    title: str,
+    x_label: str,
+    x_values,
+    config_for_x,
+    policies,
+    scale: Scale,
+    *,
+    estimation_errors: dict[str, float] | None = None,
+) -> SweepResult:
+    """Evaluate each policy at each sweep point.
+
+    Parameters
+    ----------
+    config_for_x:
+        Callable mapping an x value to a :class:`SimulationConfig`
+        *without* duration/warmup — the scale fills those in.
+    estimation_errors:
+        Optional map of policy-name → relative ρ estimation error
+        (Figure 6's ORR(±e%) variants).
+    """
+    x_values = [float(x) for x in x_values]
+    result = SweepResult(
+        experiment_id=experiment_id,
+        title=title,
+        x_label=x_label,
+        x_values=x_values,
+        policies=list(policies),
+        scale=scale,
+    )
+    errors = estimation_errors or {}
+    for x in x_values:
+        base = config_for_x(x)
+        config = SimulationConfig(
+            speeds=base.speeds,
+            utilization=base.utilization,
+            duration=scale.duration,
+            warmup=scale.warmup,
+            size_distribution=base.size_distribution,
+            arrival_cv=base.arrival_cv,
+            discipline=base.discipline,
+            quantum=base.quantum,
+            drain=base.drain,
+            feedback=base.feedback,
+            rate_profile=base.rate_profile,
+        )
+        row: dict[str, PolicyEvaluation] = {}
+        for name in policies:
+            policy = get_policy(
+                name.split("(")[0], estimation_error=errors.get(name)
+            )
+            row[name] = evaluate_policy(
+                config,
+                policy,
+                replications=scale.replications,
+                base_seed=scale.base_seed,
+            )
+        result.cells[x] = row
+    return result

@@ -1,0 +1,78 @@
+"""System configurations used by the paper's evaluation (Section 5).
+
+* Table 1's seven-computer system (speeds 1, 1.5, 2, 3, 5, 9, 10).
+* Figure 2's eight computers with fixed fractions.
+* Figure 3's two-class system: 2 fast + 16 slow, fast speed swept 1→20.
+* Figure 4's half-fast/half-slow systems of size 2→20.
+* Table 3's base configuration: 15 computers, aggregate speed 44.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..sim import SimulationConfig
+
+__all__ = [
+    "TABLE1_SPEEDS",
+    "FIGURE2_FRACTIONS",
+    "FIGURE2_MEAN_INTERARRIVAL",
+    "BASE_SPEEDS",
+    "base_config",
+    "table1_config",
+    "skewness_config",
+    "size_config",
+]
+
+#: Table 1: one computer of each speed.
+TABLE1_SPEEDS: tuple[float, ...] = (1.0, 1.5, 2.0, 3.0, 5.0, 9.0, 10.0)
+
+#: Figure 2: eight computers with these fixed workload fractions.
+FIGURE2_FRACTIONS: tuple[float, ...] = (0.35, 0.22, 0.15, 0.12, 0.04, 0.04, 0.04, 0.04)
+
+#: Figure 2: hyperexponential arrivals with this mean inter-arrival time.
+FIGURE2_MEAN_INTERARRIVAL = 2.2
+
+#: Table 3: the base system — 15 computers, aggregate speed 44.
+BASE_SPEEDS: tuple[float, ...] = (
+    (1.0,) * 5 + (1.5,) * 4 + (2.0,) * 3 + (5.0,) + (10.0,) + (12.0,)
+)
+
+assert abs(sum(BASE_SPEEDS) - 44.0) < 1e-12, "Table 3 aggregate speed must be 44"
+assert len(BASE_SPEEDS) == 15, "Table 3 has 15 computers"
+
+
+def base_config(utilization: float = 0.7, **overrides) -> SimulationConfig:
+    """Table 3's base configuration at the given load level."""
+    return SimulationConfig(speeds=BASE_SPEEDS, utilization=utilization, **overrides)
+
+
+def table1_config(utilization: float = 0.7, **overrides) -> SimulationConfig:
+    """Table 1's seven-computer heterogeneous system."""
+    return SimulationConfig(speeds=TABLE1_SPEEDS, utilization=utilization, **overrides)
+
+
+def skewness_config(
+    fast_speed: float, utilization: float = 0.7, *,
+    n_fast: int = 2, n_slow: int = 16, **overrides
+) -> SimulationConfig:
+    """Figure 3's system: ``n_fast`` computers of the given speed plus
+    ``n_slow`` speed-1 computers (fast speed 1 → homogeneous)."""
+    if fast_speed < 1.0:
+        raise ValueError(f"fast speed below slow speed 1: {fast_speed}")
+    speeds = (float(fast_speed),) * n_fast + (1.0,) * n_slow
+    return SimulationConfig(speeds=speeds, utilization=utilization, **overrides)
+
+
+def size_config(
+    n_computers: int, utilization: float = 0.7, *,
+    fast_speed: float = 10.0, slow_speed: float = 1.0, **overrides
+) -> SimulationConfig:
+    """Figure 4's system: n/2 fast (speed 10) + n/2 slow (speed 1)."""
+    if n_computers < 2 or n_computers % 2:
+        raise ValueError(
+            f"Figure 4 systems need an even computer count >= 2, got {n_computers}"
+        )
+    half = n_computers // 2
+    speeds = (float(fast_speed),) * half + (float(slow_speed),) * half
+    return SimulationConfig(speeds=speeds, utilization=utilization, **overrides)

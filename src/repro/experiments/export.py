@@ -1,0 +1,80 @@
+"""Structured export of experiment results (JSON / CSV).
+
+Sweep results carry everything needed to re-plot the paper's figures in
+any external tool; these helpers serialize them losslessly (means, CI
+half-widths, replication counts) instead of the printable tables.
+"""
+
+from __future__ import annotations
+
+import csv
+import json
+from pathlib import Path
+
+from .base import SweepResult
+
+__all__ = ["sweep_to_dict", "save_sweep_json", "save_sweep_csv"]
+
+_METRICS = ("mean_response_time", "mean_response_ratio", "fairness")
+
+
+def sweep_to_dict(result: SweepResult) -> dict:
+    """Lossless JSON-ready representation of a sweep."""
+    points = []
+    for x in result.x_values:
+        row = {"x": x, "policies": {}}
+        for policy in result.policies:
+            evaluation = result.cells[x][policy]
+            row["policies"][policy] = {
+                metric: {
+                    "mean": evaluation.metric(metric).mean,
+                    "half_width": evaluation.metric(metric).half_width,
+                    "n": evaluation.metric(metric).n,
+                }
+                for metric in _METRICS
+            }
+        points.append(row)
+    return {
+        "experiment_id": result.experiment_id,
+        "title": result.title,
+        "x_label": result.x_label,
+        "scale": {
+            "name": result.scale.name,
+            "duration": result.scale.duration,
+            "replications": result.scale.replications,
+        },
+        "policies": list(result.policies),
+        "points": points,
+    }
+
+
+def save_sweep_json(result: SweepResult, path: str | Path) -> Path:
+    """Write the sweep as pretty-printed JSON; returns the path."""
+    path = Path(path)
+    path.write_text(json.dumps(sweep_to_dict(result), indent=2) + "\n")
+    return path
+
+
+def save_sweep_csv(result: SweepResult, path: str | Path) -> Path:
+    """Write the sweep as a flat CSV: one row per (x, policy, metric)."""
+    path = Path(path)
+    with open(path, "w", newline="") as fh:
+        writer = csv.writer(fh)
+        writer.writerow(
+            [result.x_label, "policy", "metric", "mean", "half_width", "n"]
+        )
+        for x in result.x_values:
+            for policy in result.policies:
+                evaluation = result.cells[x][policy]
+                for metric in _METRICS:
+                    summary = evaluation.metric(metric)
+                    writer.writerow(
+                        [x, policy, metric, repr(summary.mean),
+                         repr(summary.half_width), summary.n]
+                    )
+    return path
+
+
+def load_sweep_json(path: str | Path) -> dict:
+    """Read back a sweep JSON (plain dict; no SweepResult round-trip)."""
+    return json.loads(Path(path).read_text())

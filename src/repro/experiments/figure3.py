@@ -1,0 +1,53 @@
+"""Figure 3 — effect of speed skewness (Section 5.1).
+
+18 computers: 2 fast + 16 slow (speed 1).  The fast speed sweeps 1 → 20,
+from homogeneous to highly skewed, at 70% utilization.  Panels: (a) mean
+response time, (b) mean response ratio, (c) fairness, for the five
+algorithms.
+
+Expected shape (paper): optimized-allocation policies (ORR, ORAN) pull
+away from weighted ones (WRR, WRAN) as skew grows — at 20:1 ORR beats
+WRR by ~42% and ORAN beats WRAN by ~49% in mean response ratio — and
+approach Dynamic Least-Load; near homogeneity the dispatcher dominates
+(WRR beats ORAN), at high skew the allocator does (ORAN beats WRR).
+"""
+
+from __future__ import annotations
+
+from ..core import PAPER_POLICIES
+from .base import Scale, SweepResult, active_scale, run_policy_sweep
+from .configs import skewness_config
+from .plotting import sweep_ratio_chart
+from .reporting import format_sweep
+
+__all__ = ["FAST_SPEEDS", "run_figure3", "format_figure3"]
+
+FAST_SPEEDS: tuple[float, ...] = (1.0, 2.0, 4.0, 6.0, 10.0, 14.0, 20.0)
+UTILIZATION = 0.70
+METRICS = ("mean_response_time", "mean_response_ratio", "fairness")
+
+
+def run_figure3(
+    scale: str | Scale | None = None,
+    *,
+    fast_speeds=FAST_SPEEDS,
+    policies=PAPER_POLICIES,
+) -> SweepResult:
+    """Regenerate the three panels of Figure 3."""
+    scale = active_scale(scale)
+    return run_policy_sweep(
+        experiment_id="figure3",
+        title="effect of speed skewness (2 fast + 16 slow, rho=0.7)",
+        x_label="fast speed",
+        x_values=fast_speeds,
+        config_for_x=lambda x: skewness_config(x, UTILIZATION),
+        policies=policies,
+        scale=scale,
+    )
+
+
+def format_figure3(result: SweepResult) -> str:
+    """All three panels as tables, plus an ASCII chart of panel (b)."""
+    tables = "\n\n".join(format_sweep(result, metric) for metric in METRICS)
+    return tables + "\n\n" + sweep_ratio_chart(result)
+

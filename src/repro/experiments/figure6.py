@@ -1,0 +1,86 @@
+"""Figure 6 — sensitivity of ORR to load estimation errors (Section 5.4).
+
+The base configuration swept over true utilization, with ORR computing
+its allocation from a misestimated ρ̂ = (1 + e)·ρ:
+
+* panel (a): underestimation, e ∈ {−5%, −10%, −15%};
+* panel (b): overestimation, e ∈ {+5%, +10%, +15%}.
+
+WRR and exact ORR are plotted for reference.  Expected shape (paper):
+underestimation is benign at light load but can push ORR above WRR (and
+toward instability — the fast computers saturate) at heavy load;
+overestimation costs almost nothing because it just nudges the
+allocation toward the weighted scheme.
+"""
+
+from __future__ import annotations
+
+from .base import Scale, SweepResult, active_scale, run_policy_sweep
+from .configs import base_config
+from .plotting import sweep_ratio_chart
+from .reporting import format_sweep
+
+__all__ = [
+    "UNDERESTIMATION_ERRORS",
+    "OVERESTIMATION_ERRORS",
+    "run_figure6",
+    "format_figure6",
+]
+
+UTILIZATIONS: tuple[float, ...] = (0.3, 0.5, 0.7, 0.8, 0.9)
+UNDERESTIMATION_ERRORS: tuple[float, ...] = (-0.05, -0.10, -0.15)
+OVERESTIMATION_ERRORS: tuple[float, ...] = (+0.05, +0.10, +0.15)
+
+
+def _policy_label(error: float) -> str:
+    return f"ORR({error:+.0%})"
+
+
+def run_figure6(
+    scale: str | Scale | None = None,
+    *,
+    errors: tuple[float, ...] | None = None,
+    utilizations=UTILIZATIONS,
+    panel: str = "both",
+) -> SweepResult:
+    """Regenerate Figure 6.
+
+    ``panel`` selects "under", "over", or "both" error sets; ``errors``
+    overrides the set entirely.
+    """
+    scale = active_scale(scale)
+    if scale.name == "quick":
+        # Heavy-load sensitivity points are high-variance; see figure5.
+        scale = scale.with_replications(max(scale.replications, 8))
+    if errors is None:
+        if panel == "under":
+            errors = UNDERESTIMATION_ERRORS
+        elif panel == "over":
+            errors = OVERESTIMATION_ERRORS
+        elif panel == "both":
+            errors = UNDERESTIMATION_ERRORS + OVERESTIMATION_ERRORS
+        else:
+            raise ValueError(
+                f"panel must be 'under', 'over', or 'both', got {panel!r}"
+            )
+    labels = [_policy_label(e) for e in errors]
+    policies = ["WRR", "ORR", *labels]
+    return run_policy_sweep(
+        experiment_id="figure6",
+        title="ORR sensitivity to load estimation error (base configuration)",
+        x_label="utilization",
+        x_values=utilizations,
+        config_for_x=lambda x: base_config(x),
+        policies=policies,
+        scale=scale,
+        estimation_errors=dict(zip(labels, errors)),
+    )
+
+
+def format_figure6(result: SweepResult) -> str:
+    tables = "\n\n".join(
+        format_sweep(result, metric)
+        for metric in ("mean_response_ratio", "fairness")
+    )
+    return tables + "\n\n" + sweep_ratio_chart(result)
+

@@ -1,0 +1,109 @@
+"""ASCII line plots for figure series (terminal-friendly regeneration).
+
+The paper's figures are line charts; :func:`ascii_plot` renders the same
+series as a character grid so ``repro-sched run figure5`` output can be
+eyeballed for crossovers and trends without leaving the terminal.  Not a
+plotting library — a readability aid for the reproduction tables.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+import numpy as np
+
+__all__ = ["ascii_plot", "sweep_ratio_chart"]
+
+#: Marker characters assigned to series in order.
+_MARKERS = "ox*+#@%&"
+
+
+def ascii_plot(
+    x_values: Sequence[float],
+    series: dict[str, Sequence[float]],
+    *,
+    width: int = 64,
+    height: int = 16,
+    x_label: str = "x",
+    y_label: str = "y",
+    title: str | None = None,
+) -> str:
+    """Render several y-series over shared x values as an ASCII chart.
+
+    Points are nearest-cell rasterized; later series overwrite earlier
+    ones where they collide.  A legend maps markers to series names.
+    """
+    xs = np.asarray(x_values, dtype=float)
+    if xs.ndim != 1 or xs.size < 2:
+        raise ValueError("need at least two x values")
+    if not series:
+        raise ValueError("need at least one series")
+    if len(series) > len(_MARKERS):
+        raise ValueError(f"at most {len(_MARKERS)} series supported")
+    if width < 16 or height < 4:
+        raise ValueError("grid too small: need width >= 16, height >= 4")
+
+    ys = {}
+    for name, values in series.items():
+        arr = np.asarray(values, dtype=float)
+        if arr.shape != xs.shape:
+            raise ValueError(
+                f"series {name!r} has {arr.size} points for {xs.size} x values"
+            )
+        ys[name] = arr
+
+    all_y = np.concatenate(list(ys.values()))
+    if not np.all(np.isfinite(all_y)):
+        raise ValueError("series contain non-finite values")
+    y_min, y_max = float(all_y.min()), float(all_y.max())
+    if y_max == y_min:
+        y_max = y_min + 1.0  # flat series: give the band some height
+    x_min, x_max = float(xs.min()), float(xs.max())
+
+    grid = [[" "] * width for _ in range(height)]
+
+    def col(x: float) -> int:
+        return round((x - x_min) / (x_max - x_min) * (width - 1))
+
+    def row(y: float) -> int:
+        # Row 0 is the top of the chart.
+        return (height - 1) - round((y - y_min) / (y_max - y_min) * (height - 1))
+
+    for marker, (name, arr) in zip(_MARKERS, ys.items()):
+        for x, y in zip(xs, arr):
+            grid[row(float(y))][col(float(x))] = marker
+
+    lines = []
+    if title:
+        lines.append(title)
+    top_label = f"{y_max:.4g}"
+    bottom_label = f"{y_min:.4g}"
+    label_width = max(len(top_label), len(bottom_label))
+    for r, cells in enumerate(grid):
+        if r == 0:
+            prefix = top_label.rjust(label_width)
+        elif r == height - 1:
+            prefix = bottom_label.rjust(label_width)
+        else:
+            prefix = " " * label_width
+        lines.append(f"{prefix} |{''.join(cells)}|")
+    axis = f"{' ' * label_width} +{'-' * width}+"
+    lines.append(axis)
+    lines.append(
+        f"{' ' * label_width}  {str(x_min):<{width // 2}}{x_max:>{width // 2}.6g}"
+    )
+    legend = "   ".join(
+        f"{marker}={name}" for marker, name in zip(_MARKERS, ys)
+    )
+    lines.append(f"{y_label} vs {x_label}:   {legend}")
+    return "\n".join(lines)
+
+def sweep_ratio_chart(result) -> str:
+    """ASCII chart of a SweepResult's mean-response-ratio panel."""
+    return ascii_plot(
+        result.x_values,
+        {p: result.series(p, "mean_response_ratio") for p in result.policies},
+        x_label=result.x_label,
+        y_label="mean response ratio",
+        title=f"{result.experiment_id}: mean response ratio (lower is better)",
+    )

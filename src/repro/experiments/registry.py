@@ -1,0 +1,90 @@
+"""Experiment registry: id → runner, for the CLI and the bench harness."""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from .base import Scale
+from .configs import BASE_SPEEDS
+from .extension_adaptive import run_adaptive_extension
+from .figure2 import run_figure2
+from .figure3 import format_figure3, run_figure3
+from .figure4 import format_figure4, run_figure4
+from .figure5 import format_figure5, run_figure5
+from .figure6 import format_figure6, run_figure6
+from .reporting import format_table
+from .table1 import run_table1
+from .table2 import run_table2
+
+__all__ = ["EXPERIMENTS", "run_experiment", "experiment_ids"]
+
+
+def _run_table1(scale) -> str:
+    return run_table1(scale).format()
+
+
+def _run_table2(scale) -> str:
+    return run_table2().format()
+
+
+def _run_table3(scale) -> str:
+    counts: dict[float, int] = {}
+    for s in BASE_SPEEDS:
+        counts[s] = counts.get(s, 0) + 1
+    rows = [[speed, n] for speed, n in sorted(counts.items())]
+    rows.append(["total speed", sum(BASE_SPEEDS)])
+    return format_table(
+        ["speed", "number"], rows, title="Table 3: base system configuration"
+    )
+
+
+def _run_figure2(scale) -> str:
+    return run_figure2(scale).format()
+
+
+def _run_figure3(scale) -> str:
+    return format_figure3(run_figure3(scale))
+
+
+def _run_figure4(scale) -> str:
+    return format_figure4(run_figure4(scale))
+
+
+def _run_figure5(scale) -> str:
+    return format_figure5(run_figure5(scale))
+
+
+def _run_figure6(scale) -> str:
+    return format_figure6(run_figure6(scale))
+
+
+#: id → (description, runner returning printable text).
+EXPERIMENTS: dict[str, tuple[str, Callable[[Scale | str | None], str]]] = {
+    "table1": ("workload distribution under Dynamic Least-Load", _run_table1),
+    "table2": ("algorithm combination matrix", _run_table2),
+    "table3": ("base system configuration", _run_table3),
+    "figure2": ("allocation deviation: round-robin vs random", _run_figure2),
+    "figure3": ("effect of speed skewness", _run_figure3),
+    "figure4": ("effect of system size", _run_figure4),
+    "figure5": ("effect of system load", _run_figure5),
+    "figure6": ("sensitivity to load estimation error", _run_figure6),
+    "adaptive": (
+        "extension: fixed vs adaptive ORR under diurnal load",
+        lambda scale: run_adaptive_extension(scale).format(),
+    ),
+}
+
+
+def experiment_ids() -> tuple[str, ...]:
+    return tuple(EXPERIMENTS)
+
+
+def run_experiment(experiment_id: str, scale: Scale | str | None = None) -> str:
+    """Run one experiment by id and return its printable report."""
+    try:
+        _, runner = EXPERIMENTS[experiment_id]
+    except KeyError:
+        raise KeyError(
+            f"unknown experiment {experiment_id!r}; expected one of {experiment_ids()}"
+        ) from None
+    return runner(scale)

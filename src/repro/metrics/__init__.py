@@ -1,0 +1,14 @@
+"""Performance metrics: the paper's three headline measures plus
+streaming accumulators and replication confidence intervals."""
+
+from .ci import ReplicationSummary, summarize_replications
+from .online import RunningStats
+from .response import MetricsCollector, ResponseMetrics
+
+__all__ = [
+    "RunningStats",
+    "MetricsCollector",
+    "ResponseMetrics",
+    "ReplicationSummary",
+    "summarize_replications",
+]

@@ -1,0 +1,72 @@
+"""Replication statistics: each figure point averages independent runs.
+
+The paper reports each data point as the average of 10 independent runs
+with different random streams.  :class:`ReplicationSummary` carries that
+average plus a Student-t confidence interval so EXPERIMENTS.md can state
+whether paper-vs-measured gaps are within run-to-run noise.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+import numpy as np
+from scipy import stats
+
+__all__ = ["ReplicationSummary", "summarize_replications"]
+
+
+@dataclass(frozen=True)
+class ReplicationSummary:
+    """Mean over replications with a symmetric t confidence interval."""
+
+    mean: float
+    std: float
+    n: int
+    half_width: float
+    confidence: float
+
+    @property
+    def lower(self) -> float:
+        return self.mean - self.half_width
+
+    @property
+    def upper(self) -> float:
+        return self.mean + self.half_width
+
+    @property
+    def relative_half_width(self) -> float:
+        """CI half-width as a fraction of the mean (precision gauge)."""
+        if self.mean == 0:
+            return math.inf if self.half_width > 0 else 0.0
+        return self.half_width / abs(self.mean)
+
+    def overlaps(self, other: "ReplicationSummary") -> bool:
+        """True when the two intervals intersect (difference may be noise)."""
+        return self.lower <= other.upper and other.lower <= self.upper
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return f"{self.mean:.6g} ± {self.half_width:.2g} (n={self.n})"
+
+
+def summarize_replications(values, confidence: float = 0.95) -> ReplicationSummary:
+    """Summarize one metric across replications.
+
+    A single replication yields a zero-width interval (no spread
+    estimate is possible); two or more use the Student-t quantile.
+    """
+    arr = np.asarray(list(values), dtype=float)
+    if arr.size == 0:
+        raise ValueError("no replication values")
+    if not 0.0 < confidence < 1.0:
+        raise ValueError(f"confidence must lie in (0, 1), got {confidence}")
+    mean = float(arr.mean())
+    if arr.size == 1:
+        return ReplicationSummary(mean=mean, std=0.0, n=1, half_width=0.0,
+                                  confidence=confidence)
+    std = float(arr.std(ddof=1))
+    t = float(stats.t.ppf(0.5 + confidence / 2.0, df=arr.size - 1))
+    half = t * std / math.sqrt(arr.size)
+    return ReplicationSummary(mean=mean, std=std, n=int(arr.size),
+                              half_width=half, confidence=confidence)

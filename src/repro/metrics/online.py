@@ -1,0 +1,136 @@
+"""Streaming statistics (Welford) for million-job simulation runs.
+
+The paper's runs generate 1–2 million jobs; storing every response ratio
+to compute a standard deviation at the end would be fine for one run but
+wasteful across sweeps, so all job-level statistics are accumulated
+online with Welford's numerically stable algorithm.  ``merge`` allows
+combining accumulators (per-server → system, or chunked fast-path
+batches) with the Chan/Golub/LeVeque pairwise update.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+__all__ = ["RunningStats"]
+
+
+class RunningStats:
+    """Numerically stable streaming mean/variance/extremes."""
+
+    __slots__ = ("count", "_mean", "_m2", "_min", "_max", "_total")
+
+    def __init__(self):
+        self.count = 0
+        self._mean = 0.0
+        self._m2 = 0.0
+        self._min = math.inf
+        self._max = -math.inf
+        self._total = 0.0
+
+    # ------------------------------------------------------------------
+    # Updates
+    # ------------------------------------------------------------------
+
+    def add(self, x: float) -> None:
+        """Fold one observation in (Welford update)."""
+        self.count += 1
+        delta = x - self._mean
+        self._mean += delta / self.count
+        self._m2 += delta * (x - self._mean)
+        self._total += x
+        if x < self._min:
+            self._min = x
+        if x > self._max:
+            self._max = x
+
+    def add_array(self, xs: np.ndarray) -> None:
+        """Fold a whole array in at once (vectorized, then merged)."""
+        xs = np.asarray(xs, dtype=float)
+        if xs.size == 0:
+            return
+        other = RunningStats()
+        other.count = int(xs.size)
+        other._mean = float(xs.mean())
+        other._m2 = float(((xs - other._mean) ** 2).sum())
+        other._min = float(xs.min())
+        other._max = float(xs.max())
+        other._total = float(xs.sum())
+        self.merge(other)
+
+    def merge(self, other: "RunningStats") -> None:
+        """Combine another accumulator into this one (parallel merge)."""
+        if other.count == 0:
+            return
+        if self.count == 0:
+            self.count = other.count
+            self._mean = other._mean
+            self._m2 = other._m2
+            self._min = other._min
+            self._max = other._max
+            self._total = other._total
+            return
+        n1, n2 = self.count, other.count
+        delta = other._mean - self._mean
+        total = n1 + n2
+        self._mean += delta * n2 / total
+        self._m2 += other._m2 + delta * delta * n1 * n2 / total
+        self.count = total
+        self._total += other._total
+        self._min = min(self._min, other._min)
+        self._max = max(self._max, other._max)
+
+    # ------------------------------------------------------------------
+    # Results
+    # ------------------------------------------------------------------
+
+    @property
+    def mean(self) -> float:
+        if self.count == 0:
+            raise ValueError("no observations")
+        return self._mean
+
+    @property
+    def total(self) -> float:
+        return self._total
+
+    @property
+    def variance(self) -> float:
+        """Population variance (the paper's fairness metric is a plain
+        standard deviation over all jobs, not a sample estimate)."""
+        if self.count == 0:
+            raise ValueError("no observations")
+        return self._m2 / self.count
+
+    @property
+    def sample_variance(self) -> float:
+        if self.count < 2:
+            raise ValueError("need at least two observations")
+        return self._m2 / (self.count - 1)
+
+    @property
+    def std(self) -> float:
+        return math.sqrt(max(self.variance, 0.0))
+
+    @property
+    def sample_std(self) -> float:
+        return math.sqrt(max(self.sample_variance, 0.0))
+
+    @property
+    def min(self) -> float:
+        if self.count == 0:
+            raise ValueError("no observations")
+        return self._min
+
+    @property
+    def max(self) -> float:
+        if self.count == 0:
+            raise ValueError("no observations")
+        return self._max
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        if self.count == 0:
+            return "RunningStats(empty)"
+        return f"RunningStats(n={self.count}, mean={self.mean:.6g}, std={self.std:.6g})"

@@ -1,0 +1,96 @@
+"""Single-server M/M/1 results used in the paper's analysis (Section 2.3).
+
+Under processor sharing (PS) the expected response time of a job of size
+``t`` on a server with utilization ρ is ``t / (1 − ρ)`` — equation used to
+derive (1) and (2) of the paper.  The same conditional form holds for
+M/G/1-PS by the celebrated insensitivity property, which is why the
+paper's exponential-service analysis carries over to Bounded Pareto job
+sizes in the simulation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["MM1", "ps_conditional_response", "require_stable"]
+
+
+def require_stable(rho: float) -> float:
+    """Validate a utilization value for a stable queue (0 ≤ ρ < 1)."""
+    if not 0.0 <= rho < 1.0:
+        raise ValueError(f"queue unstable or invalid utilization: rho={rho}")
+    return float(rho)
+
+
+def ps_conditional_response(size: float, rho: float) -> float:
+    """E[T | job size = t] = t / (1 − ρ) for an M/·/1-PS server."""
+    require_stable(rho)
+    if size < 0:
+        raise ValueError(f"job size must be non-negative, got {size}")
+    return size / (1.0 - rho)
+
+
+@dataclass(frozen=True)
+class MM1:
+    """M/M/1 queue with arrival rate λ and service rate μ.
+
+    Exposes both the FCFS and PS views.  Mean response time and mean
+    number-in-system coincide for FCFS and PS in M/M/1; the *distribution*
+    and the per-size conditional response differ.
+    """
+
+    arrival_rate: float
+    service_rate: float
+
+    def __post_init__(self):
+        if self.arrival_rate < 0:
+            raise ValueError(f"arrival rate must be non-negative, got {self.arrival_rate}")
+        if self.service_rate <= 0:
+            raise ValueError(f"service rate must be positive, got {self.service_rate}")
+
+    @property
+    def rho(self) -> float:
+        """Server utilization λ/μ."""
+        return self.arrival_rate / self.service_rate
+
+    @property
+    def stable(self) -> bool:
+        return self.rho < 1.0
+
+    def _check(self) -> None:
+        if not self.stable:
+            raise ValueError(f"queue unstable: rho={self.rho:.4f} >= 1")
+
+    @property
+    def mean_response_time(self) -> float:
+        """T̄ = 1 / (μ − λ)   (paper equation (1) with mean size 1/μ)."""
+        self._check()
+        return 1.0 / (self.service_rate - self.arrival_rate)
+
+    @property
+    def mean_response_ratio(self) -> float:
+        """R̄ = 1 / (1 − ρ) for unit-speed server (paper equation (2)).
+
+        For a server of relative speed s the paper adds a 1/s factor to
+        translate response *time* into response *ratio* — see
+        :mod:`repro.queueing.network`.
+        """
+        self._check()
+        return 1.0 / (1.0 - self.rho)
+
+    @property
+    def mean_number_in_system(self) -> float:
+        """L = ρ / (1 − ρ) (Little's law applied to T̄)."""
+        self._check()
+        return self.rho / (1.0 - self.rho)
+
+    @property
+    def mean_waiting_time_fcfs(self) -> float:
+        """FCFS waiting time W = ρ / (μ − λ)."""
+        self._check()
+        return self.rho / (self.service_rate - self.arrival_rate)
+
+    def conditional_response_ps(self, size: float) -> float:
+        """PS conditional response for a job of the given size."""
+        self._check()
+        return ps_conditional_response(size, self.rho)

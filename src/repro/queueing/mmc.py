@@ -1,0 +1,110 @@
+"""M/M/c (Erlang-C) results: the pooled central-queue reference.
+
+The paper's architecture dedicates each job to one computer at dispatch
+time.  The classical alternative is a *central queue* served by c equal
+machines — no dispatch decision at all.  M/M/c gives that architecture
+in closed form, providing an analytic reference point for the cluster
+composition analyses (``examples/cluster_sizing.py``): how much of the
+dispatch problem would disappear if the cluster were poolable?
+
+Only homogeneous pools have the M/M/c form; the heterogeneous pooled
+queue has no simple closed form, which is precisely why the paper's
+dispatch-time problem is interesting.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+__all__ = ["MMc", "erlang_c"]
+
+
+def erlang_c(servers: int, offered_load: float) -> float:
+    """Erlang's C formula: P(wait > 0) for M/M/c with a = λ/μ offered.
+
+    Computed with the standard numerically stable recurrence on the
+    Erlang-B blocking probability: B(0, a) = 1,
+    B(k, a) = a·B(k−1, a) / (k + a·B(k−1, a)), then
+    C = c·B / (c − a(1 − B)).
+    """
+    if servers < 1:
+        raise ValueError(f"need at least one server, got {servers}")
+    if offered_load < 0:
+        raise ValueError(f"offered load must be non-negative, got {offered_load}")
+    if offered_load >= servers:
+        raise ValueError(
+            f"unstable: offered load {offered_load} >= {servers} servers"
+        )
+    b = 1.0
+    for k in range(1, servers + 1):
+        b = offered_load * b / (k + offered_load * b)
+    return servers * b / (servers - offered_load * (1.0 - b))
+
+
+@dataclass(frozen=True)
+class MMc:
+    """M/M/c queue: Poisson(λ) arrivals, c servers each at rate μ."""
+
+    arrival_rate: float
+    service_rate: float
+    servers: int
+
+    def __post_init__(self):
+        if self.arrival_rate < 0:
+            raise ValueError(f"arrival rate must be non-negative, got {self.arrival_rate}")
+        if self.service_rate <= 0:
+            raise ValueError(f"service rate must be positive, got {self.service_rate}")
+        if self.servers < 1:
+            raise ValueError(f"need at least one server, got {self.servers}")
+
+    @property
+    def offered_load(self) -> float:
+        """a = λ/μ (in Erlangs)."""
+        return self.arrival_rate / self.service_rate
+
+    @property
+    def rho(self) -> float:
+        """Per-server utilization a/c."""
+        return self.offered_load / self.servers
+
+    @property
+    def stable(self) -> bool:
+        return self.rho < 1.0
+
+    def _check(self) -> None:
+        if not self.stable:
+            raise ValueError(f"queue unstable: rho={self.rho:.4f} >= 1")
+
+    @property
+    def probability_of_waiting(self) -> float:
+        """Erlang C: the fraction of jobs that queue at all."""
+        self._check()
+        return erlang_c(self.servers, self.offered_load)
+
+    @property
+    def mean_waiting_time(self) -> float:
+        """W = C / (cμ − λ)."""
+        self._check()
+        return self.probability_of_waiting / (
+            self.servers * self.service_rate - self.arrival_rate
+        )
+
+    @property
+    def mean_response_time(self) -> float:
+        self._check()
+        return self.mean_waiting_time + 1.0 / self.service_rate
+
+    @property
+    def mean_number_in_system(self) -> float:
+        """Little's law on the response time."""
+        self._check()
+        return self.arrival_rate * self.mean_response_time
+
+    def pooling_gain_vs_split(self) -> float:
+        """Response-time ratio of c separate M/M/1 queues (each fed λ/c)
+        to this pooled M/M/c — the classical resource-pooling gain,
+        always ≥ 1 and growing with c and ρ."""
+        self._check()
+        split = 1.0 / (self.service_rate - self.arrival_rate / self.servers)
+        return split / self.mean_response_time

@@ -1,0 +1,57 @@
+"""Discrete-event simulation substrate (the paper's Section 4.1 simulator).
+
+Two execution paths produce statistically identical results:
+
+* :func:`run_simulation` — general event engine; required for Dynamic
+  Least-Load (stale feedback) and the FCFS / finite-quantum ablations.
+* :func:`run_static_simulation` — vectorized path for static policies
+  (generate → dispatch → per-server PS replay), several times faster.
+"""
+
+from .arrivals import ArrivalStream, Workload
+from .config import PAPER_DURATION, PAPER_WARMUP_FRACTION, SimulationConfig
+from .engine import run_simulation
+from .events import EventKind, EventQueue
+from .fastpath import ps_replay, run_static_simulation
+from .feedback import (
+    PAPER_DETECTION_WINDOW,
+    PAPER_MESSAGE_DELAY_MEAN,
+    FeedbackModel,
+)
+from .job import Job
+from .results import DispatchTrace, ServerStats, SimulationResults
+from .server import (
+    FCFSServer,
+    ProcessorSharingServer,
+    RoundRobinQuantumServer,
+    Server,
+)
+from .sampling import QueueSampler
+from .trace import JobTrace, run_trace_simulation
+
+__all__ = [
+    "SimulationConfig",
+    "PAPER_DURATION",
+    "PAPER_WARMUP_FRACTION",
+    "run_simulation",
+    "run_static_simulation",
+    "ps_replay",
+    "Workload",
+    "ArrivalStream",
+    "FeedbackModel",
+    "PAPER_DETECTION_WINDOW",
+    "PAPER_MESSAGE_DELAY_MEAN",
+    "Job",
+    "Server",
+    "ProcessorSharingServer",
+    "FCFSServer",
+    "RoundRobinQuantumServer",
+    "EventQueue",
+    "EventKind",
+    "SimulationResults",
+    "ServerStats",
+    "DispatchTrace",
+    "JobTrace",
+    "QueueSampler",
+    "run_trace_simulation",
+]

@@ -1,0 +1,204 @@
+"""The general discrete-event engine (Section 4.1's simulator).
+
+Handles any dispatcher — including Dynamic Least-Load with its delayed
+feedback — by processing three event kinds over a lazy-invalidation
+event heap:
+
+* ARRIVAL: draw the job's size, ask the dispatcher for a target, hand
+  the job to that server, schedule the next arrival.
+* DEPARTURE: a server's own next event (job completion or quantum
+  rotation).  Version-stamped; stale events are skipped.
+* LOAD_UPDATE: a delayed departure notification reaches the scheduler
+  (only scheduled for dispatchers that want feedback).
+
+Statistics follow the paper: only jobs *arriving* after the warm-up
+period count, and each run processes every job to completion
+(``drain=True``) or stops cold at the horizon (``drain=False``).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..dispatch.base import Dispatcher
+from ..metrics.response import MetricsCollector
+from .arrivals import _CHUNK
+from .config import SimulationConfig
+from .events import EventKind, EventQueue
+from .job import Job
+from .results import DispatchTrace, ServerStats, SimulationResults
+from .server import FCFSServer, ProcessorSharingServer, RoundRobinQuantumServer, Server
+from ..rng import StreamFactory
+
+__all__ = ["run_simulation"]
+
+
+def _make_server(config: SimulationConfig, speed: float) -> Server:
+    if config.discipline == "ps":
+        return ProcessorSharingServer(speed)
+    if config.discipline == "fcfs":
+        return FCFSServer(speed)
+    return RoundRobinQuantumServer(speed, config.quantum)
+
+
+class _SizeStream:
+    """Chunked job-size sampler (consumes the stream like the fast path)."""
+
+    __slots__ = ("dist", "rng", "_buf", "_pos")
+
+    def __init__(self, dist, rng):
+        self.dist = dist
+        self.rng = rng
+        self._buf = np.empty(0)
+        self._pos = 0
+
+    def next_size(self) -> float:
+        if self._pos >= self._buf.size:
+            self._buf = np.asarray(self.dist.sample(self.rng, _CHUNK), dtype=float)
+            self._pos = 0
+        x = self._buf[self._pos]
+        self._pos += 1
+        return float(x)
+
+
+def run_simulation(
+    config: SimulationConfig,
+    dispatcher: Dispatcher,
+    alphas=None,
+    *,
+    seed: int | np.random.SeedSequence = 0,
+    record_trace: bool = False,
+    sampler=None,
+) -> SimulationResults:
+    """Run one replication and return its :class:`SimulationResults`.
+
+    Parameters
+    ----------
+    config:
+        System and workload description.
+    dispatcher:
+        Dispatching strategy; it is ``reset`` here, so instances can be
+        reused across runs.
+    alphas:
+        Workload fractions for static dispatchers; may be ``None`` for
+        policies that ignore fractions (Dynamic Least-Load).
+    seed:
+        Root seed for this replication's independent substreams.
+    record_trace:
+        Keep the (time, target) dispatch trace — needed by the Figure 2
+        deviation analysis, off by default (it is O(total jobs) memory).
+    sampler:
+        Optional :class:`~repro.sim.sampling.QueueSampler` recording
+        per-server occupancy on a fixed grid during the run.
+    """
+    streams = StreamFactory(seed)
+    workload = config.workload()
+    servers = [_make_server(config, s) for s in config.speeds]
+    n = len(servers)
+
+    dispatcher.reset(alphas)
+    wants_feedback = dispatcher.wants_feedback
+    feedback_rng = streams.feedback if wants_feedback else None
+
+    arrivals = workload.arrival_stream(streams.arrivals)
+    sizes = _SizeStream(workload.sizes, streams.sizes)
+    metrics = MetricsCollector(warmup_end=config.warmup)
+
+    queue = EventQueue()
+    queue.push(arrivals.next_arrival(), EventKind.ARRIVAL)
+    if sampler is not None:
+        queue.push(sampler.next_sample_time(), EventKind.SAMPLE)
+
+    scheduled_version = [0] * n
+    dispatch_counts = np.zeros(n, dtype=np.int64)  # post-warm-up only
+    trace_times: list[float] = [] if record_trace else None
+    trace_targets: list[int] = [] if record_trace else None
+
+    duration = config.duration
+    warmup = config.warmup
+    drain = config.drain
+    total_arrivals = 0
+    job_counter = 0
+
+    def resync(i: int) -> None:
+        server = servers[i]
+        if scheduled_version[i] != server.version:
+            nxt = server.next_event_time()
+            if nxt is not None:
+                queue.push(nxt, EventKind.DEPARTURE, i, server.version)
+            scheduled_version[i] = server.version
+
+    while queue:
+        t, kind, a, b = queue.pop()
+        if not drain and t > duration:
+            break
+
+        if kind == EventKind.DEPARTURE:
+            server = servers[a]
+            if b != server.version:
+                continue  # superseded by a later state change
+            job = server.on_event(t)
+            resync(a)
+            if job is not None:
+                metrics.record(job.arrival_time, t, job.size)
+                if wants_feedback:
+                    delay = config.feedback.sample_delay(feedback_rng)
+                    queue.push(t + delay, EventKind.LOAD_UPDATE, a)
+
+        elif kind == EventKind.ARRIVAL:
+            if t > duration:
+                continue  # horizon reached: stop generating arrivals
+            size = sizes.next_size()
+            dispatcher.observe_arrival(t)
+            target = dispatcher.select(size)
+            job = Job(job_counter, t, size)
+            job.server = target
+            job_counter += 1
+            total_arrivals += 1
+            servers[target].arrive(job, t)
+            resync(target)
+            if t >= warmup:
+                dispatch_counts[target] += 1
+            if record_trace:
+                trace_times.append(t)
+                trace_targets.append(target)
+            queue.push(arrivals.next_arrival(), EventKind.ARRIVAL)
+
+        elif kind == EventKind.LOAD_UPDATE:
+            dispatcher.on_load_update(a)
+
+        else:  # EventKind.SAMPLE
+            sampler.record(t, servers)
+            nxt = sampler.next_sample_time()
+            if nxt <= duration:
+                queue.push(nxt, EventKind.SAMPLE)
+
+    post_warmup_total = int(dispatch_counts.sum())
+    fractions = (
+        dispatch_counts / post_warmup_total if post_warmup_total else np.zeros(n)
+    )
+    server_stats = tuple(
+        ServerStats(
+            index=i,
+            speed=srv.speed,
+            jobs_received=srv.jobs_received,
+            jobs_completed=srv.jobs_completed,
+            busy_time=srv.busy_time,
+            dispatch_fraction=float(fractions[i]),
+        )
+        for i, srv in enumerate(servers)
+    )
+    trace = None
+    if record_trace:
+        trace = DispatchTrace(
+            times=np.asarray(trace_times, dtype=float),
+            targets=np.asarray(trace_targets, dtype=np.int64),
+        )
+    return SimulationResults(
+        metrics=metrics.finalize(),
+        servers=server_stats,
+        duration=duration,
+        warmup=warmup,
+        total_arrivals=total_arrivals,
+        trace=trace,
+    )

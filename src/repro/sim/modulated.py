@@ -1,0 +1,130 @@
+"""Time-varying (diurnal) arrival processes.
+
+The paper computes its allocation from a single long-run utilization and
+argues (Section 5.4) that recomputing often is unnecessary.  Real
+request streams, however, have daily load cycles; this module models
+them so the adaptive-ORR extension can be evaluated honestly:
+
+* :class:`RateProfile` — a periodic, piecewise-constant rate multiplier
+  m(t) (e.g. 24 hourly factors), normalized to mean 1 so the *long-run*
+  utilization of a modulated workload matches its nominal value.
+* :class:`ModulatedArrivalStream` — warps a base renewal process through
+  the profile by time rescaling: if Λ(t) = ∫₀ᵗ m(s) ds and the base
+  process fires at operational times T₁ < T₂ < …, the modulated process
+  fires at tᵢ = Λ⁻¹(Tᵢ), giving instantaneous rate λ·m(t) while
+  preserving the base process's burstiness structure.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..distributions import Distribution
+from .arrivals import ArrivalStream
+
+__all__ = ["RateProfile", "ModulatedArrivalStream", "diurnal_profile"]
+
+
+class RateProfile:
+    """Periodic piecewise-constant rate multiplier, normalized to mean 1."""
+
+    def __init__(self, multipliers, segment_length: float):
+        m = np.asarray(multipliers, dtype=float)
+        if m.ndim != 1 or m.size == 0:
+            raise ValueError("multipliers must be a non-empty 1-D vector")
+        if np.any(m <= 0):
+            raise ValueError(f"multipliers must be positive, got {m}")
+        if segment_length <= 0:
+            raise ValueError(f"segment_length must be positive, got {segment_length}")
+        self.multipliers = m / m.mean()  # normalize: long-run mean rate preserved
+        self.segment_length = float(segment_length)
+        # Cumulative integral at segment boundaries: breaks[k] = Λ(k·L).
+        self._breaks = np.concatenate(
+            [[0.0], np.cumsum(self.multipliers) * self.segment_length]
+        )
+
+    @property
+    def period(self) -> float:
+        return self.multipliers.size * self.segment_length
+
+    @property
+    def area_per_period(self) -> float:
+        """Λ(period) — equals the period because of normalization."""
+        return float(self._breaks[-1])
+
+    def multiplier_at(self, t: float) -> float:
+        """Instantaneous multiplier m(t)."""
+        if t < 0:
+            raise ValueError(f"t must be non-negative, got {t}")
+        phase = t % self.period
+        idx = min(int(phase / self.segment_length), self.multipliers.size - 1)
+        return float(self.multipliers[idx])
+
+    def cumulative(self, t: float) -> float:
+        """Λ(t) = ∫₀ᵗ m(s) ds."""
+        if t < 0:
+            raise ValueError(f"t must be non-negative, got {t}")
+        periods, phase = divmod(t, self.period)
+        idx = min(int(phase / self.segment_length), self.multipliers.size - 1)
+        partial = self._breaks[idx] + self.multipliers[idx] * (
+            phase - idx * self.segment_length
+        )
+        return periods * self.area_per_period + float(partial)
+
+    def inverse_cumulative(self, u) -> np.ndarray | float:
+        """Λ⁻¹(u): the wall time at which the integral reaches *u*.
+
+        Vectorized; Λ is strictly increasing so the inverse is unique.
+        """
+        u_arr = np.asarray(u, dtype=float)
+        scalar = u_arr.ndim == 0
+        u_arr = np.atleast_1d(u_arr)
+        if np.any(u_arr < 0):
+            raise ValueError("u must be non-negative")
+        periods, rem = np.divmod(u_arr, self.area_per_period)
+        idx = np.clip(
+            np.searchsorted(self._breaks, rem, side="right") - 1,
+            0,
+            self.multipliers.size - 1,
+        )
+        t = (
+            periods * self.period
+            + idx * self.segment_length
+            + (rem - self._breaks[idx]) / self.multipliers[idx]
+        )
+        return float(t[0]) if scalar else t
+
+
+def diurnal_profile(
+    peak_to_trough: float = 3.0, segments: int = 24, period: float = 86400.0
+) -> RateProfile:
+    """A smooth day/night cycle: sinusoidal multipliers with the given
+    peak-to-trough ratio over *segments* equal slices of *period*."""
+    if peak_to_trough < 1.0:
+        raise ValueError(f"peak_to_trough must be >= 1, got {peak_to_trough}")
+    if segments < 2:
+        raise ValueError(f"need at least 2 segments, got {segments}")
+    phase = 2.0 * np.pi * (np.arange(segments) + 0.5) / segments
+    # Sinusoid between 1 and peak_to_trough (then normalized by RateProfile).
+    amplitude = (peak_to_trough - 1.0) / 2.0
+    multipliers = 1.0 + amplitude * (1.0 + np.sin(phase))
+    return RateProfile(multipliers, period / segments)
+
+
+class ModulatedArrivalStream:
+    """Time-rescaled renewal process (same API as :class:`ArrivalStream`)."""
+
+    __slots__ = ("base", "profile")
+
+    def __init__(self, dist: Distribution, profile: RateProfile,
+                 rng: np.random.Generator):
+        self.base = ArrivalStream(dist, rng)
+        self.profile = profile
+
+    def next_arrival(self) -> float:
+        return float(self.profile.inverse_cumulative(self.base.next_arrival()))
+
+    def arrivals_until(self, horizon: float) -> np.ndarray:
+        operational_horizon = self.profile.cumulative(horizon)
+        base_times = self.base.arrivals_until(operational_horizon)
+        return np.asarray(self.profile.inverse_cumulative(base_times))

@@ -1,0 +1,77 @@
+"""Result containers for simulation runs."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..metrics.response import ResponseMetrics
+
+__all__ = ["ServerStats", "DispatchTrace", "SimulationResults"]
+
+
+@dataclass(frozen=True)
+class ServerStats:
+    """Per-computer accounting for one run."""
+
+    index: int
+    speed: float
+    jobs_received: int
+    jobs_completed: int
+    busy_time: float
+    #: Fraction of post-warm-up dispatches sent here (Table 1's metric).
+    dispatch_fraction: float
+
+    def utilization(self, horizon: float) -> float:
+        if horizon <= 0:
+            raise ValueError(f"horizon must be positive, got {horizon}")
+        return self.busy_time / horizon
+
+
+@dataclass(frozen=True)
+class DispatchTrace:
+    """Arrival instants and chosen computers, for deviation analysis."""
+
+    times: np.ndarray
+    targets: np.ndarray
+
+    def __post_init__(self):
+        if self.times.shape != self.targets.shape:
+            raise ValueError("trace times/targets must align")
+
+    @property
+    def count(self) -> int:
+        return int(self.times.size)
+
+
+@dataclass(frozen=True)
+class SimulationResults:
+    """Everything a run reports back."""
+
+    metrics: ResponseMetrics
+    servers: tuple[ServerStats, ...]
+    duration: float
+    warmup: float
+    total_arrivals: int
+    trace: DispatchTrace | None = None
+
+    @property
+    def dispatch_fractions(self) -> np.ndarray:
+        """Post-warm-up dispatch fractions per computer."""
+        return np.asarray([s.dispatch_fraction for s in self.servers])
+
+    @property
+    def per_server_utilization(self) -> np.ndarray:
+        """Measured busy fraction over the arrival horizon.
+
+        With ``drain=True`` work performed after the horizon still counts
+        toward ``busy_time``, so values can exceed the analytic ρᵢ by the
+        drained remainder (negligible at paper-scale horizons).
+        """
+        return np.asarray([s.busy_time / self.duration for s in self.servers])
+
+    def summary(self) -> dict[str, float]:
+        out = self.metrics.as_dict()
+        out["total_arrivals"] = self.total_arrivals
+        return out

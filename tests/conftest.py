@@ -1,0 +1,32 @@
+"""Shared fixtures and helpers for the test suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.queueing import HeterogeneousNetwork
+
+
+@pytest.fixture
+def rng():
+    return np.random.default_rng(12345)
+
+
+def make_network(speeds, utilization=0.7, mu=1.0):
+    """Shorthand used across allocation/queueing tests."""
+    return HeterogeneousNetwork(np.asarray(speeds, dtype=float), mu=mu,
+                                utilization=utilization)
+
+
+@pytest.fixture
+def paper_network():
+    """Table 1's system at the paper's 70% utilization."""
+    return make_network([1.0, 1.5, 2.0, 3.0, 5.0, 9.0, 10.0], 0.7)
+
+
+@pytest.fixture
+def base_network():
+    """Table 3's base configuration at 70% utilization."""
+    speeds = [1.0] * 5 + [1.5] * 4 + [2.0] * 3 + [5.0, 10.0, 12.0]
+    return make_network(speeds, 0.7)

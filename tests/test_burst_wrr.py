@@ -1,0 +1,95 @@
+"""Tests for the burst (quota) WRR contrast baseline."""
+
+import numpy as np
+import pytest
+
+from repro.dispatch import BurstWeightedRoundRobinDispatcher, RoundRobinDispatcher
+from repro.dispatch.burst_wrr import _largest_remainder_quotas
+
+
+class TestLargestRemainderQuotas:
+    def test_exact_fractions(self):
+        q = _largest_remainder_quotas(np.array([0.25, 0.75]), 8)
+        np.testing.assert_array_equal(q, [2, 6])
+
+    def test_sums_to_cycle(self):
+        rng = np.random.default_rng(0)
+        for _ in range(20):
+            alphas = rng.dirichlet(np.ones(5))
+            q = _largest_remainder_quotas(alphas, 97)
+            assert q.sum() == 97
+            assert np.all(q >= 0)
+
+    def test_rounding_favours_largest_remainder(self):
+        # 0.26/0.26/0.48 over 10 → raw 2.6/2.6/4.8 → floor 2/2/4, short 2
+        # goes to the two largest remainders (0.8 then 0.6-tie broken
+        # stably by order).
+        q = _largest_remainder_quotas(np.array([0.26, 0.26, 0.48]), 10)
+        assert q.sum() == 10
+        assert q[2] == 5
+
+
+class TestBurstWrr:
+    def test_paper_example_quotas(self):
+        d = BurstWeightedRoundRobinDispatcher(cycle_length=8)
+        d.reset([1 / 8, 1 / 8, 1 / 4, 1 / 2])
+        np.testing.assert_array_equal(d.quotas, [1, 1, 2, 4])
+
+    def test_bursts_are_consecutive(self):
+        d = BurstWeightedRoundRobinDispatcher(cycle_length=8)
+        d.reset([1 / 8, 1 / 8, 1 / 4, 1 / 2])
+        seq = [d.select(1.0) for _ in range(8)]
+        assert seq == [0, 1, 2, 2, 3, 3, 3, 3]
+
+    def test_periodic(self):
+        d = BurstWeightedRoundRobinDispatcher(cycle_length=4)
+        d.reset([0.5, 0.5])
+        seq = [d.select(1.0) for _ in range(12)]
+        assert seq == [0, 0, 1, 1] * 3
+
+    def test_batch_equals_sequential(self):
+        alphas = [0.3, 0.3, 0.4]
+        a = BurstWeightedRoundRobinDispatcher(cycle_length=10)
+        a.reset(alphas)
+        seq = [a.select(1.0) for _ in range(25)]
+        b = BurstWeightedRoundRobinDispatcher(cycle_length=10)
+        b.reset(alphas)
+        assert b.select_batch(np.ones(25)).tolist() == seq
+
+    def test_zero_fraction_excluded(self):
+        d = BurstWeightedRoundRobinDispatcher(cycle_length=10)
+        d.reset([0.0, 0.5, 0.5])
+        targets = d.select_batch(np.ones(30))
+        assert 0 not in targets
+
+    def test_long_run_fractions(self):
+        alphas = np.array([0.35, 0.22, 0.15, 0.12, 0.04, 0.04, 0.04, 0.04])
+        d = BurstWeightedRoundRobinDispatcher(cycle_length=100)
+        d.reset(alphas)
+        targets = d.select_batch(np.ones(10_000))
+        freq = np.bincount(targets, minlength=8) / 10_000
+        np.testing.assert_allclose(freq, alphas, atol=0.005)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            BurstWeightedRoundRobinDispatcher(cycle_length=0)
+        d = BurstWeightedRoundRobinDispatcher(cycle_length=5)
+        with pytest.raises(RuntimeError, match="reset"):
+            d.select(1.0)
+
+    def test_burstier_than_algorithm2(self):
+        """The defining contrast: same fractions, much burstier order."""
+        alphas = np.array([0.5, 0.25, 0.25])
+
+        def gap_cv(dispatcher):
+            dispatcher.reset(alphas)
+            targets = dispatcher.select_batch(np.ones(4000))
+            cvs = []
+            for i in range(3):
+                gaps = np.diff(np.nonzero(targets == i)[0])
+                cvs.append(gaps.std() / gaps.mean())
+            return np.mean(cvs)
+
+        burst = gap_cv(BurstWeightedRoundRobinDispatcher(cycle_length=100))
+        smooth = gap_cv(RoundRobinDispatcher())
+        assert smooth < 0.2 * burst

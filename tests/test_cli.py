@@ -1,0 +1,62 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_run_args(self):
+        args = build_parser().parse_args(["run", "table1", "--scale", "smoke"])
+        assert args.experiment == "table1"
+        assert args.scale == "smoke"
+
+    def test_invalid_scale(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["run", "table1", "--scale", "huge"])
+
+
+class TestCommands:
+    def test_list(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        assert "figure3" in out and "table1" in out
+
+    def test_allocate(self, capsys):
+        code = main(["allocate", "--speeds", "1,1.5,2", "--utilization", "0.7"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "optimized alpha" in out
+        assert "predicted mean response ratio" in out
+
+    def test_allocate_drops_slow_machines(self, capsys):
+        main(["allocate", "--speeds", "0.05,1,10", "--utilization", "0.3"])
+        out = capsys.readouterr().out
+        assert "zero work" in out
+
+    def test_allocate_bad_speeds(self, capsys):
+        assert main(["allocate", "--speeds", "a,b", "--utilization", "0.5"]) == 2
+        assert "could not parse" in capsys.readouterr().err
+
+    def test_allocate_empty_speeds(self, capsys):
+        assert main(["allocate", "--speeds", ",", "--utilization", "0.5"]) == 2
+
+    def test_allocate_bad_utilization(self, capsys):
+        assert main(["allocate", "--speeds", "1,2", "--utilization", "1.5"]) == 2
+        assert "utilization" in capsys.readouterr().err
+
+    def test_run_table2(self, capsys):
+        assert main(["run", "table2"]) == 0
+        assert "ORR" in capsys.readouterr().out
+
+    def test_run_table3(self, capsys):
+        assert main(["run", "table3"]) == 0
+        assert "Table 3" in capsys.readouterr().out
+
+    def test_run_unknown_experiment(self):
+        with pytest.raises(KeyError):
+            main(["run", "figure99"])

@@ -1,0 +1,146 @@
+"""Tests for the core policy layer and evaluation protocol."""
+
+import numpy as np
+import pytest
+
+from repro.allocation import (
+    MisestimatedOptimizedAllocator,
+    OptimizedAllocator,
+    WeightedAllocator,
+)
+from repro.core import (
+    PAPER_POLICIES,
+    evaluate_policy,
+    get_policy,
+    policy_names,
+    run_policy_once,
+)
+from repro.dispatch import (
+    LeastLoadDispatcher,
+    RandomDispatcher,
+    RoundRobinDispatcher,
+    SitaDispatcher,
+)
+from repro.sim import SimulationConfig
+
+CONFIG = SimulationConfig(speeds=(1.0, 2.0, 8.0), utilization=0.6, duration=1.5e4)
+
+
+class TestPolicyRegistry:
+    def test_paper_policies_present(self):
+        assert PAPER_POLICIES == ("WRAN", "ORAN", "WRR", "ORR", "LEAST_LOAD")
+        for name in PAPER_POLICIES:
+            assert get_policy(name).name == name
+
+    def test_policy_names_order(self):
+        names = policy_names()
+        assert names[:5] == PAPER_POLICIES
+        assert "SITA" in names
+
+    def test_case_insensitive(self):
+        assert get_policy("orr").name == "ORR"
+
+    def test_unknown_policy(self):
+        with pytest.raises(KeyError, match="unknown policy"):
+            get_policy("FIFO")
+
+    def test_table2_component_matrix(self):
+        rng = np.random.default_rng(0)
+        speeds = np.ones(3)
+        cases = {
+            "WRAN": (WeightedAllocator, RandomDispatcher),
+            "ORAN": (OptimizedAllocator, RandomDispatcher),
+            "WRR": (WeightedAllocator, RoundRobinDispatcher),
+            "ORR": (OptimizedAllocator, RoundRobinDispatcher),
+        }
+        for name, (alloc_cls, disp_cls) in cases.items():
+            p = get_policy(name)
+            assert isinstance(p.allocator, alloc_cls)
+            assert isinstance(p.build_dispatcher(speeds, rng), disp_cls)
+
+    def test_least_load_is_dynamic(self):
+        p = get_policy("LEAST_LOAD")
+        assert not p.is_static
+        assert p.allocator is None
+        assert p.fractions(CONFIG.network()) is None
+        d = p.build_dispatcher(np.array([1.0, 2.0]), np.random.default_rng(0))
+        assert isinstance(d, LeastLoadDispatcher)
+
+    def test_sita_extension(self):
+        p = get_policy("SITA")
+        d = p.build_dispatcher(np.array([1.0, 2.0]), np.random.default_rng(0))
+        assert isinstance(d, SitaDispatcher)
+
+    def test_estimation_error_variant(self):
+        p = get_policy("ORR", estimation_error=-0.10)
+        assert p.name == "ORR(-10%)"
+        assert isinstance(p.allocator, MisestimatedOptimizedAllocator)
+        assert p.allocator.relative_error == -0.10
+
+    def test_estimation_error_rejected_for_weighted(self):
+        with pytest.raises(ValueError, match="optimized-allocation"):
+            get_policy("WRR", estimation_error=0.05)
+
+    def test_fractions_match_allocator(self):
+        net = CONFIG.network()
+        np.testing.assert_allclose(
+            get_policy("WRR").fractions(net),
+            net.speeds / net.total_speed,
+        )
+
+
+class TestRunPolicyOnce:
+    def test_static_uses_fast_path_equivalently(self):
+        fast = run_policy_once(CONFIG, get_policy("ORR"), seed=1)
+        slow = run_policy_once(CONFIG, get_policy("ORR"), seed=1, force_engine=True)
+        assert fast.metrics.mean_response_ratio == pytest.approx(
+            slow.metrics.mean_response_ratio, rel=1e-9
+        )
+
+    def test_common_random_numbers(self):
+        """Same seed ⇒ identical arrival stream across policies."""
+        a = run_policy_once(CONFIG, get_policy("WRR"), seed=5, record_trace=True)
+        b = run_policy_once(CONFIG, get_policy("ORR"), seed=5, record_trace=True)
+        np.testing.assert_array_equal(a.trace.times, b.trace.times)
+
+    def test_least_load_runs(self):
+        result = run_policy_once(CONFIG, get_policy("LEAST_LOAD"), seed=2)
+        assert result.metrics.jobs > 0
+
+    def test_sita_runs(self):
+        result = run_policy_once(CONFIG, get_policy("SITA"), seed=2)
+        assert result.metrics.jobs > 0
+
+
+class TestEvaluatePolicy:
+    def test_replication_aggregation(self):
+        ev = evaluate_policy(CONFIG, get_policy("WRAN"), replications=3, base_seed=1)
+        assert ev.replications == 3
+        assert ev.mean_response_ratio.n == 3
+        assert ev.jobs_per_replication > 0
+        assert ev.dispatch_fractions.sum() == pytest.approx(1.0)
+
+    def test_metric_lookup(self):
+        ev = evaluate_policy(CONFIG, get_policy("WRAN"), replications=2, base_seed=1)
+        assert ev.metric("fairness") is ev.fairness
+        with pytest.raises(KeyError, match="unknown metric"):
+            ev.metric("latency")
+
+    def test_deterministic_given_base_seed(self):
+        a = evaluate_policy(CONFIG, get_policy("ORR"), replications=2, base_seed=9)
+        b = evaluate_policy(CONFIG, get_policy("ORR"), replications=2, base_seed=9)
+        assert a.mean_response_ratio.mean == b.mean_response_ratio.mean
+
+    def test_invalid_replications(self):
+        with pytest.raises(ValueError):
+            evaluate_policy(CONFIG, get_policy("ORR"), replications=0)
+
+    def test_orr_beats_wran_on_skewed_system(self):
+        """The headline claim at small scale: ORR < WRAN in response ratio."""
+        config = SimulationConfig(
+            speeds=(1.0,) * 4 + (10.0,) * 2, utilization=0.7, duration=4.0e4
+        )
+        orr = evaluate_policy(config, get_policy("ORR"), replications=3, base_seed=3)
+        wran = evaluate_policy(config, get_policy("WRAN"), replications=3, base_seed=3)
+        assert orr.mean_response_ratio.mean < wran.mean_response_ratio.mean
+        assert orr.fairness.mean < wran.fairness.mean

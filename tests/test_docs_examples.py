@@ -1,0 +1,74 @@
+"""Keep the documentation honest: the README/docstring claims and the
+example scripts must stay runnable."""
+
+import compileall
+import pathlib
+import subprocess
+import sys
+
+import pytest
+
+import repro
+
+EXAMPLES = sorted(
+    (pathlib.Path(__file__).resolve().parents[1] / "examples").glob("*.py")
+)
+
+
+class TestQuickTour:
+    def test_package_docstring_claim(self):
+        """The __init__ quick tour claims ORR beats WRR on (1,1,10,10)
+        at rho=0.7 — verify the exact scenario (reduced duration)."""
+        config = repro.SimulationConfig(
+            speeds=(1, 1, 10, 10), utilization=0.7, duration=3.0e4
+        )
+        orr = repro.evaluate_policy(
+            config, repro.get_policy("ORR"), replications=3, base_seed=0
+        )
+        wrr = repro.evaluate_policy(
+            config, repro.get_policy("WRR"), replications=3, base_seed=0
+        )
+        assert orr.mean_response_ratio.mean < wrr.mean_response_ratio.mean
+
+    def test_readme_allocation_example(self):
+        """README's allocate example: fractions match the shown values."""
+        net = repro.HeterogeneousNetwork([1, 1, 2, 4, 8], utilization=0.7)
+        alphas = repro.OptimizedAllocator().compute(net).alphas
+        assert alphas[4] == pytest.approx(0.567, abs=0.01)
+        assert alphas[0] == pytest.approx(0.037, abs=0.005)
+
+    def test_version_attribute(self):
+        assert repro.__version__ == "1.0.0"
+
+    def test_all_exports_resolve(self):
+        for name in repro.__all__:
+            assert hasattr(repro, name), f"repro.{name} missing"
+
+
+class TestExamplesIntegrity:
+    def test_examples_present(self):
+        names = {p.name for p in EXAMPLES}
+        assert "quickstart.py" in names
+        assert len(EXAMPLES) >= 3
+
+    @pytest.mark.parametrize("path", EXAMPLES, ids=lambda p: p.name)
+    def test_examples_compile(self, path):
+        source = path.read_text()
+        compile(source, str(path), "exec")
+
+    @pytest.mark.parametrize("path", EXAMPLES, ids=lambda p: p.name)
+    def test_examples_have_main_guard_and_docstring(self, path):
+        source = path.read_text()
+        assert '__name__ == "__main__"' in source
+        assert source.lstrip().startswith(('"""', "#!"))
+
+    def test_quickstart_runs_tiny(self):
+        """End-to-end: the quickstart exits 0 on a tiny horizon."""
+        quickstart = next(p for p in EXAMPLES if p.name == "quickstart.py")
+        proc = subprocess.run(
+            [sys.executable, str(quickstart),
+             "--duration", "4000", "--replications", "1"],
+            capture_output=True, text=True, timeout=300,
+        )
+        assert proc.returncode == 0, proc.stderr
+        assert "Simulated performance" in proc.stdout

@@ -1,0 +1,93 @@
+"""Tests for the Lognormal and Weibull size families."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.distributions import Lognormal, Weibull
+
+
+class TestLognormal:
+    @pytest.mark.parametrize("mean,cv", [(76.8, 1.0), (1.0, 0.25), (500.0, 4.0)])
+    def test_moment_fit_exact(self, mean, cv):
+        d = Lognormal.from_mean_cv(mean, cv)
+        assert d.mean == pytest.approx(mean, rel=1e-12)
+        assert d.cv == pytest.approx(cv, rel=1e-9)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            Lognormal(0.0, 0.0)
+        with pytest.raises(ValueError):
+            Lognormal.from_mean_cv(-1.0, 1.0)
+        with pytest.raises(ValueError):
+            Lognormal.from_mean_cv(1.0, 0.0)
+
+    def test_cdf_ppf_roundtrip(self):
+        d = Lognormal.from_mean_cv(10.0, 2.0)
+        q = np.linspace(0.01, 0.99, 21)
+        np.testing.assert_allclose(d.cdf(d.ppf(q)), q, rtol=1e-9)
+
+    def test_cdf_at_zero(self):
+        d = Lognormal(0.0, 1.0)
+        assert d.cdf(0.0) == 0.0
+        assert d.cdf(-5.0) == 0.0
+
+    def test_sampling_statistics(self, rng):
+        d = Lognormal.from_mean_cv(5.0, 1.5)
+        xs = d.sample(rng, 400_000)
+        assert xs.mean() == pytest.approx(5.0, rel=0.03)
+        assert xs.std() / xs.mean() == pytest.approx(1.5, rel=0.05)
+
+    def test_median(self):
+        d = Lognormal(2.0, 0.5)
+        assert d.ppf(0.5) == pytest.approx(math.exp(2.0))
+
+
+class TestWeibull:
+    @pytest.mark.parametrize("mean,cv", [(76.8, 1.0), (1.0, 0.5), (10.0, 3.0)])
+    def test_moment_fit_exact(self, mean, cv):
+        d = Weibull.from_mean_cv(mean, cv)
+        assert d.mean == pytest.approx(mean, rel=1e-9)
+        assert d.cv == pytest.approx(cv, rel=1e-6)
+
+    def test_cv_one_is_exponential_shape(self):
+        d = Weibull.from_mean_cv(1.0, 1.0)
+        assert d.shape == pytest.approx(1.0, rel=1e-6)
+
+    def test_heavy_tail_shape_below_one(self):
+        d = Weibull.from_mean_cv(1.0, 3.0)
+        assert d.shape < 1.0
+
+    def test_light_tail_shape_above_one(self):
+        d = Weibull.from_mean_cv(1.0, 0.3)
+        assert d.shape > 1.0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            Weibull(0.0, 1.0)
+        with pytest.raises(ValueError):
+            Weibull(1.0, 0.0)
+        with pytest.raises(ValueError):
+            Weibull.from_mean_cv(0.0, 1.0)
+        with pytest.raises(ValueError):
+            Weibull.from_mean_cv(1.0, -1.0)
+
+    def test_cdf_ppf_roundtrip(self):
+        d = Weibull.from_mean_cv(10.0, 2.0)
+        q = np.linspace(0.0, 0.999, 30)
+        np.testing.assert_allclose(d.cdf(d.ppf(q)), q, atol=1e-12)
+
+    def test_cdf_closed_form(self):
+        d = Weibull(shape=2.0, scale=3.0)
+        x = 3.0
+        assert d.cdf(x) == pytest.approx(1.0 - math.exp(-1.0))
+
+    def test_sampling_statistics(self, rng):
+        d = Weibull.from_mean_cv(4.0, 0.5)
+        xs = d.sample(rng, 300_000)
+        assert xs.mean() == pytest.approx(4.0, rel=0.02)
+        assert xs.std() / xs.mean() == pytest.approx(0.5, rel=0.05)
+
+    def test_negative_x_cdf(self):
+        assert Weibull(1.0, 1.0).cdf(-1.0) == 0.0

@@ -1,0 +1,54 @@
+"""Tests for parallel replicated evaluation."""
+
+import pytest
+
+from repro.core import evaluate_policy, evaluate_policy_parallel, get_policy
+from repro.sim import SimulationConfig
+
+CONFIG = SimulationConfig(speeds=(1.0, 4.0), utilization=0.5, duration=8.0e3)
+
+
+class TestEvaluatePolicyParallel:
+    def test_bit_identical_to_serial(self):
+        par = evaluate_policy_parallel(
+            CONFIG, "ORR", replications=3, base_seed=7, n_jobs=2
+        )
+        ser = evaluate_policy(
+            CONFIG, get_policy("ORR"), replications=3, base_seed=7
+        )
+        assert par.mean_response_time.mean == ser.mean_response_time.mean
+        assert par.mean_response_ratio.mean == ser.mean_response_ratio.mean
+        assert par.fairness.mean == ser.fairness.mean
+        assert par.replications == ser.replications
+
+    def test_n_jobs_one_serial_path(self):
+        a = evaluate_policy_parallel(
+            CONFIG, "WRR", replications=2, base_seed=3, n_jobs=1
+        )
+        b = evaluate_policy_parallel(
+            CONFIG, "WRR", replications=2, base_seed=3, n_jobs=2
+        )
+        assert a.mean_response_ratio.mean == b.mean_response_ratio.mean
+
+    def test_estimation_error_variant(self):
+        ev = evaluate_policy_parallel(
+            CONFIG, "ORR", estimation_error=-0.10,
+            replications=2, base_seed=3, n_jobs=2,
+        )
+        assert ev.policy_name == "ORR(-10%)"
+
+    def test_dynamic_policy(self):
+        ev = evaluate_policy_parallel(
+            CONFIG, "LEAST_LOAD", replications=2, base_seed=3, n_jobs=2
+        )
+        assert ev.jobs_per_replication > 0
+
+    def test_unknown_policy_fails_fast(self):
+        with pytest.raises(KeyError, match="unknown policy"):
+            evaluate_policy_parallel(CONFIG, "NOPE", replications=1)
+
+    def test_validation(self):
+        with pytest.raises(ValueError, match="replication"):
+            evaluate_policy_parallel(CONFIG, "ORR", replications=0)
+        with pytest.raises(ValueError, match="n_jobs"):
+            evaluate_policy_parallel(CONFIG, "ORR", replications=1, n_jobs=0)

@@ -1,0 +1,128 @@
+"""Tests for the capacity-planning module (envelope-theorem marginals)."""
+
+import numpy as np
+import pytest
+
+from repro.allocation import (
+    best_single_upgrade,
+    marginal_response_time,
+    optimal_mean_response_time,
+    optimized_fractions,
+    value_of_added_machine,
+)
+from repro.queueing import HeterogeneousNetwork
+
+from .conftest import make_network
+
+
+class TestOptimalMeanResponseTime:
+    def test_matches_objective_recovery(self, paper_network):
+        t = optimal_mean_response_time(paper_network)
+        alphas = optimized_fractions(paper_network)
+        assert t == pytest.approx(paper_network.mean_response_time(alphas))
+
+    def test_decreases_with_capacity(self):
+        small = make_network([1, 2], utilization=0.7)
+        # Same arrival rate, more capacity.
+        big = HeterogeneousNetwork(
+            [1, 2, 2], mu=1.0, arrival_rate=small.arrival_rate
+        )
+        assert optimal_mean_response_time(big) < optimal_mean_response_time(small)
+
+
+class TestMarginalResponseTime:
+    def test_matches_finite_differences(self, paper_network):
+        marginals = marginal_response_time(paper_network)
+        eps = 1e-6
+        for i in range(paper_network.n):
+            up = paper_network.speeds.copy()
+            dn = paper_network.speeds.copy()
+            up[i] += eps
+            dn[i] -= eps
+            t_up = optimal_mean_response_time(
+                HeterogeneousNetwork(up, mu=paper_network.mu,
+                                     arrival_rate=paper_network.arrival_rate)
+            )
+            t_dn = optimal_mean_response_time(
+                HeterogeneousNetwork(dn, mu=paper_network.mu,
+                                     arrival_rate=paper_network.arrival_rate)
+            )
+            numeric = (t_up - t_dn) / (2 * eps)
+            assert marginals[i] == pytest.approx(numeric, rel=1e-4, abs=1e-10)
+
+    def test_matches_envelope_direct_partial(self, base_network):
+        """Envelope theorem: dT*/ds_i equals the direct partial of the
+        objective at the fixed optimal allocation."""
+        alphas = optimized_fractions(base_network)
+        rates = base_network.service_rates()
+        lam = base_network.arrival_rate
+        direct = np.zeros(base_network.n)
+        active = alphas > 0
+        denom = rates - alphas * lam
+        direct[active] = (
+            -base_network.mu * alphas[active] * lam / denom[active] ** 2
+        ) / lam
+        np.testing.assert_allclose(
+            marginal_response_time(base_network), direct, rtol=1e-9, atol=1e-15
+        )
+
+    def test_all_non_positive(self, base_network):
+        assert np.all(marginal_response_time(base_network) <= 1e-15)
+
+    def test_zero_for_dropped_machines(self):
+        net = make_network([0.05, 1.0, 10.0], utilization=0.3)
+        alphas = optimized_fractions(net)
+        # At rho=0.3 Algorithm 1 drops both the 0.05 and 1.0 machines.
+        assert alphas[0] == 0.0 and alphas[1] == 0.0
+        marginals = marginal_response_time(net)
+        assert marginals[0] == 0.0 and marginals[1] == 0.0
+        assert marginals[2] < 0.0
+
+    def test_fastest_machine_most_valuable_per_unit(self, paper_network):
+        """Upgrading already-fast machines helps more per speed unit?
+        Not necessarily — check the actual ordering is consistent with
+        finite differences rather than assuming a direction."""
+        marginals = marginal_response_time(paper_network)
+        idx, gain = best_single_upgrade(paper_network, 1e-4)
+        assert idx == int(np.argmin(marginals))
+        assert gain == pytest.approx(-marginals[idx] * 1e-4, rel=1e-3)
+
+
+class TestValueOfAddedMachine:
+    def test_useful_machine_reduces_response(self, paper_network):
+        assert value_of_added_machine(paper_network, 10.0) > 0.0
+
+    def test_useless_machine_worth_nothing(self):
+        net = make_network([10.0, 10.0], utilization=0.3)
+        # A speed-0.01 machine is below the Theorem 2 cutoff at rho=0.3.
+        assert value_of_added_machine(net, 0.01) == 0.0
+
+    def test_bigger_machine_worth_more(self, paper_network):
+        small = value_of_added_machine(paper_network, 1.0)
+        large = value_of_added_machine(paper_network, 10.0)
+        assert large > small
+
+    def test_validation(self, paper_network):
+        with pytest.raises(ValueError):
+            value_of_added_machine(paper_network, 0.0)
+
+
+class TestBestSingleUpgrade:
+    def test_exhaustive_consistency(self, base_network):
+        idx, gain = best_single_upgrade(base_network, 1.0)
+        assert 0 <= idx < base_network.n
+        assert gain > 0.0
+        # Verify it really is the argmax by re-solving every option.
+        before = optimal_mean_response_time(base_network)
+        for i in range(base_network.n):
+            speeds = base_network.speeds.copy()
+            speeds[i] += 1.0
+            after = optimal_mean_response_time(
+                HeterogeneousNetwork(speeds, mu=base_network.mu,
+                                     arrival_rate=base_network.arrival_rate)
+            )
+            assert before - after <= gain + 1e-12
+
+    def test_validation(self, base_network):
+        with pytest.raises(ValueError):
+            best_single_upgrade(base_network, -1.0)

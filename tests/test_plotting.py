@@ -1,0 +1,59 @@
+"""Tests for the ASCII figure rendering."""
+
+import numpy as np
+import pytest
+
+from repro.experiments.plotting import ascii_plot
+
+
+class TestAsciiPlot:
+    def test_basic_structure(self):
+        out = ascii_plot(
+            [0.0, 1.0, 2.0],
+            {"a": [0.0, 1.0, 2.0], "b": [2.0, 1.0, 0.0]},
+            width=20,
+            height=5,
+            title="T",
+        )
+        lines = out.splitlines()
+        assert lines[0] == "T"
+        assert "o=a" in lines[-1] and "x=b" in lines[-1]
+        # 5 grid rows + axis + x labels + legend + title.
+        assert len(lines) == 9
+
+    def test_extremes_on_borders(self):
+        out = ascii_plot([0.0, 1.0], {"a": [0.0, 10.0]}, width=16, height=4)
+        lines = out.splitlines()
+        # max at top-right, min at bottom-left of the grid.
+        assert lines[0].rstrip().endswith("o|")
+        grid_rows = [l for l in lines if "|" in l]
+        assert grid_rows[-1].split("|")[1][0] == "o"
+
+    def test_y_labels(self):
+        out = ascii_plot([0, 1], {"a": [2.0, 8.0]}, width=16, height=4)
+        assert "8" in out.splitlines()[0]
+        assert "2" in out.splitlines()[3]
+
+    def test_flat_series(self):
+        out = ascii_plot([0, 1, 2], {"a": [1.0, 1.0, 1.0]}, width=16, height=4)
+        assert "o" in out
+
+    def test_validation(self):
+        with pytest.raises(ValueError, match="two x"):
+            ascii_plot([1.0], {"a": [1.0]})
+        with pytest.raises(ValueError, match="one series"):
+            ascii_plot([0, 1], {})
+        with pytest.raises(ValueError, match="points"):
+            ascii_plot([0, 1], {"a": [1.0]})
+        with pytest.raises(ValueError, match="grid too small"):
+            ascii_plot([0, 1], {"a": [0.0, 1.0]}, width=4, height=2)
+        with pytest.raises(ValueError, match="non-finite"):
+            ascii_plot([0, 1], {"a": [0.0, np.nan]})
+        with pytest.raises(ValueError, match="at most"):
+            ascii_plot([0, 1], {f"s{i}": [0.0, 1.0] for i in range(20)})
+
+    def test_series_overwrite_order(self):
+        # Identical series: later marker wins the cells.
+        out = ascii_plot([0, 1], {"a": [0.0, 1.0], "b": [0.0, 1.0]},
+                         width=16, height=4)
+        assert "x" in out and out.count("o") <= 2  # only legend/title 'o's

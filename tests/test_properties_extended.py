@@ -1,0 +1,138 @@
+"""Property-based tests for the extension modules."""
+
+import numpy as np
+import pytest
+from hypothesis import assume, given, settings
+from hypothesis import strategies as st
+
+from repro.allocation import (
+    marginal_response_time,
+    optimal_mean_response_time,
+    optimized_fractions,
+)
+from repro.dispatch.burst_wrr import _largest_remainder_quotas
+from repro.queueing import HeterogeneousNetwork, erlang_c
+from repro.sim.modulated import RateProfile
+
+speeds_strategy = st.lists(
+    st.floats(min_value=0.05, max_value=50.0), min_size=1, max_size=10
+)
+rho_strategy = st.floats(min_value=0.05, max_value=0.95)
+
+
+def network_from(speeds, rho):
+    return HeterogeneousNetwork(np.asarray(speeds), mu=1.0, utilization=rho)
+
+
+class TestPlanningProperties:
+    @given(speeds=speeds_strategy, rho=rho_strategy)
+    @settings(max_examples=75, deadline=None)
+    def test_marginals_non_positive(self, speeds, rho):
+        net = network_from(speeds, rho)
+        marginals = marginal_response_time(net)
+        assert np.all(marginals <= 1e-12)
+        # Zero exactly on the zero-share machines.
+        alphas = optimized_fractions(net)
+        assert np.all(marginals[alphas == 0.0] == 0.0)
+
+    @given(speeds=speeds_strategy, rho=rho_strategy,
+           eps=st.floats(min_value=1e-4, max_value=1e-2))
+    @settings(max_examples=50, deadline=None)
+    def test_speedup_never_hurts(self, speeds, rho, eps):
+        """Exact re-solve: making any machine faster never raises T̄*."""
+        net = network_from(speeds, rho)
+        before = optimal_mean_response_time(net)
+        for i in range(net.n):
+            faster = net.speeds.copy()
+            faster[i] += eps
+            after = optimal_mean_response_time(
+                HeterogeneousNetwork(faster, mu=1.0,
+                                     arrival_rate=net.arrival_rate)
+            )
+            assert after <= before + 1e-12
+
+    @given(speeds=speeds_strategy, rho=rho_strategy)
+    @settings(max_examples=40, deadline=None)
+    def test_global_optimality_monte_carlo(self, speeds, rho):
+        """Algorithm 1's F is ≤ F at random feasible allocations —
+        a direct Monte-Carlo check of Theorems 1–3."""
+        from repro.queueing import objective_value
+
+        net = network_from(speeds, rho)
+        best = objective_value(net, optimized_fractions(net))
+        rng = np.random.default_rng(abs(hash((tuple(speeds), rho))) % 2**32)
+        rates = net.service_rates()
+        for _ in range(20):
+            candidate = rng.dirichlet(np.ones(net.n))
+            if np.any(candidate * net.arrival_rate >= rates):
+                continue  # infeasible sample
+            assert objective_value(net, candidate) >= best - 1e-9
+
+
+class TestQuotaProperties:
+    @given(
+        alphas=st.lists(st.floats(0.01, 1.0), min_size=1, max_size=10).map(
+            lambda xs: np.asarray(xs) / np.sum(xs)
+        ),
+        cycle=st.integers(1, 500),
+    )
+    @settings(max_examples=100, deadline=None)
+    def test_quotas_sum_and_bounds(self, alphas, cycle):
+        quotas = _largest_remainder_quotas(alphas, cycle)
+        assert quotas.sum() == cycle
+        assert np.all(quotas >= 0)
+        # Largest-remainder apportionment never misses by a full job.
+        assert np.all(np.abs(quotas - alphas * cycle) < 1.0)
+
+
+class TestRateProfileProperties:
+    @given(
+        multipliers=st.lists(st.floats(0.1, 10.0), min_size=1, max_size=12),
+        segment=st.floats(0.5, 1000.0),
+        t=st.floats(0.0, 1e5),
+    )
+    @settings(max_examples=100, deadline=None)
+    def test_cumulative_inverse_roundtrip(self, multipliers, segment, t):
+        p = RateProfile(multipliers, segment)
+        u = p.cumulative(t)
+        back = p.inverse_cumulative(u)
+        assert back == pytest.approx(t, rel=1e-9, abs=1e-6)
+
+    @given(
+        multipliers=st.lists(st.floats(0.1, 10.0), min_size=1, max_size=12),
+        segment=st.floats(0.5, 1000.0),
+    )
+    @settings(max_examples=75, deadline=None)
+    def test_normalization_preserves_long_run_rate(self, multipliers, segment):
+        p = RateProfile(multipliers, segment)
+        assert p.multipliers.mean() == pytest.approx(1.0, rel=1e-12)
+        assert p.cumulative(p.period) == pytest.approx(p.period, rel=1e-12)
+
+    @given(
+        multipliers=st.lists(st.floats(0.1, 10.0), min_size=2, max_size=8),
+        segment=st.floats(1.0, 100.0),
+        t1=st.floats(0.0, 1e4),
+        t2=st.floats(0.0, 1e4),
+    )
+    @settings(max_examples=75, deadline=None)
+    def test_cumulative_monotone(self, multipliers, segment, t1, t2):
+        p = RateProfile(multipliers, segment)
+        lo, hi = min(t1, t2), max(t1, t2)
+        assume(hi > lo)
+        assert p.cumulative(hi) >= p.cumulative(lo)
+
+
+class TestErlangCProperties:
+    @given(c=st.integers(1, 50), rho=st.floats(0.01, 0.99))
+    @settings(max_examples=100, deadline=None)
+    def test_probability_bounds(self, c, rho):
+        value = erlang_c(c, rho * c)
+        assert 0.0 <= value <= 1.0
+
+    @given(rho=st.floats(0.05, 0.95))
+    @settings(max_examples=50, deadline=None)
+    def test_more_servers_less_waiting(self, rho):
+        """At equal per-server utilization, pooling more servers lowers
+        the waiting probability (economy of scale)."""
+        values = [erlang_c(c, rho * c) for c in (1, 2, 4, 8, 16)]
+        assert all(a >= b - 1e-12 for a, b in zip(values, values[1:]))

@@ -1,0 +1,101 @@
+"""Tests for queue sampling and workload characterization."""
+
+import numpy as np
+import pytest
+
+from repro.analysis import characterize
+from repro.dispatch import CyclicDispatcher
+from repro.distributions import Exponential
+from repro.rng import StreamFactory
+from repro.sim import (
+    JobTrace,
+    QueueSampler,
+    SimulationConfig,
+    Workload,
+    run_simulation,
+)
+
+
+class TestQueueSampler:
+    def run_sampled(self, interval=5.0, duration=2.0e4, rho=0.5):
+        config = SimulationConfig(
+            speeds=(1.0,), utilization=rho, duration=duration, warmup=0.0,
+            size_distribution=Exponential.from_mean(1.0), arrival_cv=1.0,
+        )
+        sampler = QueueSampler(interval)
+        result = run_simulation(
+            config, CyclicDispatcher(), np.array([1.0]), seed=5,
+            sampler=sampler,
+        )
+        return sampler, result
+
+    def test_sample_grid(self):
+        sampler, _ = self.run_sampled(interval=100.0, duration=1000.0)
+        np.testing.assert_allclose(sampler.times, np.arange(0, 1001, 100.0))
+
+    def test_littles_law_cross_check(self):
+        """L from the sampler matches lambda * T from job statistics."""
+        sampler, result = self.run_sampled(interval=1.0, duration=1.0e5)
+        lam = result.total_arrivals / result.duration
+        expected_l = lam * result.metrics.mean_response_time
+        assert sampler.time_average_number_in_system() == pytest.approx(
+            expected_l, rel=0.1
+        )
+
+    def test_mm1_occupancy(self):
+        """M/M/1 at rho=0.5: L = rho/(1-rho) = 1."""
+        sampler, _ = self.run_sampled(interval=1.0, duration=2.0e5)
+        assert sampler.time_average_number_in_system() == pytest.approx(1.0, rel=0.1)
+
+    def test_per_server_mean_shape(self):
+        sampler, _ = self.run_sampled()
+        assert sampler.per_server_mean().shape == (1,)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            QueueSampler(0.0)
+        with pytest.raises(ValueError, match="no samples"):
+            QueueSampler(1.0).time_average_number_in_system()
+
+
+class TestCharacterize:
+    def make_trace(self, cv=3.0, horizon=2.0e5):
+        w = Workload(total_speed=10.0, utilization=0.7, arrival_cv=cv)
+        return JobTrace.synthesize(w, StreamFactory(3).arrivals, horizon)
+
+    def test_paper_workload_detected(self):
+        report = characterize(self.make_trace())
+        assert report.heavy_tailed
+        assert report.bursty
+        assert report.interarrival_cv == pytest.approx(3.0, rel=0.2)
+        assert report.size_cv > 2.0
+        assert report.top1pct_load_share > 0.2
+
+    def test_poisson_workload_not_bursty(self):
+        report = characterize(self.make_trace(cv=1.0))
+        assert not report.bursty
+        assert report.dispersion_index == pytest.approx(1.0, abs=0.4)
+
+    def test_percentiles_ordered(self):
+        report = characterize(self.make_trace())
+        p = report.size_percentiles
+        assert p[50] <= p[90] <= p[99]
+        assert p[50] >= 10.0  # Bounded Pareto lower bound
+
+    def test_recommended_model(self):
+        report = characterize(self.make_trace())
+        model = report.recommended_model()
+        assert model["size_mean"] == pytest.approx(report.mean_size)
+        assert model["interarrival_cv"] >= 1.0
+
+    def test_summary_text(self):
+        out = characterize(self.make_trace()).summary()
+        assert "heavy-tailed" in out and "bursty" in out
+
+    def test_validation(self):
+        tiny = JobTrace(np.array([0.0, 1.0]), np.array([1.0, 1.0]))
+        with pytest.raises(ValueError, match="three jobs"):
+            characterize(tiny)
+        trace = self.make_trace()
+        with pytest.raises(ValueError, match="windows"):
+            characterize(trace, n_windows=1)

@@ -1,0 +1,100 @@
+"""Tests for the analytic sensitivity module."""
+
+import numpy as np
+import pytest
+
+from repro.allocation import (
+    improvement_curve,
+    predicted_improvement,
+    response_time_load_derivative,
+    speed_dispersion,
+)
+from repro.queueing import HeterogeneousNetwork
+
+from .conftest import make_network
+
+
+class TestSpeedDispersion:
+    def test_homogeneous_is_zero(self):
+        assert speed_dispersion([3.0, 3.0, 3.0]) == pytest.approx(0.0)
+
+    def test_grows_with_skew(self):
+        values = [speed_dispersion([1.0, f]) for f in (1.0, 2.0, 5.0, 20.0)]
+        assert all(a < b for a, b in zip(values, values[1:]))
+
+    def test_bounds(self):
+        assert 0.0 <= speed_dispersion([1.0, 100.0]) < 1.0
+
+    def test_scale_invariant(self):
+        assert speed_dispersion([1.0, 4.0]) == pytest.approx(
+            speed_dispersion([10.0, 40.0])
+        )
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            speed_dispersion([])
+        with pytest.raises(ValueError):
+            speed_dispersion([0.0, 1.0])
+
+
+class TestPredictedImprovement:
+    def test_homogeneous_no_improvement(self):
+        net = make_network([2.0] * 6, utilization=0.7)
+        assert predicted_improvement(net) == pytest.approx(0.0, abs=1e-9)
+
+    def test_figure3_analytic_shape(self):
+        """Improvement grows with fast-machine speed (Figure 3 trend)."""
+        values = [
+            predicted_improvement(
+                make_network([f] * 2 + [1.0] * 16, utilization=0.7)
+            )
+            for f in (1.0, 4.0, 10.0, 20.0)
+        ]
+        assert all(a < b + 1e-12 for a, b in zip(values, values[1:]))
+        # At 20:1 skew the model predicts a large double-digit gap.
+        assert values[-1] > 0.25
+
+    def test_figure5_analytic_shape(self):
+        """Improvement decreases with load toward the dispersion limit
+        (NOT zero — the alphas converge to weighted but the slack
+        distribution does not)."""
+        speeds = [1.0] * 5 + [1.5] * 4 + [2.0] * 3 + [5.0, 10.0, 12.0]
+        curve = improvement_curve(speeds, (0.3, 0.5, 0.7, 0.9, 0.999))
+        assert all(a >= b - 1e-12 for a, b in zip(curve, curve[1:]))
+        assert curve[0] > 0.4
+        # Limit = speed dispersion; rho=0.999 is essentially there.
+        assert curve[-1] == pytest.approx(speed_dispersion(speeds), abs=0.01)
+        # The paper measures ~24% at rho=0.9; the model says ~22%.
+        assert curve[3] == pytest.approx(0.22, abs=0.02)
+
+    def test_curve_validation(self):
+        with pytest.raises(ValueError):
+            improvement_curve([1.0, 2.0], (0.5, 1.5))
+
+    def test_positive_whenever_heterogeneous(self):
+        net = make_network([1.0, 1.5], utilization=0.6)
+        assert predicted_improvement(net) > 0.0
+
+
+class TestLoadDerivative:
+    def test_positive_and_growing(self):
+        """T* increases with load, ever more steeply."""
+        speeds = [1.0, 2.0, 8.0]
+        d_low = response_time_load_derivative(make_network(speeds, 0.3))
+        d_high = response_time_load_derivative(make_network(speeds, 0.9))
+        assert 0.0 < d_low < d_high
+
+    def test_matches_wide_difference(self):
+        net = make_network([1.0, 4.0], utilization=0.6)
+        from repro.allocation import optimal_mean_response_time
+
+        wide = (
+            optimal_mean_response_time(net.with_utilization(0.65))
+            - optimal_mean_response_time(net.with_utilization(0.55))
+        ) / 0.1
+        assert response_time_load_derivative(net) == pytest.approx(wide, rel=0.05)
+
+    def test_boundary_validation(self):
+        net = make_network([1.0], utilization=0.5)
+        with pytest.raises(ValueError, match="boundary"):
+            response_time_load_derivative(net, eps=0.6)

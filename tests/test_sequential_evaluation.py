@@ -1,0 +1,77 @@
+"""Tests for precision-driven sequential replication."""
+
+import pytest
+
+from repro.core import evaluate_policy, evaluate_policy_to_precision, get_policy
+from repro.sim import SimulationConfig
+
+CONFIG = SimulationConfig(speeds=(1.0, 4.0), utilization=0.5, duration=1.5e4)
+
+
+class TestEvaluateToPrecision:
+    def test_stops_when_precise(self):
+        ev = evaluate_policy_to_precision(
+            CONFIG, get_policy("WRR"),
+            target_relative_half_width=5.0,  # very loose: stops at minimum
+            min_replications=3, max_replications=20, base_seed=4,
+        )
+        assert ev.replications == 3
+        assert ev.mean_response_ratio.relative_half_width <= 5.0
+
+    def test_keeps_going_for_tight_target(self):
+        loose = evaluate_policy_to_precision(
+            CONFIG, get_policy("WRR"),
+            target_relative_half_width=0.5,
+            min_replications=3, max_replications=12, base_seed=4,
+        )
+        tight = evaluate_policy_to_precision(
+            CONFIG, get_policy("WRR"),
+            target_relative_half_width=0.02,
+            min_replications=3, max_replications=12, base_seed=4,
+        )
+        assert tight.replications >= loose.replications
+
+    def test_caps_at_max(self):
+        ev = evaluate_policy_to_precision(
+            CONFIG, get_policy("WRAN"),
+            target_relative_half_width=1e-9,  # unreachable
+            min_replications=2, max_replications=4, base_seed=4,
+        )
+        assert ev.replications == 4
+
+    def test_prefix_matches_fixed_evaluation(self):
+        """Sequential runs extend the deterministic replication seeds,
+        so the first k replications match evaluate_policy exactly."""
+        seq = evaluate_policy_to_precision(
+            CONFIG, get_policy("ORR"),
+            target_relative_half_width=1e-9,
+            min_replications=3, max_replications=3, base_seed=9,
+        )
+        fixed = evaluate_policy(
+            CONFIG, get_policy("ORR"), replications=3, base_seed=9
+        )
+        assert seq.mean_response_ratio.mean == fixed.mean_response_ratio.mean
+
+    def test_metric_selection(self):
+        ev = evaluate_policy_to_precision(
+            CONFIG, get_policy("WRR"),
+            target_relative_half_width=0.5, metric="fairness",
+            min_replications=2, max_replications=6, base_seed=1,
+        )
+        assert ev.replications <= 6
+
+    def test_validation(self):
+        with pytest.raises(ValueError, match="half-width"):
+            evaluate_policy_to_precision(
+                CONFIG, get_policy("WRR"), target_relative_half_width=0.0
+            )
+        with pytest.raises(ValueError, match="min_replications"):
+            evaluate_policy_to_precision(
+                CONFIG, get_policy("WRR"),
+                min_replications=5, max_replications=2,
+            )
+        with pytest.raises(KeyError, match="unknown metric"):
+            evaluate_policy_to_precision(
+                CONFIG, get_policy("WRR"), metric="latency",
+                min_replications=1, max_replications=2,
+            )

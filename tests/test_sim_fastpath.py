@@ -1,0 +1,168 @@
+"""Tests for the vectorized static-policy path and engine equivalence."""
+
+import numpy as np
+import pytest
+
+from repro.core import get_policy, run_policy_once
+from repro.dispatch import CyclicDispatcher, LeastLoadDispatcher, RandomDispatcher
+from repro.distributions import Exponential
+from repro.rng import substream
+from repro.sim import SimulationConfig, ps_replay, run_simulation, run_static_simulation
+
+
+class TestPsReplay:
+    def test_single_job(self):
+        out = ps_replay(np.array([1.0]), np.array([4.0]), 2.0)
+        np.testing.assert_allclose(out, [3.0])
+
+    def test_hand_computed_sharing(self):
+        # Same scenario as the server test: sizes 2 and 4 at t=0, speed 1.
+        out = ps_replay(np.array([0.0, 0.0]), np.array([2.0, 4.0]), 1.0)
+        np.testing.assert_allclose(out, [4.0, 6.0])
+
+    def test_late_arrival(self):
+        out = ps_replay(np.array([0.0, 1.0]), np.array([3.0, 1.0]), 1.0)
+        np.testing.assert_allclose(out, [4.0, 3.0])
+
+    def test_empty(self):
+        assert ps_replay(np.empty(0), np.empty(0), 1.0).size == 0
+
+    def test_idle_gap_resets(self):
+        out = ps_replay(np.array([0.0, 100.0]), np.array([1.0, 1.0]), 1.0)
+        np.testing.assert_allclose(out, [1.0, 101.0])
+
+    def test_completions_bounded_below_by_solo_time(self, rng):
+        n = 500
+        times = np.sort(rng.random(n) * 100.0)
+        sizes = rng.random(n) + 0.05
+        out = ps_replay(times, sizes, 2.0)
+        assert np.all(out >= times + sizes / 2.0 - 1e-12)
+
+    def test_matches_event_server(self, rng):
+        """ps_replay equals the event-driven PS server on random input."""
+        from repro.sim import Job, ProcessorSharingServer
+
+        n = 300
+        times = np.sort(rng.random(n) * 50.0)
+        sizes = rng.random(n) * 2.0 + 0.01
+        replay = ps_replay(times, sizes, 1.5)
+
+        server = ProcessorSharingServer(1.5)
+        completions = np.empty(n)
+        idx = 0
+        while idx < n or server.n_active:
+            nxt = server.next_event_time()
+            if idx < n and (nxt is None or times[idx] < nxt):
+                server.arrive(Job(idx, float(times[idx]), float(sizes[idx])), float(times[idx]))
+                idx += 1
+            else:
+                job = server.on_event(nxt)
+                completions[job.job_id] = nxt
+        np.testing.assert_allclose(replay, completions, rtol=1e-9, atol=1e-9)
+
+    def test_validation(self):
+        with pytest.raises(ValueError, match="align"):
+            ps_replay(np.array([1.0]), np.array([1.0, 2.0]), 1.0)
+        with pytest.raises(ValueError, match="non-decreasing"):
+            ps_replay(np.array([2.0, 1.0]), np.array([1.0, 1.0]), 1.0)
+        with pytest.raises(ValueError, match="positive"):
+            ps_replay(np.array([1.0]), np.array([0.0]), 1.0)
+        with pytest.raises(ValueError, match="speed"):
+            ps_replay(np.array([1.0]), np.array([1.0]), 0.0)
+
+
+class TestFastPathRestrictions:
+    def test_rejects_dynamic_dispatcher(self):
+        config = SimulationConfig(speeds=(1.0,), utilization=0.5, duration=1e3)
+        with pytest.raises(ValueError, match="feedback"):
+            run_static_simulation(config, LeastLoadDispatcher([1.0]), None, seed=0)
+
+    def test_rejects_non_ps_discipline(self):
+        config = SimulationConfig(
+            speeds=(1.0,), utilization=0.5, duration=1e3, discipline="fcfs"
+        )
+        with pytest.raises(ValueError, match="PS discipline"):
+            run_static_simulation(config, CyclicDispatcher(), np.array([1.0]), seed=0)
+
+
+class TestEngineEquivalence:
+    """The decomposed fast path must reproduce the event engine exactly
+    (same streams, same boundaries) up to float accumulation order."""
+
+    @pytest.mark.parametrize("policy_name", ["WRAN", "ORAN", "WRR", "ORR"])
+    def test_policies_agree(self, policy_name):
+        config = SimulationConfig(
+            speeds=(1.0, 2.0, 5.0), utilization=0.6, duration=2.0e4
+        )
+        policy = get_policy(policy_name)
+        fast = run_policy_once(config, policy, seed=42)
+        slow = run_policy_once(config, policy, seed=42, force_engine=True)
+        assert fast.total_arrivals == slow.total_arrivals
+        assert fast.metrics.jobs == slow.metrics.jobs
+        assert fast.metrics.mean_response_time == pytest.approx(
+            slow.metrics.mean_response_time, rel=1e-9
+        )
+        assert fast.metrics.mean_response_ratio == pytest.approx(
+            slow.metrics.mean_response_ratio, rel=1e-9
+        )
+        assert fast.metrics.fairness == pytest.approx(
+            slow.metrics.fairness, rel=1e-6
+        )
+
+    def test_dispatch_fractions_agree(self):
+        config = SimulationConfig(
+            speeds=(1.0, 4.0), utilization=0.5, duration=2.0e4
+        )
+        policy = get_policy("ORR")
+        fast = run_policy_once(config, policy, seed=7)
+        slow = run_policy_once(config, policy, seed=7, force_engine=True)
+        np.testing.assert_allclose(
+            fast.dispatch_fractions, slow.dispatch_fractions, atol=1e-12
+        )
+
+    def test_traces_agree(self):
+        config = SimulationConfig(speeds=(1.0, 3.0), utilization=0.5, duration=5e3)
+        policy = get_policy("WRR")
+        fast = run_policy_once(config, policy, seed=9, record_trace=True)
+        slow = run_policy_once(
+            config, policy, seed=9, record_trace=True, force_engine=True
+        )
+        np.testing.assert_allclose(fast.trace.times, slow.trace.times, rtol=1e-12)
+        np.testing.assert_array_equal(fast.trace.targets, slow.trace.targets)
+
+    def test_busy_time_agrees(self):
+        config = SimulationConfig(speeds=(1.0, 3.0), utilization=0.5, duration=1e4)
+        policy = get_policy("WRAN")
+        fast = run_policy_once(config, policy, seed=3)
+        slow = run_policy_once(config, policy, seed=3, force_engine=True)
+        np.testing.assert_allclose(
+            [s.busy_time for s in fast.servers],
+            [s.busy_time for s in slow.servers],
+            rtol=1e-9,
+        )
+
+
+class TestFastPathStatistics:
+    def test_mm1_ps_theory(self):
+        config = SimulationConfig(
+            speeds=(1.0,), utilization=0.5, duration=5.0e5, warmup=5.0e4,
+            size_distribution=Exponential.from_mean(1.0), arrival_cv=1.0,
+        )
+        result = run_static_simulation(
+            config, CyclicDispatcher(), np.array([1.0]), seed=30
+        )
+        assert result.metrics.mean_response_ratio == pytest.approx(2.0, rel=0.05)
+
+    def test_two_server_weighted_matches_theory(self):
+        """Weighted random split of Poisson arrivals keeps each server an
+        independent M/G/1-PS at the system utilization."""
+        config = SimulationConfig(
+            speeds=(1.0, 3.0), utilization=0.6, duration=6.0e5, warmup=1.0e5,
+            arrival_cv=1.0,
+        )
+        d = RandomDispatcher(substream(31, "dispatch"))
+        result = run_static_simulation(config, d, np.array([0.25, 0.75]), seed=31)
+        # Paper eq. (3): R̄ = Σ αᵢ μ/(sᵢμ − αᵢλ) = 0.25/0.4 + 0.75/1.2 = 1.25.
+        expected = config.network().mean_response_ratio([0.25, 0.75])
+        assert expected == pytest.approx(1.25)
+        assert result.metrics.mean_response_ratio == pytest.approx(expected, rel=0.08)

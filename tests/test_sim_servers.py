@@ -1,0 +1,199 @@
+"""Tests for the server models (PS virtual time, FCFS, quantum RR)."""
+
+import numpy as np
+import pytest
+
+from repro.sim import (
+    FCFSServer,
+    Job,
+    ProcessorSharingServer,
+    RoundRobinQuantumServer,
+)
+
+
+def drive(server, arrivals):
+    """Feed (time, size) arrivals and run all events; return completion
+    times keyed by job id."""
+    completions = {}
+    jobs = [Job(i, t, s) for i, (t, s) in enumerate(arrivals)]
+    pending = sorted(jobs, key=lambda j: j.arrival_time)
+    idx = 0
+    now = 0.0
+    while idx < len(pending) or server.n_active:
+        nxt = server.next_event_time()
+        next_arrival = pending[idx].arrival_time if idx < len(pending) else None
+        if next_arrival is not None and (nxt is None or next_arrival < nxt):
+            server.arrive(pending[idx], next_arrival)
+            now = next_arrival
+            idx += 1
+        else:
+            done = server.on_event(nxt)
+            now = nxt
+            if done is not None:
+                completions[done.job_id] = nxt
+    return completions
+
+
+class TestJob:
+    def test_properties(self):
+        j = Job(0, 1.0, 2.0)
+        assert not j.completed
+        j.completion_time = 5.0
+        assert j.completed
+        assert j.response_time == pytest.approx(4.0)
+        assert j.response_ratio == pytest.approx(2.0)
+
+    def test_validation(self):
+        with pytest.raises(ValueError, match="size"):
+            Job(0, 0.0, 0.0)
+        with pytest.raises(ValueError, match="arrival"):
+            Job(0, -1.0, 1.0)
+
+    def test_incomplete_response_raises(self):
+        with pytest.raises(ValueError, match="not completed"):
+            Job(0, 0.0, 1.0).response_time
+
+
+class TestProcessorSharingServer:
+    def test_single_job(self):
+        s = ProcessorSharingServer(2.0)
+        done = drive(s, [(1.0, 4.0)])
+        # size 4 on speed 2 alone: 2 seconds.
+        assert done[0] == pytest.approx(3.0)
+
+    def test_two_overlapping_jobs_hand_computed(self):
+        """Jobs (t=0, size=2) and (t=0, size=4) on speed 1.
+
+        Shared until the small job finishes: each gets rate 1/2, so the
+        small one completes at t=4 having received 2 units; the big one
+        then runs alone with 2 remaining → completes at t=6.
+        """
+        s = ProcessorSharingServer(1.0)
+        done = drive(s, [(0.0, 2.0), (0.0, 4.0)])
+        assert done[0] == pytest.approx(4.0)
+        assert done[1] == pytest.approx(6.0)
+
+    def test_late_arrival_hand_computed(self):
+        """Job A (t=0, size=3), job B (t=1, size=1), speed 1.
+
+        A alone on [0,1): 1 unit done.  Shared on [1, 3): each +1 unit →
+        B done at t=3.  A has 1 left, alone → done at t=4.
+        """
+        s = ProcessorSharingServer(1.0)
+        done = drive(s, [(0.0, 3.0), (1.0, 1.0)])
+        assert done[1] == pytest.approx(3.0)
+        assert done[0] == pytest.approx(4.0)
+
+    def test_speed_scales_everything(self):
+        slow = drive(ProcessorSharingServer(1.0), [(0.0, 2.0), (0.0, 4.0)])
+        fast = drive(ProcessorSharingServer(4.0), [(0.0, 2.0), (0.0, 4.0)])
+        for k in slow:
+            assert fast[k] == pytest.approx(slow[k] / 4.0)
+
+    def test_work_conservation(self):
+        s = ProcessorSharingServer(2.0)
+        arrivals = [(0.0, 2.0), (0.5, 3.0), (0.7, 1.0)]
+        done = drive(s, arrivals)
+        # Continuous busy period: last completion = total work / speed.
+        assert max(done.values()) == pytest.approx(6.0 / 2.0)
+        assert s.busy_time == pytest.approx(3.0)
+
+    def test_busy_time_with_idle_gap(self):
+        s = ProcessorSharingServer(1.0)
+        drive(s, [(0.0, 1.0), (10.0, 2.0)])
+        assert s.busy_time == pytest.approx(3.0)
+        assert s.utilization(20.0) == pytest.approx(0.15)
+
+    def test_counters(self):
+        s = ProcessorSharingServer(1.0)
+        drive(s, [(0.0, 1.0), (0.0, 1.0)])
+        assert s.jobs_received == 2
+        assert s.jobs_completed == 2
+        assert s.n_active == 0
+
+    def test_version_bumps_on_state_change(self):
+        s = ProcessorSharingServer(1.0)
+        v0 = s.version
+        s.arrive(Job(0, 0.0, 1.0), 0.0)
+        assert s.version > v0
+        v1 = s.version
+        s.on_event(s.next_event_time())
+        assert s.version > v1
+
+    def test_invalid_speed(self):
+        with pytest.raises(ValueError):
+            ProcessorSharingServer(0.0)
+
+    def test_equal_sizes_complete_together(self):
+        s = ProcessorSharingServer(1.0)
+        done = drive(s, [(0.0, 2.0), (0.0, 2.0)])
+        assert done[0] == pytest.approx(4.0)
+        assert done[1] == pytest.approx(4.0)
+
+
+class TestFCFSServer:
+    def test_sequential_service(self):
+        s = FCFSServer(1.0)
+        done = drive(s, [(0.0, 2.0), (0.0, 3.0)])
+        assert done[0] == pytest.approx(2.0)
+        assert done[1] == pytest.approx(5.0)
+
+    def test_idle_restart(self):
+        s = FCFSServer(2.0)
+        done = drive(s, [(0.0, 2.0), (5.0, 2.0)])
+        assert done[0] == pytest.approx(1.0)
+        assert done[1] == pytest.approx(6.0)
+
+    def test_order_preserved(self):
+        s = FCFSServer(1.0)
+        done = drive(s, [(0.0, 5.0), (0.1, 0.1)])
+        assert done[1] > done[0]  # short job still waits behind long one
+
+    def test_busy_time(self):
+        s = FCFSServer(1.0)
+        drive(s, [(0.0, 1.0), (0.0, 1.0)])
+        assert s.busy_time == pytest.approx(2.0)
+
+
+class TestRoundRobinQuantumServer:
+    def test_single_job(self):
+        s = RoundRobinQuantumServer(1.0, quantum=0.3)
+        done = drive(s, [(0.0, 1.0)])
+        assert done[0] == pytest.approx(1.0)
+
+    def test_two_jobs_alternate(self):
+        """Two size-1 jobs, quantum 0.5, speed 1: slices ABAB → A ends
+        at 1.5, B at 2.0."""
+        s = RoundRobinQuantumServer(1.0, quantum=0.5)
+        done = drive(s, [(0.0, 1.0), (0.0, 1.0)])
+        assert done[0] == pytest.approx(1.5)
+        assert done[1] == pytest.approx(2.0)
+
+    def test_converges_to_ps_as_quantum_shrinks(self):
+        arrivals = [(0.0, 2.0), (0.0, 4.0), (1.0, 1.0)]
+        ps_done = drive(ProcessorSharingServer(1.0), arrivals)
+        rr_done = drive(RoundRobinQuantumServer(1.0, quantum=0.001), arrivals)
+        for k in ps_done:
+            assert rr_done[k] == pytest.approx(ps_done[k], abs=0.01)
+
+    def test_large_quantum_is_fcfs(self):
+        arrivals = [(0.0, 2.0), (0.0, 3.0)]
+        fcfs_done = drive(FCFSServer(1.0), arrivals)
+        rr_done = drive(RoundRobinQuantumServer(1.0, quantum=100.0), arrivals)
+        for k in fcfs_done:
+            assert rr_done[k] == pytest.approx(fcfs_done[k])
+
+    def test_speed_applies_to_quantum_work(self):
+        s = RoundRobinQuantumServer(2.0, quantum=0.5)
+        done = drive(s, [(0.0, 2.0)])
+        assert done[0] == pytest.approx(1.0)
+
+    def test_invalid_quantum(self):
+        with pytest.raises(ValueError):
+            RoundRobinQuantumServer(1.0, quantum=0.0)
+
+    def test_work_conserving(self):
+        s = RoundRobinQuantumServer(1.0, quantum=0.37)
+        arrivals = [(0.0, 1.0), (0.2, 2.0), (0.4, 0.5)]
+        done = drive(s, arrivals)
+        assert max(done.values()) == pytest.approx(3.5)
