@@ -11,7 +11,14 @@ import pytest
 from repro.allocation import optimized_fractions
 from repro.dispatch import RandomDispatcher, RoundRobinDispatcher
 from repro.queueing import HeterogeneousNetwork
-from repro.sim import ps_replay
+from repro.core.cache import ReplicationCache
+from repro.core.executor import shutdown_shared_executor
+from repro.experiments.base import SCALES
+from repro.experiments.figure3 import run_figure3
+from repro.sim import fcfs_replay, ps_replay
+from repro.sim.fastpath import _fcfs_replay_loop, _ps_replay_loop
+
+from .conftest import run_once
 
 
 @pytest.fixture(scope="module")
@@ -28,6 +35,29 @@ def test_ps_replay_throughput(benchmark, workload):
     completions = benchmark(ps_replay, times, sizes, 2.0)
     assert completions.shape == times.shape
     assert np.all(completions >= times)
+
+
+def test_ps_replay_loop_baseline(benchmark, workload):
+    """The pre-vectorization per-event loop, kept as the reference point
+    the segmented kernel is compared against."""
+    times, sizes = workload
+    completions = benchmark(_ps_replay_loop, times[:20_000], sizes[:20_000], 2.0)
+    assert completions.shape == (20_000,)
+
+
+def test_fcfs_replay_throughput(benchmark, workload):
+    times, sizes = workload
+    completions = benchmark(fcfs_replay, times, sizes, 2.0)
+    assert completions.shape == times.shape
+    # FCFS departures never decrease.
+    assert np.all(np.diff(completions) >= 0)
+
+
+def test_fcfs_replay_loop_baseline(benchmark, workload):
+    """Per-job Lindley loop: the baseline the prefix-max kernel beats."""
+    times, sizes = workload
+    completions = benchmark(_fcfs_replay_loop, times, sizes, 2.0)
+    assert completions.shape == times.shape
 
 
 def test_round_robin_dispatch_throughput(benchmark):
@@ -64,3 +94,47 @@ def test_algorithm1_latency(benchmark):
     net = HeterogeneousNetwork(rng.uniform(0.5, 20.0, 1000), utilization=0.7)
     alphas = benchmark(optimized_fractions, net)
     assert alphas.sum() == pytest.approx(1.0)
+
+
+# ---------------------------------------------------------------------------
+# End-to-end sweep benches: the grid executor against the serial path.
+# ---------------------------------------------------------------------------
+
+_SWEEP_KWARGS = dict(fast_speeds=(1.0, 10.0), policies=("ORR", "WRR"))
+
+
+def _smoke_sweep(n_jobs=None):
+    return run_figure3(SCALES["smoke"], n_jobs=n_jobs, **_SWEEP_KWARGS)
+
+
+def test_sweep_serial_smoke(benchmark):
+    result = run_once(benchmark, _smoke_sweep)
+    assert result.cells
+
+
+def test_sweep_grid_parallel_smoke(benchmark):
+    """Same sweep through the shared pool; series must match serial.
+
+    On many-core machines this is the speedup path; on small ones it
+    mainly guards that the pool round-trip stays cheap and exact.
+    """
+    serial = _smoke_sweep()
+    result = run_once(benchmark, _smoke_sweep, n_jobs=2)
+    shutdown_shared_executor()
+    for policy in _SWEEP_KWARGS["policies"]:
+        np.testing.assert_array_equal(
+            serial.series(policy, "mean_response_ratio"),
+            result.series(policy, "mean_response_ratio"),
+        )
+
+
+def test_sweep_warm_cache_smoke(benchmark, tmp_path):
+    """A fully warmed cache pass: no simulation, just lookups."""
+    cache = ReplicationCache(tmp_path)
+    cold = run_figure3(SCALES["smoke"], cache=cache, **_SWEEP_KWARGS)
+    assert cold.cache_misses > 0
+    warm = run_once(
+        benchmark, run_figure3, SCALES["smoke"], cache=cache, **_SWEEP_KWARGS
+    )
+    assert warm.cache_hits == cold.cache_misses
+    assert warm.cache_misses == 0

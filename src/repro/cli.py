@@ -13,6 +13,13 @@ Subcommands
   paper metrics.
 * ``validate --speeds 1,4 --utilization 0.6`` — compare a static
   policy's simulated metrics against the analytical model.
+* ``bench`` — time the performance stack (vectorized kernels, grid
+  executor, replication cache) against the serial baselines and append
+  a record to the ``BENCH_sweep.json`` trajectory.
+
+``run``, ``simulate``, and ``bench`` accept ``--n-jobs N|auto`` (or the
+``REPRO_JOBS`` environment variable) to fan replications across worker
+processes; results are bit-identical to serial runs.
 """
 
 from __future__ import annotations
@@ -52,6 +59,20 @@ def build_parser() -> argparse.ArgumentParser:
         default=None,
         help="also export structured results (figure3-6 sweeps only)",
     )
+    run_p.add_argument(
+        "--n-jobs",
+        metavar="N",
+        default=None,
+        help="worker processes for sweep replications: an integer or "
+             "'auto' (default: REPRO_JOBS env or 1)",
+    )
+    run_p.add_argument(
+        "--cache",
+        metavar="DIR",
+        default=None,
+        help="persistent replication cache directory "
+             "(default: REPRO_CACHE env or no caching)",
+    )
 
     sub.add_parser("list", help="list available experiments")
 
@@ -80,6 +101,13 @@ def build_parser() -> argparse.ArgumentParser:
     sim_p.add_argument("--arrival-cv", type=float, default=3.0,
                        help="inter-arrival coefficient of variation")
     sim_p.add_argument("--seed", type=int, default=0)
+    sim_p.add_argument(
+        "--n-jobs",
+        metavar="N",
+        default=None,
+        help="worker processes for replications: an integer or 'auto' "
+             "(default: REPRO_JOBS env or 1)",
+    )
 
     val_p = sub.add_parser(
         "validate", help="compare simulation against the analytical model"
@@ -99,6 +127,37 @@ def build_parser() -> argparse.ArgumentParser:
     char_p.add_argument("trace", help="two-column CSV: arrival_time,size")
     char_p.add_argument("--speeds", default=None,
                         help="optional cluster speeds to compute offered load")
+
+    bench_p = sub.add_parser(
+        "bench",
+        help="benchmark the performance stack and record a trajectory point",
+    )
+    bench_p.add_argument(
+        "--scale",
+        choices=("smoke", "quick", "paper"),
+        default="smoke",
+        help="sweep scale for the end-to-end benchmark (default: smoke)",
+    )
+    bench_p.add_argument(
+        "--n-jobs",
+        metavar="N",
+        default=None,
+        help="worker processes for the grid pass: an integer or 'auto' "
+             "(default: REPRO_JOBS env or 1)",
+    )
+    bench_p.add_argument(
+        "--output",
+        metavar="PATH",
+        default="BENCH_sweep.json",
+        help="trajectory file to append the benchmark record to",
+    )
+    bench_p.add_argument(
+        "--cache",
+        metavar="DIR",
+        default=None,
+        help="cache directory for the cold/warm pass "
+             "(default: a temporary directory)",
+    )
     return parser
 
 
@@ -118,8 +177,31 @@ _SWEEP_RUNNERS = {
 }
 
 
+def _resolve_jobs(value) -> int | None:
+    """Resolve an ``--n-jobs`` value; print the error and return None on
+    bad input (the caller exits 2)."""
+    from .core.executor import resolve_n_jobs
+
+    try:
+        return resolve_n_jobs(value)
+    except ValueError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return None
+
+
+def _open_cache(path):
+    from .core.cache import ReplicationCache
+
+    return ReplicationCache(path) if path else None
+
+
 def _cmd_run(args) -> int:
     from . import experiments
+
+    n_jobs = _resolve_jobs(args.n_jobs)
+    if n_jobs is None:
+        return 2
+    cache = _open_cache(args.cache)
 
     if args.experiment == "all":
         if args.json:
@@ -127,7 +209,9 @@ def _cmd_run(args) -> int:
                   file=sys.stderr)
             return 2
         for key in experiments.experiment_ids():
-            print(experiments.run_experiment(key, args.scale))
+            print(experiments.run_experiment(
+                key, args.scale, n_jobs=n_jobs, cache=cache
+            ))
             print()
         return 0
 
@@ -140,13 +224,17 @@ def _cmd_run(args) -> int:
             )
             return 2
         run_name, fmt_name = _SWEEP_RUNNERS[args.experiment]
-        result = getattr(experiments, run_name)(args.scale)
+        result = getattr(experiments, run_name)(
+            args.scale, n_jobs=n_jobs, cache=cache
+        )
         print(getattr(experiments, fmt_name)(result))
         path = experiments.save_sweep_json(result, args.json)
         print(f"\nstructured results written to {path}")
         return 0
 
-    print(experiments.run_experiment(args.experiment, args.scale))
+    print(experiments.run_experiment(
+        args.experiment, args.scale, n_jobs=n_jobs, cache=cache
+    ))
     return 0
 
 
@@ -206,10 +294,13 @@ def _cmd_allocate(args) -> int:
 
 
 def _cmd_simulate(args) -> int:
-    from .core import evaluate_policy, get_policy
+    from .core import evaluate_policy, evaluate_policy_parallel, get_policy
     from .experiments.reporting import format_table
     from .sim import SimulationConfig
 
+    n_jobs = _resolve_jobs(args.n_jobs)
+    if n_jobs is None:
+        return 2
     speeds = _parse_speeds(args.speeds)
     if speeds is None:
         print(f"error: could not parse speeds {args.speeds!r}", file=sys.stderr)
@@ -230,9 +321,18 @@ def _cmd_simulate(args) -> int:
         except KeyError as exc:
             print(f"error: {exc}", file=sys.stderr)
             return 2
-        ev = evaluate_policy(
-            config, policy, replications=args.replications, base_seed=args.seed
-        )
+        if n_jobs > 1:
+            # Bit-identical to the serial path: same seeds, same
+            # order-insensitive aggregation.
+            ev = evaluate_policy_parallel(
+                config, name.strip(), replications=args.replications,
+                base_seed=args.seed, n_jobs=n_jobs,
+            )
+        else:
+            ev = evaluate_policy(
+                config, policy, replications=args.replications,
+                base_seed=args.seed,
+            )
         rows.append([
             policy.name,
             ev.mean_response_time.mean,
@@ -316,6 +416,203 @@ def _cmd_characterize(args) -> int:
     return 0
 
 
+def _time(fn, *args, **kwargs):
+    import time
+
+    t0 = time.perf_counter()
+    out = fn(*args, **kwargs)
+    return out, time.perf_counter() - t0
+
+
+def _cmd_bench(args) -> int:
+    """Benchmark the performance stack and append to the trajectory file.
+
+    Three sections:
+
+    * kernels — vectorized FCFS/PS replay vs the per-job reference loops
+      on one synthetic substream;
+    * replication — one fast-path replication vs the event engine on the
+      Figure 3 high-skew point, for both disciplines;
+    * sweep — a Figure 3 subset serially, through the grid executor
+      (verifying the series are identical), then cold/warm through the
+      replication cache.
+    """
+    import json
+    import tempfile
+    from datetime import datetime, timezone
+
+    n_jobs = _resolve_jobs(args.n_jobs)
+    if n_jobs is None:
+        return 2
+
+    from .core import get_policy
+    from .core.evaluate import run_policy_once
+    from .experiments.base import SCALES
+    from .experiments.configs import skewness_config
+    from .experiments.figure3 import run_figure3
+    from .sim import SimulationConfig
+    from .sim.fastpath import (
+        KERNEL_VERSION,
+        _fcfs_replay_loop,
+        _ps_replay_loop,
+        fcfs_replay,
+        ps_replay,
+    )
+
+    scale = SCALES[args.scale]
+    record: dict = {
+        "timestamp": datetime.now(timezone.utc).isoformat(timespec="seconds"),
+        "kernel_version": KERNEL_VERSION,
+        "scale": scale.name,
+        "n_jobs": n_jobs,
+    }
+
+    # --- kernels: vectorized replay vs the per-job reference loops ----
+    rng = np.random.default_rng(12345)
+    n = 200_000
+    times = np.cumsum(rng.exponential(1.0, n))
+    work = rng.lognormal(mean=0.0, sigma=1.5, size=n)
+    ref, fcfs_loop_s = _time(_fcfs_replay_loop, times, work, 2.0)
+    fast, fcfs_fast_s = _time(fcfs_replay, times, work, 2.0)
+    if not np.allclose(ref, fast, rtol=1e-9):
+        print("error: FCFS kernel disagrees with reference loop",
+              file=sys.stderr)
+        return 1
+    m = 30_000
+    ref, ps_loop_s = _time(_ps_replay_loop, times[:m], work[:m], 2.0)
+    fast, ps_fast_s = _time(ps_replay, times[:m], work[:m], 2.0)
+    if not np.allclose(np.sort(ref), np.sort(fast), rtol=1e-9):
+        print("error: PS kernel disagrees with reference loop",
+              file=sys.stderr)
+        return 1
+    record["kernels"] = {
+        "fcfs_jobs": n,
+        "fcfs_loop_s": fcfs_loop_s,
+        "fcfs_fast_s": fcfs_fast_s,
+        "fcfs_speedup": fcfs_loop_s / fcfs_fast_s,
+        "ps_jobs": m,
+        "ps_loop_s": ps_loop_s,
+        "ps_fast_s": ps_fast_s,
+        "ps_speedup": ps_loop_s / ps_fast_s,
+    }
+
+    # --- replication: fast path vs event engine, both disciplines -----
+    base = skewness_config(10.0, 0.70)
+    policy = get_policy("ORR")
+    replication: dict = {}
+    for discipline in ("ps", "fcfs"):
+        config = SimulationConfig(
+            speeds=base.speeds, utilization=base.utilization,
+            duration=scale.duration, warmup=scale.warmup,
+            size_distribution=base.size_distribution,
+            arrival_cv=base.arrival_cv, discipline=discipline,
+        )
+        eng, engine_s = _time(
+            run_policy_once, config, policy, seed=scale.base_seed,
+            force_engine=True,
+        )
+        fastr, fast_s = _time(
+            run_policy_once, config, policy, seed=scale.base_seed
+        )
+        replication[discipline] = {
+            "engine_s": engine_s,
+            "fast_s": fast_s,
+            "speedup": engine_s / fast_s,
+            "agree": bool(np.isclose(
+                eng.metrics.mean_response_ratio,
+                fastr.metrics.mean_response_ratio,
+                rtol=1e-9,
+            )),
+        }
+    record["replication"] = replication
+
+    # --- sweep: serial vs grid executor, then cold/warm cache ---------
+    kwargs = dict(
+        fast_speeds=(1.0, 10.0), policies=("WRAN", "WRR", "ORAN", "ORR")
+    )
+    serial, serial_s = _time(run_figure3, scale, **kwargs)
+    grid, grid_s = _time(run_figure3, scale, n_jobs=n_jobs, **kwargs)
+    identical = all(
+        np.array_equal(
+            serial.series(p, "mean_response_ratio"),
+            grid.series(p, "mean_response_ratio"),
+        )
+        for p in kwargs["policies"]
+    )
+    if not identical:
+        print("error: grid sweep diverged from the serial sweep",
+              file=sys.stderr)
+        return 1
+
+    if args.cache:
+        cold, cold_s = _time(
+            run_figure3, scale, cache=_open_cache(args.cache), **kwargs
+        )
+        warm, warm_s = _time(
+            run_figure3, scale, cache=_open_cache(args.cache), **kwargs
+        )
+    else:
+        with tempfile.TemporaryDirectory(prefix="repro-bench-") as tmp:
+            cold, cold_s = _time(
+                run_figure3, scale, cache=_open_cache(tmp), **kwargs
+            )
+            warm, warm_s = _time(
+                run_figure3, scale, cache=_open_cache(tmp), **kwargs
+            )
+    record["sweep"] = {
+        "points": len(kwargs["fast_speeds"]),
+        "policies": len(kwargs["policies"]),
+        "replications": scale.replications,
+        "serial_s": serial_s,
+        "grid_s": grid_s,
+        "grid_identical": identical,
+        "cache_cold_s": cold_s,
+        "cache_cold_hits": cold.cache_hits,
+        "cache_warm_s": warm_s,
+        "cache_warm_hits": warm.cache_hits,
+        "cache_speedup": cold_s / warm_s if warm_s > 0 else float("inf"),
+    }
+
+    # --- append to the trajectory and summarize -----------------------
+    trajectory: list = []
+    try:
+        with open(args.output, encoding="utf-8") as fh:
+            trajectory = json.load(fh)
+        if not isinstance(trajectory, list):
+            trajectory = [trajectory]
+    except (OSError, ValueError):
+        pass
+    trajectory.append(record)
+    try:
+        with open(args.output, "w", encoding="utf-8") as fh:
+            json.dump(trajectory, fh, indent=2)
+            fh.write("\n")
+    except OSError as exc:
+        print(f"error: cannot write {args.output}: {exc}", file=sys.stderr)
+        return 2
+
+    k, r, s = record["kernels"], record["replication"], record["sweep"]
+    print(f"benchmark @ scale={scale.name} n_jobs={n_jobs} "
+          f"(kernel v{KERNEL_VERSION})")
+    print(f"  FCFS kernel : {k['fcfs_loop_s']:.3f}s loop -> "
+          f"{k['fcfs_fast_s']:.3f}s vectorized "
+          f"({k['fcfs_speedup']:.1f}x, {k['fcfs_jobs']} jobs)")
+    print(f"  PS kernel   : {k['ps_loop_s']:.3f}s loop -> "
+          f"{k['ps_fast_s']:.3f}s segmented "
+          f"({k['ps_speedup']:.1f}x, {k['ps_jobs']} jobs)")
+    for d in ("ps", "fcfs"):
+        print(f"  {d.upper():4} run    : {r[d]['engine_s']:.3f}s engine -> "
+              f"{r[d]['fast_s']:.3f}s fast path ({r[d]['speedup']:.1f}x, "
+              f"agree={r[d]['agree']})")
+    print(f"  sweep       : serial {s['serial_s']:.3f}s, "
+          f"grid {s['grid_s']:.3f}s (identical={s['grid_identical']})")
+    print(f"  cache       : cold {s['cache_cold_s']:.3f}s "
+          f"({s['cache_cold_hits']} hits) -> warm {s['cache_warm_s']:.3f}s "
+          f"({s['cache_warm_hits']} hits, {s['cache_speedup']:.1f}x)")
+    print(f"trajectory point #{len(trajectory)} appended to {args.output}")
+    return 0
+
+
 def main(argv: list[str] | None = None) -> int:
     args = build_parser().parse_args(argv)
     handlers = {
@@ -325,6 +622,7 @@ def main(argv: list[str] | None = None) -> int:
         "simulate": _cmd_simulate,
         "validate": _cmd_validate,
         "characterize": _cmd_characterize,
+        "bench": _cmd_bench,
     }
     return handlers[args.command](args)
 

@@ -1,12 +1,24 @@
 """The paper's primary contribution assembled: named scheduling policies
-(Table 2) and the replicated evaluation protocol (Section 4.1)."""
+(Table 2), the replicated evaluation protocol (Section 4.1), and the
+performance stack that runs it — grid executor, shared worker pool, and
+persistent replication cache."""
 
 from .adaptive import AdaptiveOrrDispatcher
+from .cache import ReplicationCache, default_cache
 from .evaluate import (
     PolicyEvaluation,
     evaluate_policy,
     evaluate_policy_to_precision,
     run_policy_once,
+)
+from .executor import (
+    GridReport,
+    ReplicationTask,
+    resolve_n_jobs,
+    run_replication_grid,
+    shared_executor,
+    shutdown_shared_executor,
+    summarize_outcomes,
 )
 from .parallel import evaluate_policy_parallel
 from .policies import PAPER_POLICIES, SchedulingPolicy, get_policy, policy_names
@@ -22,4 +34,13 @@ __all__ = [
     "evaluate_policy_parallel",
     "run_policy_once",
     "AdaptiveOrrDispatcher",
+    "ReplicationCache",
+    "default_cache",
+    "ReplicationTask",
+    "GridReport",
+    "resolve_n_jobs",
+    "run_replication_grid",
+    "shared_executor",
+    "shutdown_shared_executor",
+    "summarize_outcomes",
 ]

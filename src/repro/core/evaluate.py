@@ -5,9 +5,10 @@ protocol: R independent replications with distinct random streams, each
 collecting statistics only after the warm-up period, summarized with
 confidence intervals per metric.
 
-Static policies are routed to the vectorized fast path automatically
-(identical statistics, several times faster); Dynamic Least-Load and the
-non-PS disciplines go through the event engine.
+Static policies under the PS and FCFS disciplines are routed to the
+vectorized fast path automatically (identical statistics, several times
+faster); Dynamic Least-Load and the finite-quantum discipline go through
+the event engine.
 """
 
 from __future__ import annotations
@@ -78,7 +79,7 @@ def run_policy_once(
     use_fast = (
         policy.is_static
         and dispatcher.is_static
-        and config.discipline == "ps"
+        and config.discipline in ("ps", "fcfs")
         and not force_engine
     )
     if use_fast:

@@ -1,0 +1,243 @@
+"""Grid-parallel replication executor with a shared worker pool.
+
+An entire sweep — every (sweep point × policy × replication) cell of a
+figure — flattens into one task list and fans out across worker
+processes.  Three properties make this the backbone of every experiment
+runner:
+
+* **One pool per process.**  The ``ProcessPoolExecutor`` is created
+  lazily on first parallel use and reused across sweep points, figures,
+  and :func:`~repro.core.parallel.evaluate_policy_parallel` calls in a
+  single CLI invocation — no per-call spin-up churn.  Worker processes
+  persist, so per-process memos (the round-robin dispatch-sequence
+  cache) stay warm across tasks.
+* **Bit-identical results.**  Each replication derives its streams from
+  its own seed, workers rebuild policies from registry names, and the
+  caller aggregates outcomes keyed by task — never by completion order.
+  ``n_jobs=1`` bypasses the pool (and pickling) entirely.
+* **Failure isolation.**  A crashing task does not poison the pool: the
+  worker captures the traceback per task and the parent raises one
+  aggregate error naming the failed cells.
+
+``n_jobs`` resolution: explicit argument > ``REPRO_JOBS`` environment
+variable > 1 (serial).  The string ``"auto"`` maps to ``os.cpu_count()``.
+"""
+
+from __future__ import annotations
+
+import atexit
+import os
+import time
+import traceback
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass, field
+from typing import Hashable, Iterable
+
+import numpy as np
+
+from ..metrics import summarize_replications
+from ..sim.config import SimulationConfig
+from .cache import ReplicationCache
+from .evaluate import PolicyEvaluation, run_policy_once
+from .policies import get_policy
+
+__all__ = [
+    "ReplicationTask",
+    "GridReport",
+    "resolve_n_jobs",
+    "shared_executor",
+    "shutdown_shared_executor",
+    "run_replication_grid",
+    "summarize_outcomes",
+]
+
+_pool: ProcessPoolExecutor | None = None
+_pool_workers = 0
+
+
+def resolve_n_jobs(value: int | str | None = None) -> int:
+    """Resolve a worker count: arg > ``REPRO_JOBS`` env > 1; 'auto' = cores."""
+    if value is None:
+        value = os.environ.get("REPRO_JOBS", "1")
+    if isinstance(value, str):
+        text = value.strip().lower()
+        if text == "auto":
+            return max(1, os.cpu_count() or 1)
+        try:
+            value = int(text)
+        except ValueError:
+            raise ValueError(
+                f"n_jobs must be a positive integer or 'auto', got {value!r}"
+            ) from None
+    n = int(value)
+    if n < 1:
+        raise ValueError(f"n_jobs must be positive, got {n}")
+    return n
+
+
+def shared_executor(n_jobs: int) -> ProcessPoolExecutor:
+    """The process-wide worker pool, created lazily on first use.
+
+    Reused while ``n_jobs`` stays the same; a different ``n_jobs``
+    drains the old pool and builds a fresh one.
+    """
+    global _pool, _pool_workers
+    if n_jobs < 1:
+        raise ValueError(f"n_jobs must be positive, got {n_jobs}")
+    if _pool is None or _pool_workers != n_jobs:
+        shutdown_shared_executor()
+        _pool = ProcessPoolExecutor(max_workers=n_jobs)
+        _pool_workers = n_jobs
+    return _pool
+
+
+def shutdown_shared_executor() -> None:
+    """Drain and drop the shared pool (no-op when none exists)."""
+    global _pool, _pool_workers
+    if _pool is not None:
+        _pool.shutdown()
+        _pool = None
+        _pool_workers = 0
+
+
+atexit.register(shutdown_shared_executor)
+
+
+@dataclass(frozen=True)
+class ReplicationTask:
+    """One replication of one policy on one configuration."""
+
+    key: Hashable
+    config: SimulationConfig
+    policy_name: str
+    estimation_error: float | None
+    seed: int | np.random.SeedSequence
+
+
+@dataclass
+class GridReport:
+    """Outcomes plus observability for one grid run."""
+
+    #: task key → (mean_response_time, mean_response_ratio, fairness,
+    #: jobs, dispatch_fractions) — the per-replication outcome tuple.
+    outcomes: dict
+    cache_hits: int = 0
+    cache_misses: int = 0
+    #: Per-stage wall-clock seconds ("cache_lookup", "simulate").
+    timings: dict[str, float] = field(default_factory=dict)
+
+
+def _run_replication(task: ReplicationTask):
+    policy = get_policy(task.policy_name, estimation_error=task.estimation_error)
+    result = run_policy_once(task.config, policy, seed=task.seed)
+    return (
+        result.metrics.mean_response_time,
+        result.metrics.mean_response_ratio,
+        result.metrics.fairness,
+        result.metrics.jobs,
+        result.dispatch_fractions,
+    )
+
+
+def _worker(task: ReplicationTask):
+    """Pool entry point: never raises — errors travel back as text."""
+    try:
+        return task.key, _run_replication(task), None
+    except Exception:  # noqa: BLE001 — captured per task by design
+        return task.key, None, traceback.format_exc()
+
+
+def run_replication_grid(
+    tasks: Iterable[ReplicationTask],
+    *,
+    n_jobs: int | str | None = None,
+    cache: ReplicationCache | None = None,
+    chunks_per_worker: int = 4,
+) -> GridReport:
+    """Run every task, against the cache first, then the worker grid.
+
+    Results are keyed by ``task.key`` so aggregation is insensitive to
+    completion order; with the same seeds the outcome is bit-identical
+    to running the tasks serially.  Tasks that raise are collected and
+    re-raised as one :class:`RuntimeError` after the full grid drains.
+    """
+    tasks = list(tasks)
+    n_jobs = resolve_n_jobs(n_jobs)
+    report = GridReport(outcomes={})
+
+    t0 = time.perf_counter()
+    pending: list[ReplicationTask] = []
+    cache_keys: dict[Hashable, str] = {}
+    for task in tasks:
+        if cache is not None:
+            ck = cache.task_key(
+                task.config, task.policy_name, task.estimation_error, task.seed
+            )
+            cache_keys[task.key] = ck
+            hit = cache.get(ck)
+            if hit is not None:
+                report.outcomes[task.key] = hit
+                report.cache_hits += 1
+                continue
+            report.cache_misses += 1
+        pending.append(task)
+    report.timings["cache_lookup"] = time.perf_counter() - t0
+
+    t0 = time.perf_counter()
+    if n_jobs == 1 or len(pending) <= 1:
+        raw = map(_worker, pending)
+    else:
+        pool = shared_executor(n_jobs)
+        # Chunked submission amortizes pickling overhead while keeping
+        # enough chunks in flight to balance uneven task durations.
+        chunksize = max(1, len(pending) // (chunks_per_worker * n_jobs))
+        raw = pool.map(_worker, pending, chunksize=chunksize)
+
+    failures: list[tuple[Hashable, str]] = []
+    for key, outcome, error in raw:
+        if error is not None:
+            failures.append((key, error))
+            continue
+        report.outcomes[key] = outcome
+        if cache is not None:
+            cache.put(cache_keys[key], outcome)
+    report.timings["simulate"] = time.perf_counter() - t0
+
+    if failures:
+        detail = "\n\n".join(f"task {key!r}:\n{err}" for key, err in failures[:5])
+        raise RuntimeError(
+            f"{len(failures)} of {len(tasks)} grid tasks failed; "
+            f"first failure(s):\n{detail}"
+        )
+    return report
+
+
+def summarize_outcomes(
+    policy_name: str,
+    config: SimulationConfig,
+    outcomes,
+    *,
+    confidence: float = 0.95,
+) -> PolicyEvaluation:
+    """Fold per-replication outcome tuples (in seed order) into a
+    :class:`PolicyEvaluation` — the same accumulation order as the
+    serial :func:`~repro.core.evaluate.evaluate_policy` loop, so the
+    summary is bit-identical to the serial path."""
+    outcomes = list(outcomes)
+    times = [o[0] for o in outcomes]
+    ratios = [o[1] for o in outcomes]
+    fairs = [o[2] for o in outcomes]
+    jobs = [o[3] for o in outcomes]
+    fractions = np.zeros(config.n)
+    for o in outcomes:
+        fractions += o[4]
+    return PolicyEvaluation(
+        policy_name=policy_name,
+        config=config,
+        mean_response_time=summarize_replications(times, confidence),
+        mean_response_ratio=summarize_replications(ratios, confidence),
+        fairness=summarize_replications(fairs, confidence),
+        dispatch_fractions=fractions / len(outcomes),
+        replications=len(outcomes),
+        jobs_per_replication=float(np.mean(jobs)),
+    )

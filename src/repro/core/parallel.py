@@ -1,43 +1,38 @@
 """Parallel replication: fan independent runs across worker processes.
 
 Replications are embarrassingly parallel (independent seeds, no shared
-state), so the paper's 10-run protocol parallelizes perfectly.  The
-worker rebuilds the policy from its registry name inside each process —
-policies carry non-picklable dispatcher factories, so custom
+state), so the paper's 10-run protocol parallelizes perfectly.  This is
+a thin convenience wrapper over the grid executor
+(:mod:`repro.core.executor`): tasks run on the **shared** worker pool —
+created lazily, reused across calls and across sweeps in one process —
+instead of paying a fresh ``ProcessPoolExecutor`` spin-up per call.
+The worker rebuilds the policy from its registry name inside each
+process — policies carry non-picklable dispatcher factories, so custom
 :class:`~repro.core.policies.SchedulingPolicy` instances must use the
 serial :func:`~repro.core.evaluate.evaluate_policy` instead.
 
 Results are **bit-identical** to the serial path: the same
 per-replication seed sequence is used, only the execution order
-changes, and the aggregation is order-insensitive.
+changes, and the aggregation is order-insensitive.  The default
+``base_seed`` follows the sweep harness convention
+(:class:`repro.experiments.base.Scale` — 2000, the ICPP vintage), so
+ad-hoc parallel evaluations and figure sweeps advertise the same
+seeding scheme.
 """
 
 from __future__ import annotations
 
-from concurrent.futures import ProcessPoolExecutor
-
-import numpy as np
-
-from ..metrics import summarize_replications
 from ..rng import replication_seeds
 from ..sim.config import SimulationConfig
-from .evaluate import PolicyEvaluation, run_policy_once
+from .cache import ReplicationCache
+from .evaluate import PolicyEvaluation
+from .executor import ReplicationTask, run_replication_grid, summarize_outcomes
 from .policies import get_policy
 
 __all__ = ["evaluate_policy_parallel"]
 
-
-def _worker(args) -> tuple[float, float, float, int, np.ndarray]:
-    config, policy_name, estimation_error, seed = args
-    policy = get_policy(policy_name, estimation_error=estimation_error)
-    result = run_policy_once(config, policy, seed=seed)
-    return (
-        result.metrics.mean_response_time,
-        result.metrics.mean_response_ratio,
-        result.metrics.fairness,
-        result.metrics.jobs,
-        result.dispatch_fractions,
-    )
+#: Matches :class:`repro.experiments.base.Scale`'s base seed.
+DEFAULT_BASE_SEED = 2000
 
 
 def evaluate_policy_parallel(
@@ -46,44 +41,35 @@ def evaluate_policy_parallel(
     *,
     estimation_error: float | None = None,
     replications: int = 10,
-    base_seed: int = 0,
+    base_seed: int = DEFAULT_BASE_SEED,
     confidence: float = 0.95,
     n_jobs: int = 2,
+    cache: ReplicationCache | None = None,
 ) -> PolicyEvaluation:
     """Replicated evaluation with replications spread over *n_jobs*
-    worker processes.
+    worker processes (the shared pool).
 
     ``policy_name`` (plus the optional Figure 6 ``estimation_error``)
     must resolve through :func:`repro.core.policies.get_policy` — the
-    policy is reconstructed inside each worker.
+    policy is reconstructed inside each worker.  Pass a
+    :class:`~repro.core.cache.ReplicationCache` to reuse completed
+    replications across invocations.
     """
     if replications < 1:
         raise ValueError(f"need at least one replication, got {replications}")
-    if n_jobs < 1:
-        raise ValueError(f"n_jobs must be positive, got {n_jobs}")
     # Validate the name up front (fail fast in the parent process).
     policy = get_policy(policy_name, estimation_error=estimation_error)
 
-    seeds = replication_seeds(base_seed, replications)
-    tasks = [(config, policy_name, estimation_error, seed) for seed in seeds]
-    if n_jobs == 1:
-        outcomes = [_worker(t) for t in tasks]
-    else:
-        with ProcessPoolExecutor(max_workers=min(n_jobs, replications)) as pool:
-            outcomes = list(pool.map(_worker, tasks))
-
-    times = [o[0] for o in outcomes]
-    ratios = [o[1] for o in outcomes]
-    fairs = [o[2] for o in outcomes]
-    jobs = [o[3] for o in outcomes]
-    fractions = np.sum([o[4] for o in outcomes], axis=0)
-    return PolicyEvaluation(
-        policy_name=policy.name,
-        config=config,
-        mean_response_time=summarize_replications(times, confidence),
-        mean_response_ratio=summarize_replications(ratios, confidence),
-        fairness=summarize_replications(fairs, confidence),
-        dispatch_fractions=fractions / replications,
-        replications=replications,
-        jobs_per_replication=float(np.mean(jobs)),
-    )
+    tasks = [
+        ReplicationTask(
+            key=r,
+            config=config,
+            policy_name=policy_name,
+            estimation_error=estimation_error,
+            seed=seed,
+        )
+        for r, seed in enumerate(replication_seeds(base_seed, replications))
+    ]
+    report = run_replication_grid(tasks, n_jobs=n_jobs, cache=cache)
+    outcomes = [report.outcomes[r] for r in range(replications)]
+    return summarize_outcomes(policy.name, config, outcomes, confidence=confidence)

@@ -15,15 +15,22 @@ explicitly.
 
 from __future__ import annotations
 
+import logging
 import os
+import time
 from dataclasses import dataclass, field, replace
 
 import numpy as np
 
-from ..core import PolicyEvaluation, evaluate_policy, get_policy
+from ..core import PolicyEvaluation, get_policy
+from ..core.cache import ReplicationCache, default_cache
+from ..core.executor import ReplicationTask, run_replication_grid, summarize_outcomes
+from ..rng import replication_seeds
 from ..sim import SimulationConfig
 
 __all__ = ["Scale", "SCALES", "active_scale", "SweepResult", "run_policy_sweep"]
+
+logger = logging.getLogger("repro.sweep")
 
 
 @dataclass(frozen=True)
@@ -86,6 +93,13 @@ class SweepResult:
     policies: list[str]
     scale: Scale
     cells: dict[float, dict[str, PolicyEvaluation]] = field(default_factory=dict)
+    #: Replications served from / missed in the persistent cache (both
+    #: zero when the sweep ran without a cache).
+    cache_hits: int = 0
+    cache_misses: int = 0
+    #: Per-stage wall-clock seconds ("plan", "cache_lookup", "simulate",
+    #: "aggregate") recorded by the grid executor.
+    timings: dict[str, float] = field(default_factory=dict)
 
     def series(self, policy: str, metric: str) -> np.ndarray:
         """Metric means across the sweep for one policy (a figure line)."""
@@ -116,8 +130,16 @@ def run_policy_sweep(
     scale: Scale,
     *,
     estimation_errors: dict[str, float] | None = None,
+    n_jobs: int | str | None = None,
+    cache: ReplicationCache | None = None,
 ) -> SweepResult:
     """Evaluate each policy at each sweep point.
+
+    The whole sweep flattens into one (point × policy × replication)
+    task grid and runs through :func:`~repro.core.executor.run_replication_grid`:
+    serial when ``n_jobs`` resolves to 1 (the default), fanned across
+    the shared worker pool otherwise.  Results are bit-identical either
+    way — same per-replication seeds, order-insensitive aggregation.
 
     Parameters
     ----------
@@ -127,6 +149,15 @@ def run_policy_sweep(
     estimation_errors:
         Optional map of policy-name → relative ρ estimation error
         (Figure 6's ORR(±e%) variants).
+    n_jobs:
+        Worker processes (int or ``"auto"``); default is the
+        ``REPRO_JOBS`` environment variable, falling back to 1.
+    cache:
+        Persistent replication cache; defaults to the directory named
+        by the ``REPRO_CACHE`` environment variable (no caching when
+        unset).  Completed replications are reused, so re-running a
+        figure at the same scale — or resuming an interrupted sweep —
+        skips finished work.
     """
     x_values = [float(x) for x in x_values]
     result = SweepResult(
@@ -138,6 +169,15 @@ def run_policy_sweep(
         scale=scale,
     )
     errors = estimation_errors or {}
+    if cache is None:
+        cache = default_cache()
+
+    # Plan: flatten the sweep into one replication grid.
+    t_plan = time.perf_counter()
+    seeds = replication_seeds(scale.base_seed, scale.replications)
+    display: dict[str, str] = {}
+    configs: dict[float, SimulationConfig] = {}
+    tasks: list[ReplicationTask] = []
     for x in x_values:
         base = config_for_x(x)
         config = SimulationConfig(
@@ -153,16 +193,50 @@ def run_policy_sweep(
             feedback=base.feedback,
             rate_profile=base.rate_profile,
         )
+        configs[x] = config
+        for name in policies:
+            base_name = name.split("(")[0]
+            err = errors.get(name)
+            # Resolve up front: fail fast and fix the display name.
+            display[name] = get_policy(base_name, estimation_error=err).name
+            for r, seed in enumerate(seeds):
+                tasks.append(
+                    ReplicationTask(
+                        key=(x, name, r),
+                        config=config,
+                        policy_name=base_name,
+                        estimation_error=err,
+                        seed=seed,
+                    )
+                )
+    plan_s = time.perf_counter() - t_plan
+
+    report = run_replication_grid(tasks, n_jobs=n_jobs, cache=cache)
+
+    # Aggregate in (x, policy, seed) order — completion order never
+    # matters, so parallel and serial sweeps summarize identically.
+    t_agg = time.perf_counter()
+    for x in x_values:
         row: dict[str, PolicyEvaluation] = {}
         for name in policies:
-            policy = get_policy(
-                name.split("(")[0], estimation_error=errors.get(name)
-            )
-            row[name] = evaluate_policy(
-                config,
-                policy,
-                replications=scale.replications,
-                base_seed=scale.base_seed,
-            )
+            outcomes = [
+                report.outcomes[(x, name, r)] for r in range(scale.replications)
+            ]
+            row[name] = summarize_outcomes(display[name], configs[x], outcomes)
         result.cells[x] = row
+
+    result.cache_hits = report.cache_hits
+    result.cache_misses = report.cache_misses
+    result.timings = {
+        "plan": plan_s,
+        **report.timings,
+        "aggregate": time.perf_counter() - t_agg,
+    }
+    if cache is not None:
+        logger.info(
+            "%s: replication cache %d hits / %d misses",
+            experiment_id,
+            report.cache_hits,
+            report.cache_misses,
+        )
     return result

@@ -32,6 +32,8 @@ def run_figure3(
     *,
     fast_speeds=FAST_SPEEDS,
     policies=PAPER_POLICIES,
+    n_jobs=None,
+    cache=None,
 ) -> SweepResult:
     """Regenerate the three panels of Figure 3."""
     scale = active_scale(scale)
@@ -43,6 +45,8 @@ def run_figure3(
         config_for_x=lambda x: skewness_config(x, UTILIZATION),
         policies=policies,
         scale=scale,
+        n_jobs=n_jobs,
+        cache=cache,
     )
 
 

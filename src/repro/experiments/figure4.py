@@ -31,6 +31,8 @@ def run_figure4(
     *,
     sizes=SYSTEM_SIZES,
     policies=PAPER_POLICIES,
+    n_jobs=None,
+    cache=None,
 ) -> SweepResult:
     """Regenerate the two panels of Figure 4."""
     scale = active_scale(scale)
@@ -42,6 +44,8 @@ def run_figure4(
         config_for_x=lambda x: size_config(int(x), UTILIZATION),
         policies=policies,
         scale=scale,
+        n_jobs=n_jobs,
+        cache=cache,
     )
 
 

@@ -30,6 +30,8 @@ def run_figure5(
     *,
     utilizations=UTILIZATIONS,
     policies=PAPER_POLICIES,
+    n_jobs=None,
+    cache=None,
 ) -> SweepResult:
     """Regenerate the two panels of Figure 5.
 
@@ -48,6 +50,8 @@ def run_figure5(
         config_for_x=lambda x: base_config(x),
         policies=policies,
         scale=scale,
+        n_jobs=n_jobs,
+        cache=cache,
     )
 
 

@@ -42,6 +42,8 @@ def run_figure6(
     errors: tuple[float, ...] | None = None,
     utilizations=UTILIZATIONS,
     panel: str = "both",
+    n_jobs=None,
+    cache=None,
 ) -> SweepResult:
     """Regenerate Figure 6.
 
@@ -74,6 +76,8 @@ def run_figure6(
         policies=policies,
         scale=scale,
         estimation_errors=dict(zip(labels, errors)),
+        n_jobs=n_jobs,
+        cache=cache,
     )
 
 

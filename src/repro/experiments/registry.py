@@ -19,15 +19,15 @@ from .table2 import run_table2
 __all__ = ["EXPERIMENTS", "run_experiment", "experiment_ids"]
 
 
-def _run_table1(scale) -> str:
+def _run_table1(scale, n_jobs=None, cache=None) -> str:
     return run_table1(scale).format()
 
 
-def _run_table2(scale) -> str:
+def _run_table2(scale, n_jobs=None, cache=None) -> str:
     return run_table2().format()
 
 
-def _run_table3(scale) -> str:
+def _run_table3(scale, n_jobs=None, cache=None) -> str:
     counts: dict[float, int] = {}
     for s in BASE_SPEEDS:
         counts[s] = counts.get(s, 0) + 1
@@ -38,28 +38,34 @@ def _run_table3(scale) -> str:
     )
 
 
-def _run_figure2(scale) -> str:
+def _run_figure2(scale, n_jobs=None, cache=None) -> str:
     return run_figure2(scale).format()
 
 
-def _run_figure3(scale) -> str:
-    return format_figure3(run_figure3(scale))
+def _run_figure3(scale, n_jobs=None, cache=None) -> str:
+    return format_figure3(run_figure3(scale, n_jobs=n_jobs, cache=cache))
 
 
-def _run_figure4(scale) -> str:
-    return format_figure4(run_figure4(scale))
+def _run_figure4(scale, n_jobs=None, cache=None) -> str:
+    return format_figure4(run_figure4(scale, n_jobs=n_jobs, cache=cache))
 
 
-def _run_figure5(scale) -> str:
-    return format_figure5(run_figure5(scale))
+def _run_figure5(scale, n_jobs=None, cache=None) -> str:
+    return format_figure5(run_figure5(scale, n_jobs=n_jobs, cache=cache))
 
 
-def _run_figure6(scale) -> str:
-    return format_figure6(run_figure6(scale))
+def _run_figure6(scale, n_jobs=None, cache=None) -> str:
+    return format_figure6(run_figure6(scale, n_jobs=n_jobs, cache=cache))
 
 
-#: id → (description, runner returning printable text).
-EXPERIMENTS: dict[str, tuple[str, Callable[[Scale | str | None], str]]] = {
+def _run_adaptive(scale, n_jobs=None, cache=None) -> str:
+    return run_adaptive_extension(scale).format()
+
+
+#: id → (description, runner returning printable text).  Runners accept
+#: (scale, n_jobs=None, cache=None); non-sweep experiments ignore the
+#: performance knobs.
+EXPERIMENTS: dict[str, tuple[str, Callable[..., str]]] = {
     "table1": ("workload distribution under Dynamic Least-Load", _run_table1),
     "table2": ("algorithm combination matrix", _run_table2),
     "table3": ("base system configuration", _run_table3),
@@ -70,7 +76,7 @@ EXPERIMENTS: dict[str, tuple[str, Callable[[Scale | str | None], str]]] = {
     "figure6": ("sensitivity to load estimation error", _run_figure6),
     "adaptive": (
         "extension: fixed vs adaptive ORR under diurnal load",
-        lambda scale: run_adaptive_extension(scale).format(),
+        _run_adaptive,
     ),
 }
 
@@ -79,12 +85,22 @@ def experiment_ids() -> tuple[str, ...]:
     return tuple(EXPERIMENTS)
 
 
-def run_experiment(experiment_id: str, scale: Scale | str | None = None) -> str:
-    """Run one experiment by id and return its printable report."""
+def run_experiment(
+    experiment_id: str,
+    scale: Scale | str | None = None,
+    *,
+    n_jobs: int | str | None = None,
+    cache=None,
+) -> str:
+    """Run one experiment by id and return its printable report.
+
+    ``n_jobs`` and ``cache`` are forwarded to the sweep-based
+    experiments (figures 3–6); the others run serially regardless.
+    """
     try:
         _, runner = EXPERIMENTS[experiment_id]
     except KeyError:
         raise KeyError(
             f"unknown experiment {experiment_id!r}; expected one of {experiment_ids()}"
         ) from None
-    return runner(scale)
+    return runner(scale, n_jobs=n_jobs, cache=cache)

@@ -3,16 +3,17 @@
 Two execution paths produce statistically identical results:
 
 * :func:`run_simulation` — general event engine; required for Dynamic
-  Least-Load (stale feedback) and the FCFS / finite-quantum ablations.
+  Least-Load (stale feedback) and the finite-quantum ablation.
 * :func:`run_static_simulation` — vectorized path for static policies
-  (generate → dispatch → per-server PS replay), several times faster.
+  (generate → dispatch → per-server PS/FCFS replay), several times
+  faster.
 """
 
 from .arrivals import ArrivalStream, Workload
 from .config import PAPER_DURATION, PAPER_WARMUP_FRACTION, SimulationConfig
 from .engine import run_simulation
 from .events import EventKind, EventQueue
-from .fastpath import ps_replay, run_static_simulation
+from .fastpath import KERNEL_VERSION, fcfs_replay, ps_replay, run_static_simulation
 from .feedback import (
     PAPER_DETECTION_WINDOW,
     PAPER_MESSAGE_DELAY_MEAN,
@@ -36,6 +37,8 @@ __all__ = [
     "run_simulation",
     "run_static_simulation",
     "ps_replay",
+    "fcfs_replay",
+    "KERNEL_VERSION",
     "Workload",
     "ArrivalStream",
     "FeedbackModel",

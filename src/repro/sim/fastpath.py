@@ -7,15 +7,30 @@ guidance calls algorithmic optimization:
 1. generate **all** arrival instants and job sizes as numpy arrays;
 2. compute **all** dispatch decisions (one multinomial-style batch for
    the random dispatcher; a tight Python loop for round robin);
-3. replay each computer's substream through an exact PS queue
-   independently — per-server state never interacts under static
+3. replay each computer's substream through an exact per-discipline
+   queue independently — per-server state never interacts under static
    scheduling.
+
+Two replay kernels are provided:
+
+* :func:`fcfs_replay` — exact FCFS via the Lindley recursion vectorized
+  as a prefix-max over cumulative ``size/speed − interarrival`` terms
+  (pure numpy, no per-job Python loop);
+* :func:`ps_replay` — exact processor sharing.  The substream is first
+  segmented into busy periods with the same vectorized Lindley kernel
+  (work conservation makes busy-period boundaries discipline-free);
+  singleton busy periods — the common case at moderate load — are
+  resolved in one batched numpy expression, and only multi-job busy
+  periods fall back to the per-job virtual-time heap.
 
 Results are statistically identical to :func:`repro.sim.engine.run_simulation`
 (same RNG substreams, same boundary rules, drain semantics built in);
-the cross-validation test asserts agreement to float-accumulation noise.
-Typical speedup is ~3-5× over the event engine, dominated by stage 3's
-per-server heap loop.
+the cross-validation tests assert agreement to float-accumulation noise.
+
+:data:`KERNEL_VERSION` tags the numerical behaviour of these kernels and
+participates in the persistent replication-cache key
+(:mod:`repro.core.cache`): bump it whenever a change here could alter
+results beyond float noise, and every cached replication is invalidated.
 """
 
 from __future__ import annotations
@@ -30,18 +45,15 @@ from ..rng import StreamFactory
 from .config import SimulationConfig
 from .results import DispatchTrace, ServerStats, SimulationResults
 
-__all__ = ["run_static_simulation", "ps_replay"]
+__all__ = ["run_static_simulation", "ps_replay", "fcfs_replay", "KERNEL_VERSION"]
+
+#: Version tag of the replay kernels (cache-key component).
+KERNEL_VERSION = "2"
 
 
-def ps_replay(arrival_times: np.ndarray, sizes: np.ndarray, speed: float) -> np.ndarray:
-    """Exact processor-sharing replay of one server's substream.
-
-    Returns the completion time of every job.  Uses the virtual-time
-    formulation: with m active jobs the virtual clock advances at rate
-    speed/m, and a job of size x arriving at virtual time v departs when
-    the clock reaches v + x.  The clock resets to zero whenever the
-    server idles, so no float drift accumulates across busy periods.
-    """
+def _validate_substream(
+    arrival_times: np.ndarray, sizes: np.ndarray, speed: float
+) -> tuple[np.ndarray, np.ndarray]:
     times = np.ascontiguousarray(arrival_times, dtype=float)
     work = np.ascontiguousarray(sizes, dtype=float)
     if times.shape != work.shape:
@@ -52,17 +64,141 @@ def ps_replay(arrival_times: np.ndarray, sizes: np.ndarray, speed: float) -> np.
         raise ValueError("job sizes must be positive")
     if speed <= 0:
         raise ValueError(f"speed must be positive, got {speed}")
+    return times, work
 
-    n = times.size
-    completions = np.empty(n)
+
+def _lindley_departures(times: np.ndarray, service: np.ndarray) -> np.ndarray:
+    """FCFS departure instants via the vectorized Lindley recursion.
+
+    With service times s and cumulative service U_j = Σ_{i≤j} s_i, the
+    recursion D_j = max(D_{j−1}, T_j) + s_j unrolls to
+
+        D_j = U_j + max_{k≤j} (T_k − U_{k−1}),
+
+    a prefix-max over numpy arrays — no per-job Python loop.
+    """
+    cum = np.cumsum(service)
+    return cum + np.maximum.accumulate(times - (cum - service))
+
+
+def fcfs_replay(arrival_times: np.ndarray, sizes: np.ndarray, speed: float) -> np.ndarray:
+    """Exact FCFS replay of one server's substream (completion times)."""
+    times, work = _validate_substream(arrival_times, sizes, speed)
+    if times.size == 0:
+        return np.empty(0)
+    return _lindley_departures(times, work / speed)
+
+
+def _fcfs_replay_loop(arrival_times, sizes, speed: float) -> np.ndarray:
+    """Naive per-job Lindley recursion — test oracle and bench baseline."""
+    times, work = _validate_substream(arrival_times, sizes, speed)
+    out = np.empty(times.size)
+    done = -np.inf
+    for j in range(times.size):
+        done = max(done, times[j]) + work[j] / speed
+        out[j] = done
+    return out
+
+
+def _ps_busy_period(
+    times: list, work: list, speed: float, start: int, end: int,
+    completions: np.ndarray,
+) -> None:
+    """Exact virtual-time PS replay of one multi-job busy period.
+
+    With m active jobs the virtual clock advances at rate speed/m, and a
+    job of size x arriving at virtual time v departs when the clock
+    reaches v + x.  Each busy period starts from a fresh clock, so no
+    float drift accumulates across busy periods.
+    """
     heap: list[tuple[float, int]] = []  # (departure tag, job index)
     push, pop = heapq.heappush, heapq.heappop
     v = 0.0  # virtual clock
-    t_last = 0.0
-
-    for j in range(n):
+    t_last = times[start]
+    for j in range(start, end):
         t_a = times[j]
         # Retire every job whose departure tag is reached before t_a.
+        while heap:
+            tag = heap[0][0]
+            dt = (tag - v) * len(heap) / speed
+            if dt < 0.0:
+                dt = 0.0
+            t_dep = t_last + dt
+            if t_dep > t_a:
+                break
+            completions[pop(heap)[1]] = t_dep
+            t_last = t_dep
+            v = tag
+        if heap:
+            v += (t_a - t_last) * speed / len(heap)
+        t_last = t_a
+        push(heap, (v + work[j], j))
+
+    # Drain: no further arrivals in this busy period, retire in tag order.
+    while heap:
+        tag = heap[0][0]
+        dt = (tag - v) * len(heap) / speed
+        if dt < 0.0:
+            dt = 0.0
+        t_last += dt
+        v = tag
+        completions[pop(heap)[1]] = t_last
+
+
+def ps_replay(arrival_times: np.ndarray, sizes: np.ndarray, speed: float) -> np.ndarray:
+    """Exact processor-sharing replay of one server's substream.
+
+    Returns the completion time of every job.  The stream is segmented
+    into busy periods first: PS is work-conserving, so the instant all
+    work from jobs 0..j is finished equals the FCFS departure of job j
+    (computed by the vectorized Lindley kernel), and job j+1 opens a new
+    busy period iff it arrives at or after that depletion instant.
+    Busy periods containing a single job — the bulk of the stream at
+    moderate load — complete at ``arrival + size/speed`` in one batched
+    expression; only multi-job busy periods run the per-job heap loop.
+    """
+    times, work = _validate_substream(arrival_times, sizes, speed)
+    n = times.size
+    if n == 0:
+        return np.empty(0)
+
+    svc = work / speed
+    completions = np.empty(n)
+
+    depletion = _lindley_departures(times, svc)
+    starts = np.empty(n, dtype=bool)
+    starts[0] = True
+    np.greater_equal(times[1:], depletion[:-1], out=starts[1:])
+    bounds = np.flatnonzero(starts)
+    ends = np.append(bounds[1:], n)
+
+    single = (ends - bounds) == 1
+    idx = bounds[single]
+    completions[idx] = times[idx] + svc[idx]
+
+    if idx.size < bounds.size:
+        multi = ~single
+        # Plain-float lists: scalar indexing in the heap loop is several
+        # times faster than indexing numpy arrays element-wise.
+        tl = times.tolist()
+        wl = work.tolist()
+        for b, e in zip(bounds[multi].tolist(), ends[multi].tolist()):
+            _ps_busy_period(tl, wl, speed, b, e, completions)
+    return completions
+
+
+def _ps_replay_loop(arrival_times, sizes, speed: float) -> np.ndarray:
+    """Single global heap loop over every job (the pre-segmentation
+    implementation) — test oracle and bench baseline for :func:`ps_replay`."""
+    times, work = _validate_substream(arrival_times, sizes, speed)
+    n = times.size
+    completions = np.empty(n)
+    heap: list[tuple[float, int]] = []
+    push, pop = heapq.heappush, heapq.heappop
+    v = 0.0
+    t_last = 0.0
+    for j in range(n):
+        t_a = times[j]
         while heap:
             tag = heap[0][0]
             dt = (tag - v) * len(heap) / speed
@@ -80,8 +216,6 @@ def ps_replay(arrival_times: np.ndarray, sizes: np.ndarray, speed: float) -> np.
             v = 0.0
         t_last = t_a
         push(heap, (v + work[j], j))
-
-    # Drain: no further arrivals, remaining jobs retire in tag order.
     while heap:
         tag = heap[0][0]
         dt = (tag - v) * len(heap) / speed
@@ -91,6 +225,54 @@ def ps_replay(arrival_times: np.ndarray, sizes: np.ndarray, speed: float) -> np.
         v = tag
         completions[pop(heap)[1]] = t_last
     return completions
+
+
+#: Discipline → exact replay kernel for the static fast path.
+_REPLAY_KERNELS = {"ps": ps_replay, "fcfs": fcfs_replay}
+
+
+# ----------------------------------------------------------------------
+# Stage-2 dispatch-sequence memo
+# ----------------------------------------------------------------------
+#
+# Weighted round robin (Algorithm 2) ignores job sizes and randomness:
+# its target sequence is a pure function of (alphas, arrival count), and
+# the sequence for N jobs is a prefix of the sequence for M > N jobs.
+# Replications of one sweep cell therefore share a single sequence; the
+# memo computes it once per process and extends it statefully (the live
+# dispatcher is kept alongside the targets).  Entries are LRU-bounded
+# and stored as int16 (a network never has 32k computers) to keep the
+# footprint small at paper-scale job counts.
+
+_DISPATCH_MEMO_ENTRIES = 4
+_dispatch_memo: dict[tuple, tuple[np.ndarray, Dispatcher]] = {}
+
+
+def _dispatch_targets(dispatcher: Dispatcher, sizes: np.ndarray) -> np.ndarray:
+    """All stage-2 decisions, memoized for sequence-deterministic
+    dispatchers (bit-identical to calling ``select_batch`` directly)."""
+    if not dispatcher.sequence_deterministic:
+        return dispatcher.select_batch(sizes)
+    key = (
+        type(dispatcher).__qualname__,
+        getattr(dispatcher, "guard_init", None),
+        dispatcher.alphas.tobytes(),
+    )
+    n = sizes.size
+    entry = _dispatch_memo.pop(key, None)
+    if entry is None:
+        targets = dispatcher.select_batch(sizes).astype(np.int16)
+        entry = (targets, dispatcher)
+    else:
+        targets, live = entry
+        if n > targets.size:
+            extra = live.select_batch(sizes[targets.size :]).astype(np.int16)
+            targets = np.concatenate([targets, extra])
+            entry = (targets, live)
+    _dispatch_memo[key] = entry  # re-insert: dict preserves LRU order
+    while len(_dispatch_memo) > _DISPATCH_MEMO_ENTRIES:
+        _dispatch_memo.pop(next(iter(_dispatch_memo)))
+    return entry[0][:n].astype(np.int64)
 
 
 def run_static_simulation(
@@ -106,11 +288,15 @@ def run_static_simulation(
         raise ValueError(
             f"{type(dispatcher).__name__} needs feedback; use run_simulation instead"
         )
-    if config.discipline != "ps":
+    try:
+        replay = _REPLAY_KERNELS[config.discipline]
+    except KeyError:
         raise ValueError(
-            "the fast path implements the PS discipline only; "
-            f"use run_simulation for discipline={config.discipline!r}"
-        )
+            "the fast path implements the PS discipline and the FCFS "
+            f"discipline ({sorted(_REPLAY_KERNELS)}); "
+            f"discipline={config.discipline!r} needs the event engine — "
+            "use repro.sim.engine.run_simulation instead"
+        ) from None
 
     streams = StreamFactory(seed)
     workload = config.workload()
@@ -119,11 +305,12 @@ def run_static_simulation(
     times = workload.arrival_stream(streams.arrivals).arrivals_until(config.duration)
     sizes = workload.sample_sizes(streams.sizes, times.size)
 
-    # Stage 2 — all dispatch decisions.
+    # Stage 2 — all dispatch decisions (memoized across replications
+    # for sequence-deterministic dispatchers like weighted round robin).
     dispatcher.reset(alphas)
-    targets = dispatcher.select_batch(sizes)
+    targets = _dispatch_targets(dispatcher, sizes)
 
-    # Stage 3 — independent per-server PS replay.
+    # Stage 3 — independent per-server replay (PS or FCFS).
     metrics = MetricsCollector(warmup_end=config.warmup)
     server_stats = []
     warmup_mask = times >= config.warmup
@@ -132,7 +319,7 @@ def run_static_simulation(
         mask = targets == i
         sub_times = times[mask]
         sub_sizes = sizes[mask]
-        completions = ps_replay(sub_times, sub_sizes, speed)
+        completions = replay(sub_times, sub_sizes, speed)
         metrics.record_batch(sub_times, completions, sub_sizes)
         dispatched = int(np.count_nonzero(mask & warmup_mask))
         server_stats.append(
@@ -141,7 +328,8 @@ def run_static_simulation(
                 speed=float(speed),
                 jobs_received=int(sub_times.size),
                 jobs_completed=int(sub_times.size),
-                # PS is work-conserving: busy time equals served work/speed.
+                # PS and FCFS are work-conserving: busy time equals
+                # served work/speed.
                 busy_time=float(sub_sizes.sum()) / float(speed),
                 dispatch_fraction=(
                     dispatched / post_warmup_total if post_warmup_total else 0.0

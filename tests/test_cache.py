@@ -1,0 +1,143 @@
+"""Tests for the persistent replication cache."""
+
+import numpy as np
+import pytest
+
+from repro.core.cache import ReplicationCache, config_signature, default_cache
+from repro.core.executor import ReplicationTask, run_replication_grid
+from repro.rng import replication_seeds
+from repro.sim import SimulationConfig
+from repro.sim.fastpath import KERNEL_VERSION
+
+CONFIG = SimulationConfig(speeds=(1.0, 2.0), utilization=0.5, duration=1.0e4)
+OUTCOME = (1.5, 0.75, 0.3, 1234, np.array([0.4, 0.6]))
+
+
+class TestRoundTrip:
+    def test_put_get_bit_exact(self, tmp_path):
+        cache = ReplicationCache(tmp_path)
+        key = cache.task_key(CONFIG, "ORR", None, 42)
+        cache.put(key, OUTCOME)
+        got = cache.get(key)
+        # JSON shortest-repr float serialization round-trips bit-exactly.
+        assert got[:4] == OUTCOME[:4]
+        np.testing.assert_array_equal(got[4], OUTCOME[4])
+
+    def test_missing_is_none(self, tmp_path):
+        cache = ReplicationCache(tmp_path)
+        assert cache.get("deadbeef" * 8) is None
+
+    def test_corrupt_entry_is_a_miss(self, tmp_path):
+        cache = ReplicationCache(tmp_path)
+        key = cache.task_key(CONFIG, "ORR", None, 42)
+        cache.put(key, OUTCOME)
+        (tmp_path / f"{key}.json").write_text("{not json")
+        assert cache.get(key) is None
+
+    def test_len_and_clear(self, tmp_path):
+        cache = ReplicationCache(tmp_path)
+        for seed in (1, 2, 3):
+            cache.put(cache.task_key(CONFIG, "ORR", None, seed), OUTCOME)
+        assert len(cache) == 3
+        assert cache.clear() == 3
+        assert len(cache) == 0
+
+    def test_seedsequence_keys_stable(self, tmp_path):
+        cache = ReplicationCache(tmp_path)
+        seeds = replication_seeds(2000, 2)
+        keys = [cache.task_key(CONFIG, "ORR", None, s) for s in seeds]
+        again = [cache.task_key(CONFIG, "ORR", None, s) for s in
+                 replication_seeds(2000, 2)]
+        assert keys == again
+        assert keys[0] != keys[1]
+
+
+class TestKeying:
+    def test_distinct_inputs_distinct_keys(self, tmp_path):
+        cache = ReplicationCache(tmp_path)
+        base = cache.task_key(CONFIG, "ORR", None, 42)
+        other_config = SimulationConfig(
+            speeds=(1.0, 2.0), utilization=0.6, duration=1.0e4
+        )
+        assert cache.task_key(other_config, "ORR", None, 42) != base
+        assert cache.task_key(CONFIG, "WRR", None, 42) != base
+        assert cache.task_key(CONFIG, "ORR", 0.05, 42) != base
+        assert cache.task_key(CONFIG, "ORR", None, 43) != base
+
+    def test_policy_name_case_insensitive(self, tmp_path):
+        cache = ReplicationCache(tmp_path)
+        assert cache.task_key(CONFIG, "orr", None, 1) == cache.task_key(
+            CONFIG, "ORR", None, 1
+        )
+
+    def test_kernel_version_bump_invalidates(self, tmp_path):
+        current = ReplicationCache(tmp_path)
+        key = current.task_key(CONFIG, "ORR", None, 42)
+        current.put(key, OUTCOME)
+        bumped = ReplicationCache(tmp_path, kernel_version=KERNEL_VERSION + "x")
+        assert bumped.task_key(CONFIG, "ORR", None, 42) != key
+        assert bumped.get(bumped.task_key(CONFIG, "ORR", None, 42)) is None
+
+    def test_signature_covers_discipline(self):
+        fcfs = SimulationConfig(
+            speeds=(1.0, 2.0), utilization=0.5, duration=1.0e4,
+            discipline="fcfs",
+        )
+        assert config_signature(fcfs) != config_signature(CONFIG)
+
+
+class TestDefaultCache:
+    def test_unset_env_disables(self, monkeypatch):
+        monkeypatch.delenv("REPRO_CACHE", raising=False)
+        assert default_cache() is None
+
+    def test_env_enables(self, monkeypatch, tmp_path):
+        monkeypatch.setenv("REPRO_CACHE", str(tmp_path / "store"))
+        cache = default_cache()
+        assert isinstance(cache, ReplicationCache)
+        assert cache.directory == tmp_path / "store"
+
+
+def _tasks(replications=2):
+    return [
+        ReplicationTask(
+            key=r, config=CONFIG, policy_name="ORR",
+            estimation_error=None, seed=seed,
+        )
+        for r, seed in enumerate(replication_seeds(2000, replications))
+    ]
+
+
+class TestGridIntegration:
+    def test_second_run_hits_without_simulating(self, tmp_path, monkeypatch):
+        cache = ReplicationCache(tmp_path)
+        first = run_replication_grid(_tasks(), n_jobs=1, cache=cache)
+        assert (first.cache_hits, first.cache_misses) == (0, 2)
+        assert len(cache) == 2
+
+        # Prove the warm pass never simulates: break the worker.
+        def boom(task):
+            raise AssertionError("cache hit should not re-simulate")
+
+        monkeypatch.setattr("repro.core.executor._run_replication", boom)
+        second = run_replication_grid(_tasks(), n_jobs=1, cache=cache)
+        assert (second.cache_hits, second.cache_misses) == (2, 0)
+        for r in range(2):
+            a, b = first.outcomes[r], second.outcomes[r]
+            assert a[:4] == b[:4]
+            np.testing.assert_array_equal(a[4], b[4])
+
+    def test_sweep_reports_cache_counters(self, tmp_path):
+        from repro.experiments.base import SCALES
+        from repro.experiments.figure3 import run_figure3
+
+        cache = ReplicationCache(tmp_path)
+        kwargs = dict(fast_speeds=(1.0,), policies=("ORR",))
+        cold = run_figure3(SCALES["smoke"], cache=cache, **kwargs)
+        warm = run_figure3(SCALES["smoke"], cache=cache, **kwargs)
+        assert cold.cache_misses == 2 and cold.cache_hits == 0
+        assert warm.cache_hits == 2 and warm.cache_misses == 0
+        assert (
+            warm.cells[1.0]["ORR"].mean_response_ratio.mean
+            == cold.cells[1.0]["ORR"].mean_response_ratio.mean
+        )

@@ -19,6 +19,26 @@ class TestParser:
         with pytest.raises(SystemExit):
             build_parser().parse_args(["run", "table1", "--scale", "huge"])
 
+    def test_run_n_jobs_and_cache_args(self):
+        args = build_parser().parse_args(
+            ["run", "figure3", "--n-jobs", "auto", "--cache", "/tmp/c"]
+        )
+        assert args.n_jobs == "auto"
+        assert args.cache == "/tmp/c"
+
+    def test_simulate_n_jobs_arg(self):
+        args = build_parser().parse_args(
+            ["simulate", "--speeds", "1,2", "--utilization", "0.5",
+             "--n-jobs", "2"]
+        )
+        assert args.n_jobs == "2"
+
+    def test_bench_defaults(self):
+        args = build_parser().parse_args(["bench"])
+        assert args.scale == "smoke"
+        assert args.output == "BENCH_sweep.json"
+        assert args.n_jobs is None and args.cache is None
+
 
 class TestCommands:
     def test_list(self, capsys):
@@ -60,3 +80,59 @@ class TestCommands:
     def test_run_unknown_experiment(self):
         with pytest.raises(KeyError):
             main(["run", "figure99"])
+
+    def test_run_rejects_bad_n_jobs(self, capsys):
+        assert main(["run", "table2", "--n-jobs", "bogus"]) == 2
+        assert "n_jobs" in capsys.readouterr().err
+
+    def test_simulate_rejects_bad_n_jobs(self, capsys):
+        code = main(["simulate", "--speeds", "1,2", "--utilization", "0.5",
+                     "--n-jobs", "-3"])
+        assert code == 2
+        assert "positive" in capsys.readouterr().err
+
+    def test_simulate_parallel_matches_serial(self, capsys):
+        base = ["simulate", "--speeds", "1,1,10", "--utilization", "0.6",
+                "--policies", "ORR", "--duration", "5e3",
+                "--replications", "2"]
+        assert main(base) == 0
+        serial_out = capsys.readouterr().out
+        assert main(base + ["--n-jobs", "2"]) == 0
+        parallel_out = capsys.readouterr().out
+        assert parallel_out == serial_out
+
+    def test_run_with_cache_dir(self, capsys, tmp_path):
+        cache_dir = tmp_path / "cache"
+        code = main(["run", "figure3", "--scale", "smoke",
+                     "--cache", str(cache_dir)])
+        assert code == 0
+        assert "ORR" in capsys.readouterr().out
+        assert any(p.suffix == ".json" for p in cache_dir.iterdir())
+
+
+class TestBench:
+    def test_bench_appends_trajectory(self, capsys, tmp_path):
+        import json
+
+        out_path = tmp_path / "BENCH_sweep.json"
+        assert main(["bench", "--output", str(out_path)]) == 0
+        text = capsys.readouterr().out
+        assert "FCFS kernel" in text and "cache" in text
+        trajectory = json.loads(out_path.read_text())
+        assert len(trajectory) == 1
+        record = trajectory[0]
+        assert record["sweep"]["grid_identical"] is True
+        assert record["replication"]["ps"]["agree"] is True
+        assert record["replication"]["fcfs"]["agree"] is True
+        assert record["sweep"]["cache_warm_hits"] > 0
+
+        # A second invocation appends rather than overwrites.
+        assert main(["bench", "--output", str(out_path)]) == 0
+        capsys.readouterr()
+        assert len(json.loads(out_path.read_text())) == 2
+
+    def test_bench_rejects_bad_n_jobs(self, capsys, tmp_path):
+        code = main(["bench", "--n-jobs", "zero",
+                     "--output", str(tmp_path / "b.json")])
+        assert code == 2
+        assert "n_jobs" in capsys.readouterr().err

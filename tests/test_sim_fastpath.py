@@ -2,12 +2,38 @@
 
 import numpy as np
 import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
 
 from repro.core import get_policy, run_policy_once
 from repro.dispatch import CyclicDispatcher, LeastLoadDispatcher, RandomDispatcher
 from repro.distributions import Exponential
 from repro.rng import substream
-from repro.sim import SimulationConfig, ps_replay, run_simulation, run_static_simulation
+from repro.sim import (
+    SimulationConfig,
+    fcfs_replay,
+    ps_replay,
+    run_simulation,
+    run_static_simulation,
+)
+from repro.sim.fastpath import _fcfs_replay_loop, _ps_replay_loop
+
+
+def _substream_strategy():
+    """(arrival_times, sizes) pairs: bursty arrivals, wide size range."""
+    return st.lists(
+        st.tuples(
+            st.floats(min_value=0.0, max_value=5.0),  # inter-arrival gaps
+            st.floats(min_value=1e-3, max_value=50.0),  # job sizes
+        ),
+        min_size=1,
+        max_size=60,
+    ).map(
+        lambda pairs: (
+            np.cumsum([g for g, _ in pairs]),
+            np.array([s for _, s in pairs]),
+        )
+    )
 
 
 class TestPsReplay:
@@ -70,6 +96,64 @@ class TestPsReplay:
         with pytest.raises(ValueError, match="speed"):
             ps_replay(np.array([1.0]), np.array([1.0]), 0.0)
 
+    @settings(max_examples=60, deadline=None)
+    @given(sub=_substream_strategy(), speed=st.floats(min_value=0.1, max_value=10.0))
+    def test_matches_reference_loop(self, sub, speed):
+        """Busy-period-segmented replay == the per-event reference loop."""
+        times, sizes = sub
+        np.testing.assert_allclose(
+            ps_replay(times, sizes, speed),
+            _ps_replay_loop(times, sizes, speed),
+            rtol=1e-9,
+            atol=1e-9,
+        )
+
+
+class TestFcfsReplay:
+    def test_single_job(self):
+        np.testing.assert_allclose(
+            fcfs_replay(np.array([1.0]), np.array([4.0]), 2.0), [3.0]
+        )
+
+    def test_queueing_chain(self):
+        # Three jobs back to back: each waits for its predecessors.
+        out = fcfs_replay(np.array([0.0, 0.0, 1.0]), np.array([2.0, 2.0, 2.0]), 1.0)
+        np.testing.assert_allclose(out, [2.0, 4.0, 6.0])
+
+    def test_idle_gap_resets(self):
+        out = fcfs_replay(np.array([0.0, 100.0]), np.array([1.0, 1.0]), 1.0)
+        np.testing.assert_allclose(out, [1.0, 101.0])
+
+    def test_empty(self):
+        assert fcfs_replay(np.empty(0), np.empty(0), 1.0).size == 0
+
+    def test_validation(self):
+        with pytest.raises(ValueError, match="non-decreasing"):
+            fcfs_replay(np.array([2.0, 1.0]), np.array([1.0, 1.0]), 1.0)
+        with pytest.raises(ValueError, match="speed"):
+            fcfs_replay(np.array([1.0]), np.array([1.0]), -1.0)
+
+    @settings(max_examples=100, deadline=None)
+    @given(sub=_substream_strategy(), speed=st.floats(min_value=0.1, max_value=10.0))
+    def test_lindley_matches_reference_loop(self, sub, speed):
+        """The prefix-max Lindley recursion == the per-job reference loop."""
+        times, sizes = sub
+        np.testing.assert_allclose(
+            fcfs_replay(times, sizes, speed),
+            _fcfs_replay_loop(times, sizes, speed),
+            rtol=1e-9,
+            atol=1e-9,
+        )
+
+    def test_departures_ordered_and_bounded(self, rng):
+        n = 500
+        times = np.sort(rng.random(n) * 100.0)
+        sizes = rng.random(n) + 0.05
+        out = fcfs_replay(times, sizes, 2.0)
+        # FCFS departures are non-decreasing and no job beats its solo time.
+        assert np.all(np.diff(out) >= -1e-12)
+        assert np.all(out >= times + sizes / 2.0 - 1e-12)
+
 
 class TestFastPathRestrictions:
     def test_rejects_dynamic_dispatcher(self):
@@ -77,12 +161,22 @@ class TestFastPathRestrictions:
         with pytest.raises(ValueError, match="feedback"):
             run_static_simulation(config, LeastLoadDispatcher([1.0]), None, seed=0)
 
-    def test_rejects_non_ps_discipline(self):
+    def test_rejects_quantum_discipline(self):
+        config = SimulationConfig(
+            speeds=(1.0,), utilization=0.5, duration=1e3,
+            discipline="rr_quantum", quantum=0.1,
+        )
+        with pytest.raises(ValueError, match="needs the event engine"):
+            run_static_simulation(config, CyclicDispatcher(), np.array([1.0]), seed=0)
+
+    def test_accepts_fcfs_discipline(self):
         config = SimulationConfig(
             speeds=(1.0,), utilization=0.5, duration=1e3, discipline="fcfs"
         )
-        with pytest.raises(ValueError, match="PS discipline"):
-            run_static_simulation(config, CyclicDispatcher(), np.array([1.0]), seed=0)
+        result = run_static_simulation(
+            config, CyclicDispatcher(), np.array([1.0]), seed=0
+        )
+        assert result.metrics.jobs > 0
 
 
 class TestEngineEquivalence:
@@ -93,6 +187,27 @@ class TestEngineEquivalence:
     def test_policies_agree(self, policy_name):
         config = SimulationConfig(
             speeds=(1.0, 2.0, 5.0), utilization=0.6, duration=2.0e4
+        )
+        policy = get_policy(policy_name)
+        fast = run_policy_once(config, policy, seed=42)
+        slow = run_policy_once(config, policy, seed=42, force_engine=True)
+        assert fast.total_arrivals == slow.total_arrivals
+        assert fast.metrics.jobs == slow.metrics.jobs
+        assert fast.metrics.mean_response_time == pytest.approx(
+            slow.metrics.mean_response_time, rel=1e-9
+        )
+        assert fast.metrics.mean_response_ratio == pytest.approx(
+            slow.metrics.mean_response_ratio, rel=1e-9
+        )
+        assert fast.metrics.fairness == pytest.approx(
+            slow.metrics.fairness, rel=1e-6
+        )
+
+    @pytest.mark.parametrize("policy_name", ["WRAN", "ORR"])
+    def test_fcfs_policies_agree(self, policy_name):
+        config = SimulationConfig(
+            speeds=(1.0, 2.0, 5.0), utilization=0.6, duration=2.0e4,
+            discipline="fcfs",
         )
         policy = get_policy(policy_name)
         fast = run_policy_once(config, policy, seed=42)
