@@ -73,6 +73,44 @@ def build_parser() -> argparse.ArgumentParser:
         help="persistent replication cache directory "
              "(default: REPRO_CACHE env or no caching)",
     )
+    run_p.add_argument(
+        "--faults",
+        metavar="SPEC",
+        default=None,
+        help="inject server failures into sweep experiments, e.g. "
+             "'mtbf=500,mttr=50' (keys: mtbf, mttr, degrade_rate, "
+             "degrade_duration, degrade_factor, drift, on_failure, "
+             "max_attempts, base_delay, backoff, max_delay)",
+    )
+    run_p.add_argument(
+        "--retries",
+        type=int,
+        default=0,
+        metavar="N",
+        help="retry crashed or timed-out grid tasks up to N times "
+             "with bounded backoff (default 0)",
+    )
+    run_p.add_argument(
+        "--task-timeout",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help="wall-clock budget per grid task; a stuck task counts as "
+             "crashed (parallel runs only)",
+    )
+    run_p.add_argument(
+        "--resume",
+        action="store_true",
+        help="checkpoint completed sweep cells to "
+             ".repro_checkpoints/<experiment>_<scale>.jsonl and skip "
+             "them on re-runs",
+    )
+    run_p.add_argument(
+        "--quarantine",
+        action="store_true",
+        help="report failing grid cells in the output instead of "
+             "aborting the whole sweep",
+    )
 
     sub.add_parser("list", help="list available experiments")
 
@@ -174,6 +212,7 @@ _SWEEP_RUNNERS = {
     "figure4": ("run_figure4", "format_figure4"),
     "figure5": ("run_figure5", "format_figure5"),
     "figure6": ("run_figure6", "format_figure6"),
+    "faults": ("run_faults_extension", "format_faults_extension"),
 }
 
 
@@ -195,6 +234,39 @@ def _open_cache(path):
     return ReplicationCache(path) if path else None
 
 
+def _grid_options(args, experiment: str) -> dict | None:
+    """Harness-hardening and fault-injection kwargs from run flags.
+
+    Returns None (after printing the error) on a malformed ``--faults``
+    spec; an empty dict when no knob is set — the zero-overhead default.
+    """
+    from .experiments import active_scale
+
+    grid: dict = {}
+    if args.faults:
+        from .faults import FaultConfig
+
+        try:
+            grid["faults"] = FaultConfig.parse(args.faults)
+        except ValueError as exc:
+            print(f"error: bad --faults spec: {exc}", file=sys.stderr)
+            return None
+    if args.retries:
+        grid["retries"] = args.retries
+    if args.task_timeout is not None:
+        grid["task_timeout"] = args.task_timeout
+    if args.quarantine:
+        grid["quarantine"] = True
+    if args.resume:
+        from .core.checkpoint import SweepCheckpoint
+
+        scale = active_scale(args.scale)
+        path = f".repro_checkpoints/{experiment}_{scale.name}.jsonl"
+        grid["checkpoint"] = SweepCheckpoint(path)
+        print(f"checkpointing sweep cells to {path}", file=sys.stderr)
+    return grid
+
+
 def _cmd_run(args) -> int:
     from . import experiments
 
@@ -208,12 +280,23 @@ def _cmd_run(args) -> int:
             print("error: --json is per-experiment; run figures individually",
                   file=sys.stderr)
             return 2
+        if args.resume:
+            print("error: --resume needs a single experiment (one "
+                  "checkpoint per sweep)", file=sys.stderr)
+            return 2
+        grid = _grid_options(args, "all")
+        if grid is None:
+            return 2
         for key in experiments.experiment_ids():
             print(experiments.run_experiment(
-                key, args.scale, n_jobs=n_jobs, cache=cache
+                key, args.scale, n_jobs=n_jobs, cache=cache, **grid
             ))
             print()
         return 0
+
+    grid = _grid_options(args, args.experiment)
+    if grid is None:
+        return 2
 
     if args.json:
         if args.experiment not in _SWEEP_RUNNERS:
@@ -225,7 +308,7 @@ def _cmd_run(args) -> int:
             return 2
         run_name, fmt_name = _SWEEP_RUNNERS[args.experiment]
         result = getattr(experiments, run_name)(
-            args.scale, n_jobs=n_jobs, cache=cache
+            args.scale, n_jobs=n_jobs, cache=cache, **grid
         )
         print(getattr(experiments, fmt_name)(result))
         path = experiments.save_sweep_json(result, args.json)
@@ -233,7 +316,7 @@ def _cmd_run(args) -> int:
         return 0
 
     print(experiments.run_experiment(
-        args.experiment, args.scale, n_jobs=n_jobs, cache=cache
+        args.experiment, args.scale, n_jobs=n_jobs, cache=cache, **grid
     ))
     return 0
 
@@ -438,6 +521,7 @@ def _cmd_bench(args) -> int:
       replication cache.
     """
     import json
+    import os
     import tempfile
     from datetime import datetime, timezone
 
@@ -583,11 +667,21 @@ def _cmd_bench(args) -> int:
     except (OSError, ValueError):
         pass
     trajectory.append(record)
+    # Stage to a temp file and rename into place: an interrupted or
+    # concurrent bench run can never truncate the trajectory mid-write.
+    tmp_path = f"{args.output}.{os.getpid()}.tmp"
     try:
-        with open(args.output, "w", encoding="utf-8") as fh:
+        with open(tmp_path, "w", encoding="utf-8") as fh:
             json.dump(trajectory, fh, indent=2)
             fh.write("\n")
+            fh.flush()
+            os.fsync(fh.fileno())
+        os.replace(tmp_path, args.output)
     except OSError as exc:
+        try:
+            os.unlink(tmp_path)
+        except OSError:
+            pass
         print(f"error: cannot write {args.output}: {exc}", file=sys.stderr)
         return 2
 

@@ -21,6 +21,7 @@ the ``REPRO_CACHE`` environment variable to a directory path and
 from __future__ import annotations
 
 import hashlib
+import itertools
 import json
 import logging
 import os
@@ -42,7 +43,7 @@ _FIELDS = ("mean_response_time", "mean_response_ratio", "fairness", "jobs")
 
 def config_signature(config: SimulationConfig) -> dict:
     """Canonical, JSON-ready rendering of every field that shapes a run."""
-    return {
+    signature = {
         "speeds": list(config.speeds),
         "utilization": config.utilization,
         "duration": config.duration,
@@ -55,6 +56,11 @@ def config_signature(config: SimulationConfig) -> dict:
         "feedback": repr(config.feedback),
         "rate_profile": repr(config.rate_profile),
     }
+    # Added only when set, so every fault-free key (and with it every
+    # entry cached before fault injection existed) stays valid.
+    if config.faults is not None:
+        signature["faults"] = repr(config.faults)
+    return signature
 
 
 def _seed_signature(seed) -> dict:
@@ -93,7 +99,13 @@ class ReplicationCache:
         return self.directory / f"{key}.json"
 
     def get(self, key: str):
-        """The cached outcome tuple, or None (missing or unreadable)."""
+        """The cached outcome tuple, or None (missing or unreadable).
+
+        Unreadable means *any* defect — a torn write from a crashed
+        process, truncation, a hand-edited file, wrong types: all decode
+        failures degrade to a miss, and the subsequent :meth:`put`
+        atomically replaces the bad entry with a fresh one.
+        """
         try:
             data = json.loads(self._path(key).read_text())
             return (
@@ -102,23 +114,40 @@ class ReplicationCache:
                 float(data["fairness"]),
                 int(data["jobs"]),
                 np.asarray(data["dispatch_fractions"], dtype=float),
+                # Entries written before fault injection existed lack
+                # the field; fault-free loss is exactly 0.0.
+                float(data.get("loss_rate", 0.0)),
             )
         except (OSError, ValueError, KeyError, TypeError):
             return None  # treat corrupt/missing entries as misses
 
+    #: Distinguishes temp files written by threads sharing one pid.
+    _tmp_counter = itertools.count()
+
     def put(self, key: str, outcome) -> None:
-        """Store one outcome atomically (temp file + rename)."""
-        time_, ratio, fairness, jobs, fractions = outcome
+        """Store one outcome atomically.
+
+        The entry is staged to a name unique to this (process, call) —
+        pid plus a monotone counter — then published with ``os.replace``.
+        Concurrent writers of the same key therefore never interleave
+        bytes: readers see either the old complete entry or the new one,
+        and the last publisher wins (all writers compute the same value,
+        so which one lands is immaterial).
+        """
+        time_, ratio, fairness, jobs, fractions = outcome[:5]
         data = {
             "mean_response_time": float(time_),
             "mean_response_ratio": float(ratio),
             "fairness": float(fairness),
             "jobs": int(jobs),
             "dispatch_fractions": [float(x) for x in np.asarray(fractions)],
+            "loss_rate": float(outcome[5]) if len(outcome) > 5 else 0.0,
             "kernel": self.kernel_version,
         }
         path = self._path(key)
-        tmp = path.with_name(f"{path.name}.{os.getpid()}.tmp")
+        tmp = path.with_name(
+            f"{path.name}.{os.getpid()}.{next(self._tmp_counter)}.tmp"
+        )
         tmp.write_text(json.dumps(data))
         os.replace(tmp, path)
 

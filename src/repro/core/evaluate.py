@@ -43,19 +43,24 @@ class PolicyEvaluation:
     dispatch_fractions: np.ndarray
     replications: int
     jobs_per_replication: float
+    #: Post-warm-up job-loss rate across replications; only populated by
+    #: fault-injection sweeps (None on the classic paper experiments).
+    loss_rate: "ReplicationSummary | None" = None
 
     def metric(self, name: str) -> ReplicationSummary:
-        """Look up one of the paper's three metrics by name."""
+        """Look up one of the paper's three metrics (or loss_rate) by name."""
+        metrics = {
+            "mean_response_time": self.mean_response_time,
+            "mean_response_ratio": self.mean_response_ratio,
+            "fairness": self.fairness,
+        }
+        if self.loss_rate is not None:
+            metrics["loss_rate"] = self.loss_rate
         try:
-            return {
-                "mean_response_time": self.mean_response_time,
-                "mean_response_ratio": self.mean_response_ratio,
-                "fairness": self.fairness,
-            }[name]
+            return metrics[name]
         except KeyError:
             raise KeyError(
-                f"unknown metric {name!r}; expected mean_response_time, "
-                "mean_response_ratio, or fairness"
+                f"unknown metric {name!r}; expected one of {sorted(metrics)}"
             ) from None
 
 
@@ -81,6 +86,7 @@ def run_policy_once(
         and dispatcher.is_static
         and config.discipline in ("ps", "fcfs")
         and not force_engine
+        and (config.faults is None or not config.faults.enabled)
     )
     if use_fast:
         return run_static_simulation(

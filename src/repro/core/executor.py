@@ -17,7 +17,26 @@ runner:
   ``n_jobs=1`` bypasses the pool (and pickling) entirely.
 * **Failure isolation.**  A crashing task does not poison the pool: the
   worker captures the traceback per task and the parent raises one
-  aggregate error naming the failed cells.
+  aggregate :class:`GridTaskError` naming the failed cells.
+
+Hardening knobs (all off by default — the default path is byte-for-byte
+the original fast path):
+
+* ``retries`` — transient failures (a task raising, a worker process
+  dying, a task timing out) are retried up to N times with a bounded
+  exponential backoff before counting as failed.  A worker killed
+  mid-task breaks the whole pool; the executor rebuilds it and
+  resubmits every in-flight task.
+* ``task_timeout`` — wall-clock budget per task (parallel runs only).
+  A task past its deadline is treated as crashed: the pool is recycled
+  and the task retried or failed.
+* ``quarantine`` — tasks that exhaust their retries are quarantined
+  into ``GridReport.failures`` as structured :class:`TaskFailure`
+  records (naming the sweep point, policy, and replication) instead of
+  aborting the whole grid.
+* ``checkpoint`` — a :class:`~repro.core.checkpoint.SweepCheckpoint`;
+  finished cells are appended as they complete and skipped on re-runs
+  (``repro run --resume``).
 
 ``n_jobs`` resolution: explicit argument > ``REPRO_JOBS`` environment
 variable > 1 (serial).  The string ``"auto"`` maps to ``os.cpu_count()``.
@@ -29,7 +48,8 @@ import atexit
 import os
 import time
 import traceback
-from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
+from concurrent.futures.process import BrokenProcessPool
 from dataclasses import dataclass, field
 from typing import Hashable, Iterable
 
@@ -38,11 +58,14 @@ import numpy as np
 from ..metrics import summarize_replications
 from ..sim.config import SimulationConfig
 from .cache import ReplicationCache
+from .checkpoint import SweepCheckpoint
 from .evaluate import PolicyEvaluation, run_policy_once
 from .policies import get_policy
 
 __all__ = [
     "ReplicationTask",
+    "TaskFailure",
+    "GridTaskError",
     "GridReport",
     "resolve_n_jobs",
     "shared_executor",
@@ -53,6 +76,15 @@ __all__ = [
 
 _pool: ProcessPoolExecutor | None = None
 _pool_workers = 0
+
+#: Test seam: when set (before workers fork), every worker invocation
+#: calls ``_TEST_WORKER_HOOK(task)`` first — fault-injection tests use
+#: it to crash or stall specific tasks.  Never set in production.
+_TEST_WORKER_HOOK = None
+
+#: Bounded backoff between retry attempts of a failed task (seconds).
+_RETRY_BASE_DELAY = 0.05
+_RETRY_MAX_DELAY = 2.0
 
 
 def resolve_n_jobs(value: int | str | None = None) -> int:
@@ -100,6 +132,15 @@ def shutdown_shared_executor() -> None:
         _pool_workers = 0
 
 
+def _rebuild_pool() -> None:
+    """Discard a broken/stalled pool without waiting on stuck workers."""
+    global _pool, _pool_workers
+    if _pool is not None:
+        _pool.shutdown(wait=False, cancel_futures=True)
+        _pool = None
+        _pool_workers = 0
+
+
 atexit.register(shutdown_shared_executor)
 
 
@@ -114,17 +155,66 @@ class ReplicationTask:
     seed: int | np.random.SeedSequence
 
 
+@dataclass(frozen=True)
+class TaskFailure:
+    """One grid cell that exhausted its retries.
+
+    ``key`` is the sweep's task key — for the standard experiment
+    sweeps a ``(sweep point, policy, replication)`` triple — so the
+    failure names exactly which cell died and why.
+    """
+
+    key: Hashable
+    policy_name: str
+    attempts: int
+    error: str
+
+    def describe(self) -> str:
+        where = self.key
+        if isinstance(where, tuple) and len(where) == 3:
+            x, policy, r = where
+            where = f"point {x!r}, policy {policy}, replication {r}"
+        first_line = self.error.strip().splitlines()[-1] if self.error else "?"
+        return f"{where} ({self.attempts} attempt(s)): {first_line}"
+
+
+class GridTaskError(RuntimeError):
+    """Aggregate error for a grid run with unrecoverable task failures.
+
+    Subclasses :class:`RuntimeError` and keeps the historical
+    "grid tasks failed" message, so existing handlers keep working;
+    structured details live in :attr:`failures`.
+    """
+
+    def __init__(self, failures: list["TaskFailure"], total: int):
+        self.failures = tuple(failures)
+        detail = "\n\n".join(
+            f"task {f.key!r}:\n{f.error}" for f in failures[:5]
+        )
+        super().__init__(
+            f"{len(failures)} of {total} grid tasks failed; "
+            f"first failure(s):\n{detail}"
+        )
+
+
 @dataclass
 class GridReport:
     """Outcomes plus observability for one grid run."""
 
     #: task key → (mean_response_time, mean_response_ratio, fairness,
-    #: jobs, dispatch_fractions) — the per-replication outcome tuple.
+    #: jobs, dispatch_fractions, loss_rate) — the per-replication
+    #: outcome tuple (loss_rate is 0.0 for fault-free runs).
     outcomes: dict
     cache_hits: int = 0
     cache_misses: int = 0
     #: Per-stage wall-clock seconds ("cache_lookup", "simulate").
     timings: dict[str, float] = field(default_factory=dict)
+    #: Quarantined cells (only populated with ``quarantine=True``).
+    failures: list[TaskFailure] = field(default_factory=list)
+    #: Finished cells served from the sweep checkpoint.
+    checkpoint_hits: int = 0
+    #: Task attempts beyond the first (crashes/timeouts that recovered).
+    retried: int = 0
 
 
 def _run_replication(task: ReplicationTask):
@@ -136,15 +226,152 @@ def _run_replication(task: ReplicationTask):
         result.metrics.fairness,
         result.metrics.jobs,
         result.dispatch_fractions,
+        result.loss_rate,
     )
 
 
 def _worker(task: ReplicationTask):
     """Pool entry point: never raises — errors travel back as text."""
     try:
+        if _TEST_WORKER_HOOK is not None:
+            _TEST_WORKER_HOOK(task)
         return task.key, _run_replication(task), None
     except Exception:  # noqa: BLE001 — captured per task by design
         return task.key, None, traceback.format_exc()
+
+
+def _retry_delay(next_attempt: int) -> float:
+    """Bounded exponential backoff before attempt *next_attempt* (≥ 2)."""
+    return min(_RETRY_MAX_DELAY, _RETRY_BASE_DELAY * 2.0 ** (next_attempt - 2))
+
+
+def _run_serial(pending: list[ReplicationTask], retries: int):
+    """In-process execution with inline retries (no timeout support)."""
+    for task in pending:
+        for attempt in range(1, retries + 2):
+            _, outcome, error = _worker(task)
+            if error is None or attempt == retries + 1:
+                yield task, outcome, error, attempt
+                break
+            time.sleep(_retry_delay(attempt + 1))
+
+
+def _run_hardened(
+    pending: list[ReplicationTask],
+    n_jobs: int,
+    retries: int,
+    task_timeout: float | None,
+):
+    """Submit-based parallel execution with crash and timeout recovery.
+
+    Each task gets its own future (no chunking), so one dead or stuck
+    worker only costs the tasks it was holding.  A dead worker breaks
+    the *whole* pool, and ``BrokenProcessPool`` cannot say which task
+    killed it — so nobody is charged an attempt for a break; instead
+    every task that was in flight becomes a *suspect* and re-runs in
+    isolation (one task per fresh pool at a time).  Alone, the culprit
+    is unambiguous: an isolated break or timeout charges that task's
+    attempt, while innocent bystanders complete for free.
+    """
+    from collections import deque
+
+    results: list[tuple[ReplicationTask, object, str | None, int]] = []
+    todo = deque((task, 1) for task in pending)
+    isolated: deque = deque()  # suspects: run one at a time
+    in_flight: dict = {}  # future -> (task, attempt, deadline)
+
+    def settle(task, attempt, outcome, error, queue):
+        """Record a completed attempt, or requeue it with backoff."""
+        if error is None:
+            results.append((task, outcome, None, attempt))
+        elif attempt <= retries:
+            time.sleep(_retry_delay(attempt + 1))
+            queue.append((task, attempt + 1))
+        else:
+            results.append((task, None, error, attempt))
+
+    while todo or in_flight:
+        pool = shared_executor(n_jobs)
+        while todo and len(in_flight) < 2 * n_jobs:
+            task, attempt = todo.popleft()
+            deadline = (
+                time.monotonic() + task_timeout if task_timeout is not None else None
+            )
+            in_flight[pool.submit(_worker, task)] = (task, attempt, deadline)
+
+        wait_timeout = None
+        if task_timeout is not None:
+            nearest = min(d for (_, _, d) in in_flight.values())
+            wait_timeout = max(0.0, nearest - time.monotonic()) + 0.01
+        done, _ = wait(set(in_flight), timeout=wait_timeout,
+                       return_when=FIRST_COMPLETED)
+
+        broken = False
+        for fut in done:
+            task, attempt, _ = in_flight.pop(fut)
+            try:
+                _, outcome, error = fut.result()
+            except BrokenProcessPool:
+                # Can't attribute the dead worker: re-run in isolation,
+                # unattributed breaks don't consume an attempt.
+                isolated.append((task, attempt))
+                broken = True
+                continue
+            except Exception:  # noqa: BLE001 — surfaced as a task failure
+                outcome, error = None, traceback.format_exc()
+            settle(task, attempt, outcome, error, todo)
+
+        if task_timeout is not None:
+            now = time.monotonic()
+            for fut, (task, attempt, deadline) in list(in_flight.items()):
+                if now >= deadline:
+                    in_flight.pop(fut)
+                    if not fut.cancel():
+                        # Already running: the worker can't be reclaimed,
+                        # so the pool gets recycled below.
+                        broken = True
+                    error = f"task exceeded its {task_timeout}s wall-clock budget"
+                    settle(task, attempt, None, error, todo)
+
+        if broken:
+            # Remaining in-flight tasks were on the broken pool too:
+            # they join the suspects, uncharged.
+            for task, attempt, _ in in_flight.values():
+                isolated.append((task, attempt))
+            in_flight.clear()
+            _rebuild_pool()
+
+        # Drain suspects one per pool so failures attribute cleanly.
+        while isolated and not in_flight:
+            task, attempt = isolated.popleft()
+            pool = shared_executor(n_jobs)
+            deadline = (
+                time.monotonic() + task_timeout if task_timeout is not None else None
+            )
+            fut = pool.submit(_worker, task)
+            solo_timeout = (
+                max(0.0, deadline - time.monotonic()) + 0.01
+                if deadline is not None
+                else None
+            )
+            done, _ = wait([fut], timeout=solo_timeout)
+            if not done:
+                fut.cancel()
+                _rebuild_pool()
+                error = f"task exceeded its {task_timeout}s wall-clock budget"
+                settle(task, attempt, None, error, isolated)
+                continue
+            try:
+                _, outcome, error = fut.result()
+            except BrokenProcessPool:
+                _rebuild_pool()
+                outcome = None
+                error = "task killed its worker process"
+            except Exception:  # noqa: BLE001 — surfaced as a task failure
+                outcome, error = None, traceback.format_exc()
+            settle(task, attempt, outcome, error, isolated)
+
+    return results
 
 
 def run_replication_grid(
@@ -153,22 +380,38 @@ def run_replication_grid(
     n_jobs: int | str | None = None,
     cache: ReplicationCache | None = None,
     chunks_per_worker: int = 4,
+    retries: int = 0,
+    task_timeout: float | None = None,
+    quarantine: bool = False,
+    checkpoint: SweepCheckpoint | None = None,
 ) -> GridReport:
-    """Run every task, against the cache first, then the worker grid.
+    """Run every task: checkpoint first, then cache, then the worker grid.
 
     Results are keyed by ``task.key`` so aggregation is insensitive to
     completion order; with the same seeds the outcome is bit-identical
-    to running the tasks serially.  Tasks that raise are collected and
-    re-raised as one :class:`RuntimeError` after the full grid drains.
+    to running the tasks serially.  Tasks that fail after ``retries``
+    extra attempts are raised as one aggregate :class:`GridTaskError` —
+    or, with ``quarantine=True``, reported in ``GridReport.failures``
+    while every healthy cell still completes.  See the module docstring
+    for the hardening knobs.
     """
     tasks = list(tasks)
     n_jobs = resolve_n_jobs(n_jobs)
+    if retries < 0:
+        raise ValueError(f"retries must be non-negative, got {retries}")
+    if task_timeout is not None and task_timeout <= 0:
+        raise ValueError(f"task_timeout must be positive, got {task_timeout}")
     report = GridReport(outcomes={})
 
     t0 = time.perf_counter()
+    done_cells = checkpoint.load() if checkpoint is not None else {}
     pending: list[ReplicationTask] = []
     cache_keys: dict[Hashable, str] = {}
     for task in tasks:
+        if task.key in done_cells:
+            report.outcomes[task.key] = done_cells[task.key]
+            report.checkpoint_hits += 1
+            continue
         if cache is not None:
             ck = cache.task_key(
                 task.config, task.policy_name, task.estimation_error, task.seed
@@ -178,6 +421,8 @@ def run_replication_grid(
             if hit is not None:
                 report.outcomes[task.key] = hit
                 report.cache_hits += 1
+                if checkpoint is not None:
+                    checkpoint.record(task.key, hit)
                 continue
             report.cache_misses += 1
         pending.append(task)
@@ -185,30 +430,45 @@ def run_replication_grid(
 
     t0 = time.perf_counter()
     if n_jobs == 1 or len(pending) <= 1:
-        raw = map(_worker, pending)
-    else:
+        completed = _run_serial(pending, retries)
+    elif retries == 0 and task_timeout is None:
         pool = shared_executor(n_jobs)
         # Chunked submission amortizes pickling overhead while keeping
         # enough chunks in flight to balance uneven task durations.
         chunksize = max(1, len(pending) // (chunks_per_worker * n_jobs))
-        raw = pool.map(_worker, pending, chunksize=chunksize)
+        completed = (
+            (task, outcome, error, 1)
+            for task, (_key, outcome, error) in zip(
+                pending, pool.map(_worker, pending, chunksize=chunksize)
+            )
+        )
+    else:
+        completed = _run_hardened(pending, n_jobs, retries, task_timeout)
 
-    failures: list[tuple[Hashable, str]] = []
-    for key, outcome, error in raw:
+    failures: list[TaskFailure] = []
+    for task, outcome, error, attempts in completed:
+        report.retried += attempts - 1
         if error is not None:
-            failures.append((key, error))
+            failures.append(
+                TaskFailure(
+                    key=task.key,
+                    policy_name=task.policy_name,
+                    attempts=attempts,
+                    error=error,
+                )
+            )
             continue
-        report.outcomes[key] = outcome
+        report.outcomes[task.key] = outcome
         if cache is not None:
-            cache.put(cache_keys[key], outcome)
+            cache.put(cache_keys[task.key], outcome)
+        if checkpoint is not None:
+            checkpoint.record(task.key, outcome)
     report.timings["simulate"] = time.perf_counter() - t0
 
     if failures:
-        detail = "\n\n".join(f"task {key!r}:\n{err}" for key, err in failures[:5])
-        raise RuntimeError(
-            f"{len(failures)} of {len(tasks)} grid tasks failed; "
-            f"first failure(s):\n{detail}"
-        )
+        report.failures = failures
+        if not quarantine:
+            raise GridTaskError(failures, len(tasks))
     return report
 
 
@@ -231,6 +491,11 @@ def summarize_outcomes(
     fractions = np.zeros(config.n)
     for o in outcomes:
         fractions += o[4]
+    loss = None
+    if config.faults is not None and config.faults.enabled:
+        loss = summarize_replications(
+            [o[5] if len(o) > 5 else 0.0 for o in outcomes], confidence
+        )
     return PolicyEvaluation(
         policy_name=policy_name,
         config=config,
@@ -240,4 +505,5 @@ def summarize_outcomes(
         dispatch_fractions=fractions / len(outcomes),
         replications=len(outcomes),
         jobs_per_replication=float(np.mean(jobs)),
+        loss_rate=loss,
     )

@@ -141,6 +141,34 @@ def _adaptive_orr() -> SchedulingPolicy:
     )
 
 
+def _fa_orr() -> SchedulingPolicy:
+    # Failure-aware ORR (extension): re-solves Algorithm 1 over the
+    # surviving machines whenever the engine reports a membership
+    # change.  Without fault injection it is behaviourally ORR.
+    from ..faults import FailureAwareDispatcher
+
+    return SchedulingPolicy(
+        name="FA_ORR",
+        allocator=OptimizedAllocator(),
+        dispatcher_factory=lambda speeds, rng: FailureAwareDispatcher(
+            RoundRobinDispatcher(), OptimizedAllocator(), speeds
+        ),
+    )
+
+
+def _fa_wrr() -> SchedulingPolicy:
+    # Failure-aware WRR: capacity-proportional re-allocation baseline.
+    from ..faults import FailureAwareDispatcher
+
+    return SchedulingPolicy(
+        name="FA_WRR",
+        allocator=WeightedAllocator(),
+        dispatcher_factory=lambda speeds, rng: FailureAwareDispatcher(
+            RoundRobinDispatcher(), WeightedAllocator(), speeds
+        ),
+    )
+
+
 def _sita() -> SchedulingPolicy:
     # Clairvoyant extension: weighted work shares split by size bands.
     return SchedulingPolicy(
@@ -159,6 +187,8 @@ _FACTORIES: dict[str, Callable[[], SchedulingPolicy]] = {
     "SITA": _sita,
     "JSQ2": _jsq2,
     "ADAPTIVE_ORR": _adaptive_orr,
+    "FA_ORR": _fa_orr,
+    "FA_WRR": _fa_wrr,
 }
 
 #: The five algorithms of the paper's evaluation (Section 4.2).

@@ -109,6 +109,19 @@ class Dispatcher(abc.ABC):
         No-op for static dispatchers.
         """
 
+    def on_membership_change(
+        self, up: np.ndarray, utilization: float, speeds=None
+    ) -> None:
+        """A server failed or was repaired (fault injection only).
+
+        *up* is the boolean liveness mask, *utilization* the offered
+        load relative to the surviving capacity, and *speeds* the
+        (possibly drift-perturbed) speed estimates.  No-op by default —
+        oblivious policies keep dispatching blindly; the failure-aware
+        wrapper (:class:`repro.faults.FailureAwareDispatcher`)
+        re-solves the allocation here.
+        """
+
 
 class StaticDispatcher(Dispatcher):
     """Marker base for dispatchers that never use feedback."""

@@ -97,6 +97,11 @@ class SweepResult:
     #: zero when the sweep ran without a cache).
     cache_hits: int = 0
     cache_misses: int = 0
+    #: Cells served from a sweep checkpoint (``repro run --resume``).
+    checkpoint_hits: int = 0
+    #: Structured reports for quarantined cells (empty unless the grid
+    #: ran with ``quarantine=True`` and something actually failed).
+    failures: list = field(default_factory=list)
     #: Per-stage wall-clock seconds ("plan", "cache_lookup", "simulate",
     #: "aggregate") recorded by the grid executor.
     timings: dict[str, float] = field(default_factory=dict)
@@ -132,6 +137,11 @@ def run_policy_sweep(
     estimation_errors: dict[str, float] | None = None,
     n_jobs: int | str | None = None,
     cache: ReplicationCache | None = None,
+    faults=None,
+    retries: int = 0,
+    task_timeout: float | None = None,
+    quarantine: bool = False,
+    checkpoint=None,
 ) -> SweepResult:
     """Evaluate each policy at each sweep point.
 
@@ -158,6 +168,17 @@ def run_policy_sweep(
         unset).  Completed replications are reused, so re-running a
         figure at the same scale — or resuming an interrupted sweep —
         skips finished work.
+    faults:
+        Optional :class:`~repro.faults.FaultConfig` injected into every
+        sweep point's configuration (unless the point's own config
+        already carries one — fault experiments set it per point).
+    retries / task_timeout / quarantine / checkpoint:
+        Harness hardening, forwarded to
+        :func:`~repro.core.executor.run_replication_grid`: bounded
+        retries for crashed or timed-out replications, per-task
+        wall-clock budget, structured quarantine instead of an
+        aggregate abort, and a :class:`~repro.core.checkpoint.SweepCheckpoint`
+        so ``repro run --resume`` skips finished cells.
     """
     x_values = [float(x) for x in x_values]
     result = SweepResult(
@@ -192,6 +213,7 @@ def run_policy_sweep(
             drain=base.drain,
             feedback=base.feedback,
             rate_profile=base.rate_profile,
+            faults=base.faults if base.faults is not None else faults,
         )
         configs[x] = config
         for name in policies:
@@ -211,7 +233,15 @@ def run_policy_sweep(
                 )
     plan_s = time.perf_counter() - t_plan
 
-    report = run_replication_grid(tasks, n_jobs=n_jobs, cache=cache)
+    report = run_replication_grid(
+        tasks,
+        n_jobs=n_jobs,
+        cache=cache,
+        retries=retries,
+        task_timeout=task_timeout,
+        quarantine=quarantine,
+        checkpoint=checkpoint,
+    )
 
     # Aggregate in (x, policy, seed) order — completion order never
     # matters, so parallel and serial sweeps summarize identically.
@@ -220,13 +250,19 @@ def run_policy_sweep(
         row: dict[str, PolicyEvaluation] = {}
         for name in policies:
             outcomes = [
-                report.outcomes[(x, name, r)] for r in range(scale.replications)
+                report.outcomes[(x, name, r)]
+                for r in range(scale.replications)
+                if (x, name, r) in report.outcomes
             ]
+            if not outcomes:
+                continue  # every replication quarantined: no cell
             row[name] = summarize_outcomes(display[name], configs[x], outcomes)
         result.cells[x] = row
 
     result.cache_hits = report.cache_hits
     result.cache_misses = report.cache_misses
+    result.checkpoint_hits = report.checkpoint_hits
+    result.failures = list(report.failures)
     result.timings = {
         "plan": plan_s,
         **report.timings,

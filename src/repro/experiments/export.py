@@ -18,12 +18,21 @@ __all__ = ["sweep_to_dict", "save_sweep_json", "save_sweep_csv"]
 _METRICS = ("mean_response_time", "mean_response_ratio", "fairness")
 
 
+def _cell_metrics(evaluation) -> tuple[str, ...]:
+    """The paper's metrics, plus loss_rate on fault-injection sweeps."""
+    if evaluation.loss_rate is not None:
+        return _METRICS + ("loss_rate",)
+    return _METRICS
+
+
 def sweep_to_dict(result: SweepResult) -> dict:
     """Lossless JSON-ready representation of a sweep."""
     points = []
     for x in result.x_values:
         row = {"x": x, "policies": {}}
         for policy in result.policies:
+            if policy not in result.cells[x]:
+                continue  # every replication of this cell quarantined
             evaluation = result.cells[x][policy]
             row["policies"][policy] = {
                 metric: {
@@ -31,7 +40,7 @@ def sweep_to_dict(result: SweepResult) -> dict:
                     "half_width": evaluation.metric(metric).half_width,
                     "n": evaluation.metric(metric).n,
                 }
-                for metric in _METRICS
+                for metric in _cell_metrics(evaluation)
             }
         points.append(row)
     return {
@@ -65,8 +74,10 @@ def save_sweep_csv(result: SweepResult, path: str | Path) -> Path:
         )
         for x in result.x_values:
             for policy in result.policies:
+                if policy not in result.cells[x]:
+                    continue  # quarantined cell
                 evaluation = result.cells[x][policy]
-                for metric in _METRICS:
+                for metric in _cell_metrics(evaluation):
                     summary = evaluation.metric(metric)
                     writer.writerow(
                         [x, policy, metric, repr(summary.mean),

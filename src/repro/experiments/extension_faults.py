@@ -1,0 +1,109 @@
+"""Extension experiment: scheduling under server failures.
+
+The paper's algorithms assume the machine set is fixed.  This
+experiment injects a seeded Markov failure/repair process (exponential
+MTBF/MTTR per server) and compares the static policies in two modes:
+
+* **oblivious** — the allocation computed for the full machine set
+  keeps running; jobs dispatched to a failed server bounce and retry
+  with exponential backoff, being lost once the attempts run out;
+* **failure-aware** (``FA_ORR``) — the
+  :class:`~repro.faults.FailureAwareDispatcher` re-solves the paper's
+  Theorem 1–3 allocation over the *surviving* machines on every
+  membership change and rebuilds the round-robin sequence.
+
+The x-axis sweeps MTBF from "failures dominate" to "failures are rare"
+at a fixed repair time, so availability rises along the sweep.  Expected
+shape: obliviously-static ORR loses a roughly availability-proportional
+fraction of jobs (its fractions keep routing to down machines until the
+retry budget runs out), while FA_ORR's loss rate stays near the
+irreducible floor (only jobs caught mid-service die with the server) at
+the cost of a modestly higher mean response time — the salvaged jobs
+survive with long, backoff-laden response times that oblivious runs
+silently drop from the average.  Dynamic Least-Load is naturally
+failure-tolerant here only through retries: it still queries dead
+servers because its load table has no membership signal.
+
+Runs always use the event engine (fault injection forces it), so this
+sweep is slower per simulated second than the fault-free figures.
+"""
+
+from __future__ import annotations
+
+from ..faults import FaultConfig
+from .base import Scale, SweepResult, active_scale, run_policy_sweep
+from .configs import base_config
+from .reporting import format_sweep
+
+__all__ = [
+    "MTBF_VALUES",
+    "MTTR",
+    "FAULT_POLICIES",
+    "run_faults_extension",
+    "format_faults_extension",
+]
+
+#: Mean time between failures per server (seconds), spanning frequent
+#: to rare relative to the smoke/quick horizons.
+MTBF_VALUES: tuple[float, ...] = (500.0, 2000.0, 8000.0)
+#: Mean repair time per server (seconds), fixed across the sweep.
+MTTR = 200.0
+#: A lighter load than the fault-free figures: survivors must be able
+#: to absorb a failed machine's share without saturating.
+UTILIZATION = 0.55
+#: Oblivious statics, the failure-aware wrapper, and the dynamic
+#: yardstick.
+FAULT_POLICIES: tuple[str, ...] = ("WRAN", "WRR", "ORR", "FA_ORR", "LEAST_LOAD")
+METRICS = ("mean_response_time", "loss_rate")
+
+
+def run_faults_extension(
+    scale: str | Scale | None = None,
+    *,
+    mtbf_values=MTBF_VALUES,
+    mttr: float = MTTR,
+    policies=FAULT_POLICIES,
+    faults: FaultConfig | None = None,
+    n_jobs=None,
+    cache=None,
+    **grid,
+) -> SweepResult:
+    """Sweep MTBF and evaluate each policy's MRT and job-loss rate.
+
+    ``faults`` overrides the per-point fault model wholesale (the CLI's
+    ``--faults`` spec lands here); its ``mtbf`` is replaced by each
+    sweep point, everything else — mttr, degradation, retry policy —
+    is honoured.
+    """
+    from dataclasses import replace
+
+    scale = active_scale(scale)
+    template = faults if faults is not None else FaultConfig(mtbf=1.0, mttr=mttr)
+
+    def config_for_x(x: float):
+        return base_config(UTILIZATION, faults=replace(template, mtbf=float(x)))
+
+    return run_policy_sweep(
+        experiment_id="faults",
+        title=(
+            f"scheduling under failures (mttr={template.mttr:g} s, "
+            f"rho={UTILIZATION})"
+        ),
+        x_label="MTBF [s]",
+        x_values=mtbf_values,
+        config_for_x=config_for_x,
+        policies=policies,
+        scale=scale,
+        n_jobs=n_jobs,
+        cache=cache,
+        **grid,
+    )
+
+
+def format_faults_extension(result: SweepResult) -> str:
+    """MRT and loss-rate panels as tables, plus a quarantine appendix."""
+    tables = "\n\n".join(format_sweep(result, metric) for metric in METRICS)
+    if result.failures:
+        lines = "\n".join(f"  - {f.describe()}" for f in result.failures)
+        tables += f"\n\nquarantined cells ({len(result.failures)}):\n{lines}"
+    return tables

@@ -34,6 +34,7 @@ def run_figure3(
     policies=PAPER_POLICIES,
     n_jobs=None,
     cache=None,
+    **grid,
 ) -> SweepResult:
     """Regenerate the three panels of Figure 3."""
     scale = active_scale(scale)
@@ -47,6 +48,7 @@ def run_figure3(
         scale=scale,
         n_jobs=n_jobs,
         cache=cache,
+        **grid,
     )
 
 

@@ -33,6 +33,7 @@ def run_figure4(
     policies=PAPER_POLICIES,
     n_jobs=None,
     cache=None,
+    **grid,
 ) -> SweepResult:
     """Regenerate the two panels of Figure 4."""
     scale = active_scale(scale)
@@ -46,6 +47,7 @@ def run_figure4(
         scale=scale,
         n_jobs=n_jobs,
         cache=cache,
+        **grid,
     )
 
 

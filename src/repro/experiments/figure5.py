@@ -32,6 +32,7 @@ def run_figure5(
     policies=PAPER_POLICIES,
     n_jobs=None,
     cache=None,
+    **grid,
 ) -> SweepResult:
     """Regenerate the two panels of Figure 5.
 
@@ -52,6 +53,7 @@ def run_figure5(
         scale=scale,
         n_jobs=n_jobs,
         cache=cache,
+        **grid,
     )
 
 

@@ -44,6 +44,7 @@ def run_figure6(
     panel: str = "both",
     n_jobs=None,
     cache=None,
+    **grid,
 ) -> SweepResult:
     """Regenerate Figure 6.
 
@@ -78,6 +79,7 @@ def run_figure6(
         estimation_errors=dict(zip(labels, errors)),
         n_jobs=n_jobs,
         cache=cache,
+        **grid,
     )
 
 

@@ -7,6 +7,7 @@ from typing import Callable
 from .base import Scale
 from .configs import BASE_SPEEDS
 from .extension_adaptive import run_adaptive_extension
+from .extension_faults import format_faults_extension, run_faults_extension
 from .figure2 import run_figure2
 from .figure3 import format_figure3, run_figure3
 from .figure4 import format_figure4, run_figure4
@@ -19,15 +20,15 @@ from .table2 import run_table2
 __all__ = ["EXPERIMENTS", "run_experiment", "experiment_ids"]
 
 
-def _run_table1(scale, n_jobs=None, cache=None) -> str:
+def _run_table1(scale, n_jobs=None, cache=None, **grid) -> str:
     return run_table1(scale).format()
 
 
-def _run_table2(scale, n_jobs=None, cache=None) -> str:
+def _run_table2(scale, n_jobs=None, cache=None, **grid) -> str:
     return run_table2().format()
 
 
-def _run_table3(scale, n_jobs=None, cache=None) -> str:
+def _run_table3(scale, n_jobs=None, cache=None, **grid) -> str:
     counts: dict[float, int] = {}
     for s in BASE_SPEEDS:
         counts[s] = counts.get(s, 0) + 1
@@ -38,33 +39,39 @@ def _run_table3(scale, n_jobs=None, cache=None) -> str:
     )
 
 
-def _run_figure2(scale, n_jobs=None, cache=None) -> str:
+def _run_figure2(scale, n_jobs=None, cache=None, **grid) -> str:
     return run_figure2(scale).format()
 
 
-def _run_figure3(scale, n_jobs=None, cache=None) -> str:
-    return format_figure3(run_figure3(scale, n_jobs=n_jobs, cache=cache))
+def _run_figure3(scale, n_jobs=None, cache=None, **grid) -> str:
+    return format_figure3(run_figure3(scale, n_jobs=n_jobs, cache=cache, **grid))
 
 
-def _run_figure4(scale, n_jobs=None, cache=None) -> str:
-    return format_figure4(run_figure4(scale, n_jobs=n_jobs, cache=cache))
+def _run_figure4(scale, n_jobs=None, cache=None, **grid) -> str:
+    return format_figure4(run_figure4(scale, n_jobs=n_jobs, cache=cache, **grid))
 
 
-def _run_figure5(scale, n_jobs=None, cache=None) -> str:
-    return format_figure5(run_figure5(scale, n_jobs=n_jobs, cache=cache))
+def _run_figure5(scale, n_jobs=None, cache=None, **grid) -> str:
+    return format_figure5(run_figure5(scale, n_jobs=n_jobs, cache=cache, **grid))
 
 
-def _run_figure6(scale, n_jobs=None, cache=None) -> str:
-    return format_figure6(run_figure6(scale, n_jobs=n_jobs, cache=cache))
+def _run_figure6(scale, n_jobs=None, cache=None, **grid) -> str:
+    return format_figure6(run_figure6(scale, n_jobs=n_jobs, cache=cache, **grid))
 
 
-def _run_adaptive(scale, n_jobs=None, cache=None) -> str:
+def _run_adaptive(scale, n_jobs=None, cache=None, **grid) -> str:
     return run_adaptive_extension(scale).format()
 
 
+def _run_faults(scale, n_jobs=None, cache=None, **grid) -> str:
+    return format_faults_extension(
+        run_faults_extension(scale, n_jobs=n_jobs, cache=cache, **grid)
+    )
+
+
 #: id → (description, runner returning printable text).  Runners accept
-#: (scale, n_jobs=None, cache=None); non-sweep experiments ignore the
-#: performance knobs.
+#: (scale, n_jobs=None, cache=None, **grid); sweep-based runners forward
+#: the grid hardening/fault knobs, the others ignore them.
 EXPERIMENTS: dict[str, tuple[str, Callable[..., str]]] = {
     "table1": ("workload distribution under Dynamic Least-Load", _run_table1),
     "table2": ("algorithm combination matrix", _run_table2),
@@ -77,6 +84,10 @@ EXPERIMENTS: dict[str, tuple[str, Callable[..., str]]] = {
     "adaptive": (
         "extension: fixed vs adaptive ORR under diurnal load",
         _run_adaptive,
+    ),
+    "faults": (
+        "extension: failure-aware vs oblivious scheduling under faults",
+        _run_faults,
     ),
 }
 
@@ -91,11 +102,15 @@ def run_experiment(
     *,
     n_jobs: int | str | None = None,
     cache=None,
+    **grid,
 ) -> str:
     """Run one experiment by id and return its printable report.
 
-    ``n_jobs`` and ``cache`` are forwarded to the sweep-based
-    experiments (figures 3–6); the others run serially regardless.
+    ``n_jobs``, ``cache``, and the grid hardening/fault knobs
+    (``faults``, ``retries``, ``task_timeout``, ``quarantine``,
+    ``checkpoint``) are forwarded to the sweep-based experiments
+    (figures 3–6 and the faults extension); the others run serially
+    and ignore them.
     """
     try:
         _, runner = EXPERIMENTS[experiment_id]
@@ -103,4 +118,4 @@ def run_experiment(
         raise KeyError(
             f"unknown experiment {experiment_id!r}; expected one of {experiment_ids()}"
         ) from None
-    return runner(scale, n_jobs=n_jobs, cache=cache)
+    return runner(scale, n_jobs=n_jobs, cache=cache, **grid)

@@ -1,0 +1,16 @@
+"""Fault injection: failure/repair processes, degradation, re-allocation.
+
+See :mod:`repro.faults.models` for the fault processes and
+:mod:`repro.faults.aware` for the failure-aware dispatching mode.
+"""
+
+from .aware import FailureAwareDispatcher
+from .models import FaultConfig, FaultEvent, RetryPolicy, build_timeline
+
+__all__ = [
+    "FaultConfig",
+    "FaultEvent",
+    "RetryPolicy",
+    "build_timeline",
+    "FailureAwareDispatcher",
+]

@@ -1,0 +1,125 @@
+"""Failure-aware dispatching: re-solve the allocation over survivors.
+
+The paper's static policies fix the workload fractions α once, from the
+full machine set.  When servers fail that allocation keeps shipping
+work to dead machines (the *oblivious* mode).  The failure-aware mode
+wraps any allocator-backed static policy: on each detected membership
+change it re-solves the Theorem 1–3 allocation over the surviving
+machine set — Algorithm 1 on the surviving sub-network — and resets the
+inner dispatcher with the new fractions, which rebuilds the weighted
+round-robin sequence (Algorithm 2 state) from scratch.
+
+The controller stays *static* in the paper's sense between membership
+changes: no per-job feedback, no inter-computer messages — it only
+reacts to the (rare) failure/repair notifications the engine delivers.
+If the surviving capacity cannot carry the offered load (ρ over the
+survivors ≥ 1) no finite-response allocation exists; the wrapper falls
+back to capacity-proportional (weighted) fractions over the survivors,
+which at least balances the overload.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..allocation.base import Allocator
+from ..dispatch.base import Dispatcher
+from ..queueing.network import HeterogeneousNetwork
+
+__all__ = ["FailureAwareDispatcher"]
+
+
+class FailureAwareDispatcher(Dispatcher):
+    """Wrap a static dispatcher with membership-triggered re-allocation.
+
+    Parameters
+    ----------
+    inner:
+        The dispatcher realizing the allocation job-by-job (random or
+        weighted round robin).  Delegation is total: between membership
+        changes this wrapper is behaviourally identical to *inner*.
+    allocator:
+        The policy's allocator (e.g. ``OptimizedAllocator``), re-run on
+        the surviving sub-network at each membership change.
+    speeds:
+        Nominal speeds of the full machine set.
+    """
+
+    name = "failure_aware"
+    is_static = True
+    # Alphas change mid-run on failures, so the fast path's dispatch
+    # memo must never serve this wrapper's sequences.
+    sequence_deterministic = False
+
+    def __init__(self, inner: Dispatcher, allocator: Allocator, speeds):
+        super().__init__()
+        self.inner = inner
+        self.allocator = allocator
+        self.speeds = np.asarray(speeds, dtype=float)
+        self.reallocations = 0
+
+    # -- lifecycle ------------------------------------------------------
+
+    def reset(self, alphas) -> None:
+        super().reset(alphas)
+        self.inner.reset(alphas)
+        self.reallocations = 0
+
+    def _setup(self) -> None:  # inner reset handles state
+        pass
+
+    # -- delegation -----------------------------------------------------
+
+    def select(self, size: float) -> int:
+        return self.inner.select(size)
+
+    def select_batch(self, sizes: np.ndarray) -> np.ndarray:
+        return self.inner.select_batch(sizes)
+
+    def observe_arrival(self, now: float) -> None:
+        self.inner.observe_arrival(now)
+
+    def on_load_update(self, server: int) -> None:
+        self.inner.on_load_update(server)
+
+    @property
+    def wants_feedback(self) -> bool:
+        return self.inner.wants_feedback
+
+    # -- the failure-aware part ----------------------------------------
+
+    def on_membership_change(
+        self, up: np.ndarray, utilization: float, speeds=None
+    ) -> None:
+        """Re-solve the allocation over the machines currently up.
+
+        ``utilization`` is the offered load relative to the *surviving*
+        capacity; ``speeds`` are the (possibly drift-perturbed) speed
+        estimates the controller sees — defaults to the nominal speeds.
+        """
+        up = np.asarray(up, dtype=bool)
+        if up.size != self.speeds.size:
+            raise ValueError(
+                f"membership mask has {up.size} entries for {self.speeds.size} servers"
+            )
+        survivors = np.flatnonzero(up)
+        if survivors.size == 0:
+            return  # total outage: keep the last allocation, jobs bounce
+        perceived = self.speeds if speeds is None else np.asarray(speeds, dtype=float)
+        sub_speeds = perceived[survivors]
+        sub_alphas = None
+        if 0.0 < utilization < 1.0:
+            try:
+                network = HeterogeneousNetwork(sub_speeds, utilization=utilization)
+                sub_alphas = self.allocator.compute(network).alphas
+            except ValueError:
+                sub_alphas = None
+        if sub_alphas is None:
+            # Overloaded (or degenerate) survivor set: no stabilizing
+            # allocation exists — fall back to capacity-proportional.
+            sub_alphas = sub_speeds / sub_speeds.sum()
+        full = np.zeros(self.speeds.size)
+        full[survivors] = sub_alphas
+        self.alphas = full
+        self.inner.reset(full)  # rebuilds the WRR sequence state
+        self.reallocations += 1

@@ -31,6 +31,10 @@ _ROLES = {
     "feedback": 3,
     "service": 4,
     "misc": 5,
+    # Fault injection (repro.faults): index 6 is also the base of the
+    # per-server fault substreams, which extend the spawn key with
+    # (server, channel) — see repro.faults.models.
+    "faults": 6,
 }
 
 

@@ -7,6 +7,7 @@ from dataclasses import dataclass, field
 import numpy as np
 
 from ..distributions import Distribution
+from ..faults.models import FaultConfig
 from ..queueing.network import HeterogeneousNetwork
 from .arrivals import PAPER_ARRIVAL_CV, Workload
 from .feedback import FeedbackModel
@@ -54,6 +55,12 @@ class SimulationConfig:
         Optional :class:`~repro.sim.modulated.RateProfile`; when set the
         arrival rate follows the (normalized) profile while the long-run
         utilization stays at *utilization*.
+    faults:
+        Optional :class:`~repro.faults.FaultConfig`; when set the event
+        engine injects server failures/repairs and speed-degradation
+        episodes (static fast-path runs fall back to the engine).
+        ``None`` (the default) is a strict no-op: no fault code runs
+        and results are bit-identical to a fault-free build.
     """
 
     speeds: tuple[float, ...]
@@ -68,6 +75,8 @@ class SimulationConfig:
     feedback: FeedbackModel = field(default_factory=FeedbackModel)
     #: Optional RateProfile for time-varying (e.g. diurnal) arrivals.
     rate_profile: object | None = None
+    #: Optional FaultConfig enabling fault injection (engine path only).
+    faults: FaultConfig | None = None
 
     def __post_init__(self):
         speeds = tuple(float(s) for s in self.speeds)
@@ -92,6 +101,10 @@ class SimulationConfig:
             )
         if self.quantum <= 0:
             raise ValueError(f"quantum must be positive, got {self.quantum}")
+        if self.faults is not None and not isinstance(self.faults, FaultConfig):
+            raise TypeError(
+                f"faults must be a FaultConfig or None, got {type(self.faults).__name__}"
+            )
 
     # ------------------------------------------------------------------
     # Derived models

@@ -14,6 +14,15 @@ event heap:
 Statistics follow the paper: only jobs *arriving* after the warm-up
 period count, and each run processes every job to completion
 (``drain=True``) or stops cold at the horizon (``drain=False``).
+
+Fault injection (``config.faults``) adds four event kinds on top:
+SERVER_DOWN / SERVER_UP (Markov failure/repair), SERVER_DEGRADE
+(transient speed loss), and RETRY (a bounced job re-entering dispatch).
+The full fault timeline is pre-generated from dedicated RNG substreams
+before the run starts (:func:`repro.faults.models.build_timeline`), so
+faulty runs are exactly reproducible and the arrival/size/dispatch
+streams are never perturbed.  With ``faults=None`` none of this code
+runs and results are bit-identical to a fault-free build.
 """
 
 from __future__ import annotations
@@ -26,7 +35,7 @@ from .arrivals import _CHUNK
 from .config import SimulationConfig
 from .events import EventKind, EventQueue
 from .job import Job
-from .results import DispatchTrace, ServerStats, SimulationResults
+from .results import DispatchTrace, FaultStats, ServerStats, SimulationResults
 from .server import FCFSServer, ProcessorSharingServer, RoundRobinQuantumServer, Server
 from ..rng import StreamFactory
 
@@ -109,6 +118,34 @@ def run_simulation(
     if sampler is not None:
         queue.push(sampler.next_sample_time(), EventKind.SAMPLE)
 
+    # ------------------------------------------------------------------
+    # Fault injection setup (zero-cost when config.faults is None: no
+    # events are scheduled, no RNG is touched, no per-event work added).
+    # ------------------------------------------------------------------
+    faults = config.faults if config.faults is not None and config.faults.enabled else None
+    up = [True] * n
+    if faults is not None:
+        from ..faults import models as fault_models
+
+        for ev in fault_models.build_timeline(faults, n, config.duration, seed):
+            if ev.kind == fault_models.DOWN:
+                queue.push(ev.time, EventKind.SERVER_DOWN, ev.server)
+            elif ev.kind == fault_models.UP:
+                queue.push(ev.time, EventKind.SERVER_UP, ev.server)
+            elif ev.kind == fault_models.DEGRADE_START:
+                queue.push(ev.time, EventKind.SERVER_DEGRADE, ev.server, 1)
+            else:
+                queue.push(ev.time, EventKind.SERVER_DEGRADE, ev.server, 0)
+        drift_rng = (
+            fault_models.drift_stream(seed) if faults.estimate_drift > 0 else None
+        )
+        degrade_depth = [0] * n
+        base_speeds = list(config.speeds)
+        retry_jobs: dict[int, Job] = {}
+        failed_placements: dict[int, int] = {}
+        retry_ticket = 0
+        jobs_lost = jobs_lost_total = jobs_retried = fault_events = 0
+
     scheduled_version = [0] * n
     dispatch_counts = np.zeros(n, dtype=np.int64)  # post-warm-up only
     trace_times: list[float] = [] if record_trace else None
@@ -127,6 +164,37 @@ def run_simulation(
             if nxt is not None:
                 queue.push(nxt, EventKind.DEPARTURE, i, server.version)
             scheduled_version[i] = server.version
+
+    def membership_change(now: float) -> None:
+        """Notify the dispatcher that the surviving set changed."""
+        capacity = sum(s for s, alive in zip(base_speeds, up) if alive)
+        if capacity > 0.0:
+            rho = config.utilization * config.total_speed / capacity
+        else:
+            rho = float("inf")
+        perceived = None
+        if drift_rng is not None:
+            perceived = np.asarray(base_speeds) * drift_rng.lognormal(
+                mean=0.0, sigma=faults.estimate_drift, size=n
+            )
+        dispatcher.on_membership_change(np.asarray(up, dtype=bool), rho, perceived)
+
+    def handle_bounce(job: Job, now: float) -> None:
+        """A placement failed (server down): retry with backoff or drop."""
+        nonlocal jobs_lost, jobs_lost_total, retry_ticket
+        attempts = failed_placements.get(job.job_id, 0) + 1
+        failed_placements[job.job_id] = attempts
+        if faults.on_failure == "lose" or attempts >= faults.retry.max_attempts:
+            failed_placements.pop(job.job_id, None)
+            jobs_lost_total += 1
+            if job.arrival_time >= warmup:
+                jobs_lost += 1
+            return
+        retry_ticket += 1
+        retry_jobs[retry_ticket] = job
+        queue.push(
+            now + faults.retry.delay(attempts - 1), EventKind.RETRY, retry_ticket
+        )
 
     while queue:
         t, kind, a, b = queue.pop()
@@ -155,8 +223,11 @@ def run_simulation(
             job.server = target
             job_counter += 1
             total_arrivals += 1
-            servers[target].arrive(job, t)
-            resync(target)
+            if faults is not None and not up[target]:
+                handle_bounce(job, t)
+            else:
+                servers[target].arrive(job, t)
+                resync(target)
             if t >= warmup:
                 dispatch_counts[target] += 1
             if record_trace:
@@ -166,6 +237,47 @@ def run_simulation(
 
         elif kind == EventKind.LOAD_UPDATE:
             dispatcher.on_load_update(a)
+
+        elif kind == EventKind.SERVER_DOWN:
+            up[a] = False
+            evicted = servers[a].fail(t)
+            resync(a)
+            fault_events += 1
+            membership_change(t)
+            for job in evicted:
+                handle_bounce(job, t)
+
+        elif kind == EventKind.SERVER_UP:
+            servers[a].repair(t)
+            # A degradation episode spanning the outage still applies.
+            factor = faults.degrade_factor if degrade_depth[a] > 0 else 1.0
+            nominal = base_speeds[a] * factor
+            if servers[a].speed != nominal:
+                servers[a].set_speed(nominal, t)
+            up[a] = True
+            resync(a)
+            fault_events += 1
+            membership_change(t)
+
+        elif kind == EventKind.SERVER_DEGRADE:
+            degrade_depth[a] += 1 if b else -1
+            if up[a]:
+                factor = faults.degrade_factor if degrade_depth[a] > 0 else 1.0
+                servers[a].set_speed(base_speeds[a] * factor, t)
+                resync(a)
+            fault_events += 1
+
+        elif kind == EventKind.RETRY:
+            job = retry_jobs.pop(a)
+            target = dispatcher.select(job.size)
+            if up[target]:
+                job.server = target
+                servers[target].arrive(job, t)
+                resync(target)
+                failed_placements.pop(job.job_id, None)
+                jobs_retried += 1
+            else:
+                handle_bounce(job, t)
 
         else:  # EventKind.SAMPLE
             sampler.record(t, servers)
@@ -194,6 +306,16 @@ def run_simulation(
             times=np.asarray(trace_times, dtype=float),
             targets=np.asarray(trace_targets, dtype=np.int64),
         )
+    fault_stats = None
+    if faults is not None:
+        fault_stats = FaultStats(
+            jobs_lost=jobs_lost,
+            jobs_lost_total=jobs_lost_total,
+            jobs_retried=jobs_retried,
+            fault_events=fault_events,
+            reallocations=getattr(dispatcher, "reallocations", 0),
+            loss_rate=jobs_lost / post_warmup_total if post_warmup_total else 0.0,
+        )
     return SimulationResults(
         metrics=metrics.finalize(),
         servers=server_stats,
@@ -201,4 +323,5 @@ def run_simulation(
         warmup=warmup,
         total_arrivals=total_arrivals,
         trace=trace,
+        faults=fault_stats,
     )

@@ -28,6 +28,18 @@ class EventKind(IntEnum):
     LOAD_UPDATE = 2
     #: Periodic state-sampling tick (see repro.sim.sampling).
     SAMPLE = 3
+    #: Fault injection (repro.faults): a server fails
+    #: (payload: server index).
+    SERVER_DOWN = 4
+    #: Fault injection: a failed server comes back up
+    #: (payload: server index).
+    SERVER_UP = 5
+    #: Fault injection: a degradation episode starts/ends
+    #: (payload: server index, 1 = start / 0 = end).
+    SERVER_DEGRADE = 6
+    #: Fault injection: a bounced job re-enters dispatch
+    #: (payload: retry ticket id).
+    RETRY = 7
 
 
 class EventQueue:

@@ -8,7 +8,7 @@ import numpy as np
 
 from ..metrics.response import ResponseMetrics
 
-__all__ = ["ServerStats", "DispatchTrace", "SimulationResults"]
+__all__ = ["ServerStats", "DispatchTrace", "FaultStats", "SimulationResults"]
 
 
 @dataclass(frozen=True)
@@ -46,6 +46,25 @@ class DispatchTrace:
 
 
 @dataclass(frozen=True)
+class FaultStats:
+    """Fault-injection accounting for one run (engine path only)."""
+
+    #: Jobs dropped after exhausting retries (or immediately under the
+    #: "lose" policy); post-warm-up arrivals only.
+    jobs_lost: int = 0
+    #: Total jobs dropped, including warm-up arrivals.
+    jobs_lost_total: int = 0
+    #: Successful re-dispatches of bounced jobs.
+    jobs_retried: int = 0
+    #: DOWN/UP/DEGRADE events processed.
+    fault_events: int = 0
+    #: Failure-aware re-allocations performed (0 for oblivious runs).
+    reallocations: int = 0
+    #: jobs_lost / post-warm-up arrivals (0 when nothing arrived).
+    loss_rate: float = 0.0
+
+
+@dataclass(frozen=True)
 class SimulationResults:
     """Everything a run reports back."""
 
@@ -55,6 +74,9 @@ class SimulationResults:
     warmup: float
     total_arrivals: int
     trace: DispatchTrace | None = None
+    #: Fault-injection accounting; None for fault-free runs (including
+    #: every fast-path run), so fault-free results are unchanged.
+    faults: FaultStats | None = None
 
     @property
     def dispatch_fractions(self) -> np.ndarray:
@@ -71,7 +93,15 @@ class SimulationResults:
         """
         return np.asarray([s.busy_time / self.duration for s in self.servers])
 
+    @property
+    def loss_rate(self) -> float:
+        """Post-warm-up job-loss rate (0.0 for fault-free runs)."""
+        return self.faults.loss_rate if self.faults is not None else 0.0
+
     def summary(self) -> dict[str, float]:
         out = self.metrics.as_dict()
         out["total_arrivals"] = self.total_arrivals
+        if self.faults is not None:
+            out["jobs_lost"] = self.faults.jobs_lost
+            out["loss_rate"] = self.faults.loss_rate
         return out

@@ -32,7 +32,7 @@ class Server:
     """Common bookkeeping: speed, utilization accounting, event version."""
 
     __slots__ = ("speed", "version", "busy_time", "jobs_completed", "jobs_received",
-                 "_t_last")
+                 "_t_last", "is_up")
 
     def __init__(self, speed: float):
         if speed <= 0:
@@ -43,6 +43,7 @@ class Server:
         self.jobs_completed = 0
         self.jobs_received = 0
         self._t_last = 0.0
+        self.is_up = True
 
     # -- engine contract ------------------------------------------------
 
@@ -60,6 +61,47 @@ class Server:
 
     @property
     def n_active(self) -> int:
+        raise NotImplementedError
+
+    # -- fault injection (repro.faults) ---------------------------------
+
+    def _drop_all(self, now: float) -> list[Job]:
+        """Discipline hook: account up to *now*, empty the run queue,
+        and return the evicted jobs (in arrival-ish order)."""
+        raise NotImplementedError
+
+    def fail(self, now: float) -> list[Job]:
+        """Go down at *now*: evict and return every resident job.
+
+        Work already performed on evicted jobs is wasted — a retried
+        job starts from scratch on its next server, the usual crash
+        semantics for stateless batch jobs.
+        """
+        jobs = self._drop_all(now)
+        self.is_up = False
+        self.version += 1
+        return jobs
+
+    def repair(self, now: float) -> None:
+        """Come back up at *now*, empty (the queue was lost on failure)."""
+        self._t_last = now  # idle while down: no busy time accrues
+        self.is_up = True
+        self.version += 1
+
+    def set_speed(self, new_speed: float, now: float) -> None:
+        """Change the service speed at *now* (degradation episodes).
+
+        Work performed before *now* is accounted at the old speed; the
+        discipline hook re-times its pending event under the new speed.
+        """
+        if new_speed <= 0:
+            raise ValueError(f"server speed must be positive, got {new_speed}")
+        self._retime(new_speed, now)
+        self.speed = float(new_speed)
+        self.version += 1
+
+    def _retime(self, new_speed: float, now: float) -> None:
+        """Discipline hook run before a speed change takes effect."""
         raise NotImplementedError
 
     # -- accounting ------------------------------------------------------
@@ -126,6 +168,18 @@ class ProcessorSharingServer(Server):
         self.version += 1
         return job
 
+    def _drop_all(self, now: float) -> list[Job]:
+        self._advance(now)
+        jobs = [job for _, _, job in sorted(self._tags, key=lambda c: c[1])]
+        self._tags.clear()
+        self._v = 0.0
+        return jobs
+
+    def _retime(self, new_speed: float, now: float) -> None:
+        # Advancing the virtual clock at the old speed up to *now* is
+        # all PS needs; departure tags are speed-independent.
+        self._advance(now)
+
 
 class FCFSServer(Server):
     """First-come-first-served, run to completion."""
@@ -162,6 +216,20 @@ class FCFSServer(Server):
         self.version += 1
         return job
 
+    def _drop_all(self, now: float) -> list[Job]:
+        self._account(now)
+        jobs = list(self._queue)
+        self._queue.clear()
+        return jobs
+
+    def _retime(self, new_speed: float, now: float) -> None:
+        self._account(now)
+        if self._queue:
+            remaining = (self._head_done - now) * self.speed
+            if remaining < 0.0:
+                remaining = 0.0
+            self._head_done = now + remaining / new_speed
+
 
 class RoundRobinQuantumServer(Server):
     """Preemptive round robin with a finite time quantum.
@@ -173,7 +241,7 @@ class RoundRobinQuantumServer(Server):
     the gap at realistic quanta).
     """
 
-    __slots__ = ("quantum", "_queue", "_slice_end")
+    __slots__ = ("quantum", "_queue", "_slice_end", "_slice_start")
 
     def __init__(self, speed: float, quantum: float):
         super().__init__(speed)
@@ -182,6 +250,7 @@ class RoundRobinQuantumServer(Server):
         self.quantum = float(quantum)
         self._queue: deque[list] = deque()  # [job, remaining_work]
         self._slice_end = 0.0
+        self._slice_start = 0.0
 
     @property
     def n_active(self) -> int:
@@ -190,6 +259,7 @@ class RoundRobinQuantumServer(Server):
     def _start_slice(self, now: float) -> None:
         job_cell = self._queue[0]
         run = min(self.quantum, job_cell[1] / self.speed)
+        self._slice_start = now
         self._slice_end = now + run
 
     def arrive(self, job: Job, now: float) -> None:
@@ -219,3 +289,22 @@ class RoundRobinQuantumServer(Server):
         self._queue.append(cell)
         self._start_slice(now)
         return None
+
+    def _drop_all(self, now: float) -> list[Job]:
+        self._account(now)
+        jobs = [cell[0] for cell in self._queue]
+        self._queue.clear()
+        return jobs
+
+    def _retime(self, new_speed: float, now: float) -> None:
+        self._account(now)
+        if self._queue:
+            # Charge the head for the part-slice run at the old speed,
+            # then restart a fresh quantum under the new speed.
+            cell = self._queue[0]
+            done = (now - self._slice_start) * self.speed
+            if done > 0.0:
+                cell[1] = max(cell[1] - done, 0.0)
+            run = min(self.quantum, cell[1] / new_speed)
+            self._slice_start = now
+            self._slice_end = now + run

@@ -1,5 +1,9 @@
 """Tests for the persistent replication cache."""
 
+import json
+import threading
+import time
+
 import numpy as np
 import pytest
 
@@ -84,6 +88,100 @@ class TestKeying:
             discipline="fcfs",
         )
         assert config_signature(fcfs) != config_signature(CONFIG)
+
+
+class TestRobustness:
+    """Concurrent writers and damaged entries must never poison reads."""
+
+    def test_unreadable_entry_is_miss_then_rewritten(self, tmp_path):
+        cache = ReplicationCache(tmp_path)
+        key = cache.task_key(CONFIG, "ORR", None, 42)
+        cache.put(key, OUTCOME)
+        # Torn write: half the file is gone.
+        entry = tmp_path / f"{key}.json"
+        entry.write_text(entry.read_text()[:20])
+        assert cache.get(key) is None
+        cache.put(key, OUTCOME)  # miss → recompute → rewrite heals it
+        got = cache.get(key)
+        assert got is not None and got[:4] == OUTCOME[:4]
+
+    def test_wrong_typed_entry_is_miss(self, tmp_path):
+        cache = ReplicationCache(tmp_path)
+        key = cache.task_key(CONFIG, "ORR", None, 42)
+        (tmp_path / f"{key}.json").write_text('{"mean_response_time": "NaN?"}')
+        assert cache.get(key) is None
+
+    def test_concurrent_writers_never_tear(self, tmp_path):
+        cache = ReplicationCache(tmp_path)
+        key = cache.task_key(CONFIG, "ORR", None, 42)
+        stop = threading.Event()
+        errors: list[BaseException] = []
+
+        def hammer():
+            try:
+                while not stop.is_set():
+                    cache.put(key, OUTCOME)
+            except BaseException as exc:  # noqa: BLE001 — re-raised below
+                errors.append(exc)
+
+        writers = [threading.Thread(target=hammer) for _ in range(4)]
+        for w in writers:
+            w.start()
+        try:
+            deadline = time.monotonic() + 1.0
+            seen = 0
+            while time.monotonic() < deadline:
+                got = cache.get(key)
+                if got is not None:
+                    # A published entry is always complete and correct.
+                    assert got[:4] == OUTCOME[:4]
+                    seen += 1
+        finally:
+            stop.set()
+            for w in writers:
+                w.join()
+        assert not errors
+        assert seen > 0
+
+    def test_no_temp_files_left_behind(self, tmp_path):
+        cache = ReplicationCache(tmp_path)
+        keys = [cache.task_key(CONFIG, "ORR", None, s) for s in range(8)]
+
+        def write_all():
+            for key in keys:
+                cache.put(key, OUTCOME)
+
+        writers = [threading.Thread(target=write_all) for _ in range(4)]
+        for w in writers:
+            w.start()
+        for w in writers:
+            w.join()
+        assert len(list(tmp_path.glob("*.tmp"))) == 0
+        assert len(cache) == len(keys)
+
+    def test_fault_config_participates_in_key(self, tmp_path):
+        from repro.faults import FaultConfig
+
+        cache = ReplicationCache(tmp_path)
+        plain = cache.task_key(CONFIG, "ORR", None, 42)
+        faulty_config = SimulationConfig(
+            speeds=(1.0, 2.0), utilization=0.5, duration=1.0e4,
+            faults=FaultConfig(mtbf=500.0, mttr=50.0),
+        )
+        assert cache.task_key(faulty_config, "ORR", None, 42) != plain
+        # Fault-free configs keep their pre-fault-injection signature.
+        assert "faults" not in config_signature(CONFIG)
+
+    def test_pre_fault_entry_reads_with_zero_loss(self, tmp_path):
+        cache = ReplicationCache(tmp_path)
+        key = cache.task_key(CONFIG, "ORR", None, 42)
+        cache.put(key, OUTCOME)  # 5-tuple, as written before loss_rate
+        entry = json.loads((tmp_path / f"{key}.json").read_text())
+        entry.pop("loss_rate")
+        (tmp_path / f"{key}.json").write_text(json.dumps(entry))
+        got = cache.get(key)
+        assert got is not None
+        assert got[5] == 0.0
 
 
 class TestDefaultCache:

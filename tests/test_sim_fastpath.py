@@ -155,6 +155,98 @@ class TestFcfsReplay:
         assert np.all(out >= times + sizes / 2.0 - 1e-12)
 
 
+class TestReplayEdgeCases:
+    """Degenerate substreams checked against the per-event oracles."""
+
+    def _event_ps_oracle(self, times, sizes, speed):
+        """Replay through the event-driven PS server, job by job."""
+        from repro.sim import Job, ProcessorSharingServer
+
+        n = times.size
+        server = ProcessorSharingServer(speed)
+        completions = np.empty(n)
+        idx = 0
+        while idx < n or server.n_active:
+            nxt = server.next_event_time()
+            if idx < n and (nxt is None or times[idx] < nxt):
+                server.arrive(
+                    Job(idx, float(times[idx]), float(sizes[idx])),
+                    float(times[idx]),
+                )
+                idx += 1
+            else:
+                job = server.on_event(nxt)
+                completions[job.job_id] = nxt
+        return completions
+
+    @pytest.mark.parametrize("replay", [ps_replay, fcfs_replay])
+    def test_empty_substream(self, replay):
+        out = replay(np.empty(0), np.empty(0), 3.0)
+        assert out.shape == (0,)
+
+    @pytest.mark.parametrize(
+        "replay,oracle",
+        [(ps_replay, _ps_replay_loop), (fcfs_replay, _fcfs_replay_loop)],
+    )
+    def test_single_job_matches_oracle(self, replay, oracle):
+        times, sizes = np.array([7.0]), np.array([2.5])
+        np.testing.assert_allclose(
+            replay(times, sizes, 0.5), oracle(times, sizes, 0.5)
+        )
+        np.testing.assert_allclose(replay(times, sizes, 0.5), [12.0])
+
+    @pytest.mark.parametrize("replay", [ps_replay, fcfs_replay])
+    def test_zero_service_time_rejected(self, replay):
+        # An idle-capable server cannot receive zero work: the kernels
+        # refuse it rather than silently emitting completion == arrival.
+        with pytest.raises(ValueError, match="positive"):
+            replay(np.array([0.0, 1.0]), np.array([1.0, 0.0]), 1.0)
+
+    @pytest.mark.parametrize(
+        "replay,oracle",
+        [(ps_replay, _ps_replay_loop), (fcfs_replay, _fcfs_replay_loop)],
+    )
+    def test_near_zero_service_times(self, replay, oracle):
+        # Tiny jobs mixed with normal ones: segmentation must not merge
+        # or split busy periods differently from the reference loop.
+        times = np.array([0.0, 0.0, 1.0, 1.0 + 1e-12, 5.0])
+        sizes = np.array([1e-12, 2.0, 1e-9, 1.0, 1e-15])
+        out = replay(times, sizes, 1.0)
+        np.testing.assert_allclose(
+            out, oracle(times, sizes, 1.0), rtol=1e-9, atol=1e-12
+        )
+        assert np.all(out >= times)
+
+    def test_ps_busy_period_ends_exactly_at_arrival(self):
+        # Job 0 finishes at t=2, the precise instant job 1 arrives: the
+        # depletion test `times[j] >= depletion[j-1]` must start a NEW
+        # busy period (the event engine retires departures before
+        # processing a simultaneous arrival).
+        times, sizes = np.array([0.0, 2.0]), np.array([2.0, 1.0])
+        out = ps_replay(times, sizes, 1.0)
+        np.testing.assert_allclose(out, [2.0, 3.0])
+        np.testing.assert_allclose(out, _ps_replay_loop(times, sizes, 1.0))
+        np.testing.assert_allclose(out, self._event_ps_oracle(times, sizes, 1.0))
+
+    def test_fcfs_boundary_arrival_does_not_wait(self):
+        times, sizes = np.array([0.0, 2.0]), np.array([2.0, 1.0])
+        out = fcfs_replay(times, sizes, 1.0)
+        np.testing.assert_allclose(out, [2.0, 3.0])
+
+    def test_ps_chained_exact_boundaries_match_event_engine(self):
+        # Several consecutive busy periods, each ending exactly when the
+        # next one starts — the worst case for >= vs > in segmentation.
+        times = np.array([0.0, 1.0, 3.0, 3.0, 7.0])
+        sizes = np.array([2.0, 1.0, 2.0, 2.0, 1.0])
+        out = ps_replay(times, sizes, 1.0)
+        np.testing.assert_allclose(
+            out, self._event_ps_oracle(times, sizes, 1.0), rtol=1e-12
+        )
+        np.testing.assert_allclose(
+            out, _ps_replay_loop(times, sizes, 1.0), rtol=1e-12
+        )
+
+
 class TestFastPathRestrictions:
     def test_rejects_dynamic_dispatcher(self):
         config = SimulationConfig(speeds=(1.0,), utilization=0.5, duration=1e3)
