@@ -146,6 +146,22 @@ def build_parser() -> argparse.ArgumentParser:
         help="worker processes for replications: an integer or 'auto' "
              "(default: REPRO_JOBS env or 1)",
     )
+    sim_p.add_argument(
+        "--paired",
+        action="store_true",
+        help="also print paired-difference comparisons (common random "
+             "numbers) of every policy against the first one listed",
+    )
+    sim_p.add_argument(
+        "--precision",
+        type=float,
+        default=None,
+        metavar="TARGET",
+        help="add replications until confidence intervals reach the "
+             "target relative half-width (with --paired: until the "
+             "paired-vs-baseline intervals do); --replications caps "
+             "the count",
+    )
 
     val_p = sub.add_parser(
         "validate", help="compare simulation against the analytical model"
@@ -397,18 +413,23 @@ def _cmd_simulate(args) -> int:
         print(f"error: {exc}", file=sys.stderr)
         return 2
 
+    names = [p.strip() for p in args.policies.split(",") if p.strip()]
+    try:
+        policies = [get_policy(name) for name in names]
+    except KeyError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+
+    if args.paired or args.precision is not None:
+        return _simulate_cell(args, config, policies, speeds)
+
     rows = []
-    for name in (p for p in args.policies.split(",") if p.strip()):
-        try:
-            policy = get_policy(name.strip())
-        except KeyError as exc:
-            print(f"error: {exc}", file=sys.stderr)
-            return 2
+    for name, policy in zip(names, policies):
         if n_jobs > 1:
             # Bit-identical to the serial path: same seeds, same
             # order-insensitive aggregation.
             ev = evaluate_policy_parallel(
-                config, name.strip(), replications=args.replications,
+                config, name, replications=args.replications,
                 base_seed=args.seed, n_jobs=n_jobs,
             )
         else:
@@ -431,6 +452,82 @@ def _cmd_simulate(args) -> int:
             f"({args.replications} x {args.duration:.0f} s)"
         ),
     ))
+    return 0
+
+
+def _simulate_cell(args, config, policies, speeds) -> int:
+    """``simulate --paired`` / ``--precision``: cell-batched evaluation.
+
+    Every policy replays the same materialized streams per replication
+    (common random numbers), so policy differences are matched pairs.
+    The baseline for paired comparisons is the first policy listed.
+    """
+    from .core import evaluate_cell, evaluate_cell_to_precision
+    from .experiments.reporting import format_table
+
+    if args.paired and len(policies) < 2:
+        print("error: --paired needs at least two policies", file=sys.stderr)
+        return 2
+    baseline = policies[0].name
+
+    if args.precision is not None:
+        if args.precision <= 0:
+            print(f"error: --precision must be positive, got {args.precision}",
+                  file=sys.stderr)
+            return 2
+        cell = evaluate_cell_to_precision(
+            config, policies,
+            target_relative_half_width=args.precision,
+            paired_baseline=baseline if args.paired else None,
+            min_replications=min(3, args.replications),
+            max_replications=args.replications,
+            base_seed=args.seed,
+        )
+    else:
+        cell = evaluate_cell(
+            config, policies, replications=args.replications,
+            base_seed=args.seed,
+        )
+
+    rows = [
+        [
+            ev.policy_name,
+            ev.mean_response_time.mean,
+            ev.mean_response_ratio.mean,
+            ev.fairness.mean,
+            ev.mean_response_ratio.half_width,
+        ]
+        for ev in (cell[name] for name in cell.policy_names)
+    ]
+    print(format_table(
+        ["policy", "mean resp time", "mean resp ratio", "fairness", "ratio ±CI"],
+        rows,
+        title=(
+            f"speeds={speeds} rho={args.utilization} cv={args.arrival_cv} "
+            f"({cell.replications} x {args.duration:.0f} s, shared streams)"
+        ),
+    ))
+    if args.precision is not None:
+        mode = "paired" if args.paired else "absolute"
+        print(f"stopped after {cell.replications} replication(s) "
+              f"({mode} target {args.precision:g})")
+    if args.paired:
+        prows = []
+        for name in cell.policy_names:
+            if name == baseline:
+                continue
+            ps = cell.paired(name, baseline, "mean_response_ratio")
+            prows.append([f"{name} - {baseline}", ps.mean_diff,
+                          ps.half_width, ps.verdict])
+        print()
+        print(format_table(
+            ["comparison", "mean diff", "±CI", "verdict"],
+            prows,
+            title=(
+                f"paired response-ratio differences vs {baseline} "
+                f"(common random numbers; 'a_wins' = policy beats baseline)"
+            ),
+        ))
     return 0
 
 
@@ -513,12 +610,21 @@ def _cmd_bench(args) -> int:
     Three sections:
 
     * kernels — vectorized FCFS/PS replay vs the per-job reference loops
-      on one synthetic substream;
+      on one synthetic substream (``ps_backend`` names the compiled or
+      pure-Python busy-period core in use);
     * replication — one fast-path replication vs the event engine on the
       Figure 3 high-skew point, for both disciplines;
     * sweep — a Figure 3 subset serially, through the grid executor
       (verifying the series are identical), then cold/warm through the
-      replication cache.
+      replication cache;
+    * cell — the same subset per-replication vs cell-batched (shared
+      streams, batched replay), plus paired-vs-unpaired ORR/WRR
+      confidence-interval widths under common random numbers;
+    * executor — a tiny grid through real workers vs the auto-serial
+      small-task path.
+
+    Every agreement gate (kernels vs loops, fast path vs engine, grid
+    and cell sweeps vs serial) must hold or the command exits nonzero.
     """
     import json
     import os
@@ -569,6 +675,8 @@ def _cmd_bench(args) -> int:
         print("error: PS kernel disagrees with reference loop",
               file=sys.stderr)
         return 1
+    from .sim import ckernel
+
     record["kernels"] = {
         "fcfs_jobs": n,
         "fcfs_loop_s": fcfs_loop_s,
@@ -578,6 +686,7 @@ def _cmd_bench(args) -> int:
         "ps_loop_s": ps_loop_s,
         "ps_fast_s": ps_fast_s,
         "ps_speedup": ps_loop_s / ps_fast_s,
+        "ps_backend": "c" if ckernel.kernel_available() else "python",
     }
 
     # --- replication: fast path vs event engine, both disciplines -----
@@ -608,6 +717,10 @@ def _cmd_bench(args) -> int:
                 rtol=1e-9,
             )),
         }
+        if not replication[discipline]["agree"]:
+            print(f"error: {discipline} fast path disagrees with the "
+                  f"event engine", file=sys.stderr)
+            return 1
     record["replication"] = replication
 
     # --- sweep: serial vs grid executor, then cold/warm cache ---------
@@ -657,6 +770,141 @@ def _cmd_bench(args) -> int:
         "cache_speedup": cold_s / warm_s if warm_s > 0 else float("inf"),
     }
 
+    # --- cell batching: shared streams + batched replay ---------------
+    # Both sweeps below run warm (the sweep section above already paid
+    # the one-time memo and kernel warm-up), so the flat-vs-cell timing
+    # compares steady-state costs rather than cold-start order.
+    from .core import evaluate_cell
+
+    flat, flat_s = _time(run_figure3, scale, cell_batch=False, **kwargs)
+    cellr, cell_s = _time(run_figure3, scale, cell_batch=True, **kwargs)
+    cell_identical = all(
+        np.array_equal(
+            cellr.series(p, "mean_response_ratio"),
+            flat.series(p, "mean_response_ratio"),
+        )
+        and np.array_equal(
+            cellr.series(p, "mean_response_ratio"),
+            serial.series(p, "mean_response_ratio"),
+        )
+        for p in kwargs["policies"]
+    )
+    if not cell_identical:
+        print("error: cell-batched sweep diverged from the flat grid",
+              file=sys.stderr)
+        return 1
+
+    # Paired (CRN) vs unpaired (Welch) ORR-vs-WRR interval width on the
+    # same samples.  The variance reduction tracks how similarly the two
+    # policies route jobs: at mild skew their dispatch plans — and hence
+    # the per-server substreams — nearly coincide and the replications
+    # correlate strongly, while at extreme skew the routing diverges and
+    # pairing buys less.  Both skew points are recorded; replications
+    # are equal for both estimators by construction.
+    from scipy import stats as sstats
+
+    paired_reps = max(scale.replications, 10)
+    paired_points = []
+    for skew in (2.0, 10.0):
+        sk_base = skewness_config(skew, 0.70)
+        ps_config = SimulationConfig(
+            speeds=sk_base.speeds, utilization=sk_base.utilization,
+            duration=scale.duration, warmup=scale.warmup,
+            size_distribution=sk_base.size_distribution,
+            arrival_cv=sk_base.arrival_cv, discipline="ps",
+        )
+        cmp_cell = evaluate_cell(
+            ps_config, ["ORR", "WRR"], replications=paired_reps,
+            base_seed=scale.base_seed,
+        )
+        orr_name, wrr_name = cmp_cell.policy_names
+        paired = cmp_cell.paired(orr_name, wrr_name, "mean_response_ratio")
+        a = np.asarray(cmp_cell.samples[orr_name]["mean_response_ratio"])
+        b = np.asarray(cmp_cell.samples[wrr_name]["mean_response_ratio"])
+        reps = a.size
+        va, vb = a.var(ddof=1), b.var(ddof=1)
+        se2 = va / reps + vb / reps
+        if se2 > 0:
+            df = se2**2 / (
+                (va / reps) ** 2 / (reps - 1) + (vb / reps) ** 2 / (reps - 1)
+            )
+            unpaired_hw = float(sstats.t.ppf(0.975, df) * np.sqrt(se2))
+        else:
+            unpaired_hw = 0.0
+        paired_points.append({
+            "skew": skew,
+            "policies": [orr_name, wrr_name],
+            "replications": reps,
+            "paired_half_width": paired.half_width,
+            "unpaired_half_width": unpaired_hw,
+            "paired_vs_unpaired": (
+                paired.half_width / unpaired_hw if unpaired_hw > 0 else 0.0
+            ),
+            "verdict": paired.verdict,
+        })
+    record["cell"] = {
+        "flat_s": flat_s,
+        "cell_s": cell_s,
+        "cell_speedup": flat_s / cell_s if cell_s > 0 else float("inf"),
+        "cell_identical": cell_identical,
+        "paired": paired_points,
+    }
+
+    # --- executor: real workers vs the auto-serial small-task path ----
+    from .core import executor as executor_mod
+    from .core.executor import (
+        ReplicationTask,
+        run_replication_grid,
+        shutdown_shared_executor,
+    )
+    from .rng import replication_seeds
+
+    small_config = SimulationConfig(
+        speeds=base.speeds, utilization=base.utilization,
+        duration=2.0e4, warmup=5.0e3,
+        size_distribution=base.size_distribution,
+        arrival_cv=base.arrival_cv, discipline="ps",
+    )
+    small_tasks = [
+        ReplicationTask(key=("bench", "ORR", r), config=small_config,
+                        policy_name="ORR", estimation_error=None, seed=s)
+        for r, s in enumerate(
+            replication_seeds(scale.base_seed, executor_mod._AUTO_SERIAL_TASKS)
+        )
+    ]
+    workers = max(2, n_jobs)
+    shutdown_shared_executor()
+    saved_threshold = executor_mod._AUTO_SERIAL_TASKS
+    try:
+        executor_mod._AUTO_SERIAL_TASKS = 0
+        pooled, pool_s = _time(
+            run_replication_grid, list(small_tasks), n_jobs=workers
+        )
+    finally:
+        executor_mod._AUTO_SERIAL_TASKS = saved_threshold
+    shutdown_shared_executor()
+    auto, auto_s = _time(
+        run_replication_grid, list(small_tasks), n_jobs=workers
+    )
+    exec_identical = set(pooled.outcomes) == set(auto.outcomes) and all(
+        all(
+            np.array_equal(x, y) if isinstance(x, np.ndarray) else x == y
+            for x, y in zip(pooled.outcomes[key], auto.outcomes[key])
+        )
+        for key in pooled.outcomes
+    )
+    if not exec_identical:
+        print("error: auto-serial grid diverged from the worker pool",
+              file=sys.stderr)
+        return 1
+    record["executor"] = {
+        "small_tasks": len(small_tasks),
+        "n_jobs": workers,
+        "pool_s": pool_s,
+        "auto_serial_s": auto_s,
+        "auto_serial_speedup": pool_s / auto_s if auto_s > 0 else float("inf"),
+    }
+
     # --- append to the trajectory and summarize -----------------------
     trajectory: list = []
     try:
@@ -686,6 +934,7 @@ def _cmd_bench(args) -> int:
         return 2
 
     k, r, s = record["kernels"], record["replication"], record["sweep"]
+    c, e = record["cell"], record["executor"]
     print(f"benchmark @ scale={scale.name} n_jobs={n_jobs} "
           f"(kernel v{KERNEL_VERSION})")
     print(f"  FCFS kernel : {k['fcfs_loop_s']:.3f}s loop -> "
@@ -693,7 +942,8 @@ def _cmd_bench(args) -> int:
           f"({k['fcfs_speedup']:.1f}x, {k['fcfs_jobs']} jobs)")
     print(f"  PS kernel   : {k['ps_loop_s']:.3f}s loop -> "
           f"{k['ps_fast_s']:.3f}s segmented "
-          f"({k['ps_speedup']:.1f}x, {k['ps_jobs']} jobs)")
+          f"({k['ps_speedup']:.1f}x, {k['ps_jobs']} jobs, "
+          f"backend={k['ps_backend']})")
     for d in ("ps", "fcfs"):
         print(f"  {d.upper():4} run    : {r[d]['engine_s']:.3f}s engine -> "
               f"{r[d]['fast_s']:.3f}s fast path ({r[d]['speedup']:.1f}x, "
@@ -703,6 +953,18 @@ def _cmd_bench(args) -> int:
     print(f"  cache       : cold {s['cache_cold_s']:.3f}s "
           f"({s['cache_cold_hits']} hits) -> warm {s['cache_warm_s']:.3f}s "
           f"({s['cache_warm_hits']} hits, {s['cache_speedup']:.1f}x)")
+    print(f"  cell batch  : flat {c['flat_s']:.3f}s -> cell "
+          f"{c['cell_s']:.3f}s ({c['cell_speedup']:.2f}x, "
+          f"identical={c['cell_identical']})")
+    for pp in c["paired"]:
+        print(f"  paired CI   : skew {pp['skew']:g}: "
+              f"±{pp['paired_half_width']:.4g} paired vs "
+              f"±{pp['unpaired_half_width']:.4g} unpaired "
+              f"({pp['paired_vs_unpaired']:.2f}x, n={pp['replications']}, "
+              f"{pp['verdict']})")
+    print(f"  executor    : {e['small_tasks']} tasks via pool "
+          f"{e['pool_s']:.3f}s -> auto-serial {e['auto_serial_s']:.3f}s "
+          f"({e['auto_serial_speedup']:.1f}x)")
     print(f"trajectory point #{len(trajectory)} appended to {args.output}")
     return 0
 

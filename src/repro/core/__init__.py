@@ -6,15 +6,20 @@ persistent replication cache."""
 from .adaptive import AdaptiveOrrDispatcher
 from .cache import ReplicationCache, default_cache
 from .evaluate import (
+    CellEvaluation,
     PolicyEvaluation,
+    evaluate_cell,
+    evaluate_cell_to_precision,
     evaluate_policy,
     evaluate_policy_to_precision,
     run_policy_once,
 )
 from .executor import (
+    CellTask,
     GridReport,
     ReplicationTask,
     resolve_n_jobs,
+    run_cell_grid,
     run_replication_grid,
     shared_executor,
     shutdown_shared_executor,
@@ -29,17 +34,22 @@ __all__ = [
     "policy_names",
     "PAPER_POLICIES",
     "PolicyEvaluation",
+    "CellEvaluation",
     "evaluate_policy",
     "evaluate_policy_to_precision",
+    "evaluate_cell",
+    "evaluate_cell_to_precision",
     "evaluate_policy_parallel",
     "run_policy_once",
     "AdaptiveOrrDispatcher",
     "ReplicationCache",
     "default_cache",
     "ReplicationTask",
+    "CellTask",
     "GridReport",
     "resolve_n_jobs",
     "run_replication_grid",
+    "run_cell_grid",
     "shared_executor",
     "shutdown_shared_executor",
     "summarize_outcomes",

@@ -13,19 +13,34 @@ the event engine.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 
 import numpy as np
 
-from ..metrics import ReplicationSummary, summarize_replications
+from ..metrics import (
+    PairedSummary,
+    ReplicationSummary,
+    summarize_paired,
+    summarize_replications,
+)
 from ..rng import replication_seeds, substream
-from ..sim import SimulationConfig, SimulationResults, run_simulation, run_static_simulation
-from .policies import SchedulingPolicy
+from ..sim import (
+    SimulationConfig,
+    SimulationResults,
+    run_cell,
+    run_simulation,
+    run_static_simulation,
+)
+from ..sim.streams import StreamPool
+from .policies import SchedulingPolicy, get_policy
 
 __all__ = [
     "PolicyEvaluation",
+    "CellEvaluation",
     "evaluate_policy",
     "evaluate_policy_to_precision",
+    "evaluate_cell",
+    "evaluate_cell_to_precision",
     "run_policy_once",
 ]
 
@@ -143,6 +158,7 @@ def evaluate_policy_to_precision(
     max_replications: int = 50,
     base_seed: int = 0,
     confidence: float = 0.95,
+    cache=None,
 ) -> PolicyEvaluation:
     """Sequential replication: run until the chosen metric's CI is tight.
 
@@ -150,6 +166,11 @@ def evaluate_policy_to_precision(
     per-replication seeds, so results are a strict extension of a fixed
     ``evaluate_policy`` call) until the confidence interval's relative
     half-width drops below the target or ``max_replications`` is hit.
+
+    With a :class:`~repro.core.cache.ReplicationCache`, every completed
+    replication is looked up before it is simulated and stored after —
+    so tightening the target on a later call (or re-running after an
+    interruption) extends the earlier run instead of repeating it.
 
     The heavy-load points of Figures 5/6 are exactly where a fixed
     replication count under-delivers; this is the data-driven version
@@ -169,12 +190,41 @@ def evaluate_policy_to_precision(
     fractions = np.zeros(config.n)
     done = 0
     for seed in seeds:
-        result = run_policy_once(config, policy, seed=seed)
-        times.append(result.metrics.mean_response_time)
-        ratios.append(result.metrics.mean_response_ratio)
-        fairs.append(result.metrics.fairness)
-        jobs.append(result.metrics.jobs)
-        fractions += result.dispatch_fractions
+        # Cache entries are keyed like the grid executor's (registry
+        # policies carry no estimation error, so keys coincide and the
+        # two paths share entries).
+        key = (
+            cache.task_key(config, policy.name, None, seed)
+            if cache is not None
+            else None
+        )
+        hit = cache.get(key) if key is not None else None
+        if hit is not None:
+            time_, ratio, fair, jobs_n, fracs = hit[:5]
+            times.append(time_)
+            ratios.append(ratio)
+            fairs.append(fair)
+            jobs.append(jobs_n)
+            fractions += np.asarray(fracs, dtype=float)
+        else:
+            result = run_policy_once(config, policy, seed=seed)
+            times.append(result.metrics.mean_response_time)
+            ratios.append(result.metrics.mean_response_ratio)
+            fairs.append(result.metrics.fairness)
+            jobs.append(result.metrics.jobs)
+            fractions += result.dispatch_fractions
+            if key is not None:
+                cache.put(
+                    key,
+                    (
+                        result.metrics.mean_response_time,
+                        result.metrics.mean_response_ratio,
+                        result.metrics.fairness,
+                        result.metrics.jobs,
+                        result.dispatch_fractions,
+                        result.loss_rate,
+                    ),
+                )
         done += 1
         if done < min_replications:
             continue
@@ -202,3 +252,281 @@ def evaluate_policy_to_precision(
         replications=done,
         jobs_per_replication=float(np.mean(jobs)),
     )
+
+
+#: Metric names tracked per replication by the cell evaluators.
+_CELL_METRICS = ("mean_response_time", "mean_response_ratio", "fairness")
+
+
+@dataclass(frozen=True)
+class CellEvaluation:
+    """Every policy of one sweep cell evaluated on shared streams.
+
+    Beyond one :class:`PolicyEvaluation` per policy, the raw
+    per-replication metric values are kept (``samples``) so policies can
+    be compared with paired statistics: replication *r* of every policy
+    saw the same arrival and size streams, making the per-replication
+    differences matched pairs.
+    """
+
+    config: SimulationConfig
+    evaluations: dict[str, PolicyEvaluation]
+    #: policy name → metric name → per-replication values (seed order).
+    samples: dict[str, dict[str, tuple[float, ...]]]
+    replications: int
+    confidence: float = 0.95
+    #: Stage-1 stream materializations served from the pool (one miss
+    #: per replication regardless of policy count when fully batched).
+    stream_misses: int = field(default=0, compare=False)
+
+    @property
+    def policy_names(self) -> list[str]:
+        return list(self.evaluations)
+
+    def __getitem__(self, name: str) -> PolicyEvaluation:
+        try:
+            return self.evaluations[name]
+        except KeyError:
+            raise KeyError(
+                f"unknown policy {name!r}; have {self.policy_names}"
+            ) from None
+
+    def paired(
+        self,
+        a: str,
+        b: str,
+        metric: str = "mean_response_ratio",
+        confidence: float | None = None,
+    ) -> PairedSummary:
+        """Paired-difference summary of ``metric`` for policies a − b."""
+        for name in (a, b):
+            if name not in self.samples:
+                raise KeyError(
+                    f"unknown policy {name!r}; have {self.policy_names}"
+                )
+        if metric not in _CELL_METRICS:
+            raise KeyError(
+                f"unknown metric {metric!r}; expected one of {sorted(_CELL_METRICS)}"
+            )
+        return summarize_paired(
+            self.samples[a][metric],
+            self.samples[b][metric],
+            confidence if confidence is not None else self.confidence,
+            labels=(a, b),
+        )
+
+
+def _resolve_policies(policies) -> list[SchedulingPolicy]:
+    resolved = [get_policy(p) if isinstance(p, str) else p for p in policies]
+    if not resolved:
+        raise ValueError("need at least one policy")
+    names = [p.name for p in resolved]
+    if len(set(names)) != len(names):
+        raise ValueError(f"duplicate policy names in {names}")
+    return resolved
+
+
+def _cell_fast_indices(config: SimulationConfig, policies) -> set[int]:
+    """Policy indices eligible for the batched static fast path."""
+    if config.discipline not in ("ps", "fcfs"):
+        return set()
+    if config.faults is not None and config.faults.enabled:
+        return set()
+    return {pi for pi, p in enumerate(policies) if p.is_static}
+
+
+def _run_cell_replication(
+    config: SimulationConfig,
+    policies,
+    seeds,
+    r: int,
+    pool: StreamPool,
+    fast: set[int],
+) -> dict[int, SimulationResults]:
+    """Replication *r* of every policy: batched where eligible, event
+    engine per member otherwise (identical seeds either way)."""
+    out: dict[int, SimulationResults] = {}
+    members = [(pi, r) for pi in sorted(fast)]
+    if members:
+        for (pi, _), result in run_cell(
+            config, policies, seeds, pool=pool, members=members
+        ).items():
+            out[pi] = result
+    for pi, policy in enumerate(policies):
+        if pi not in fast:
+            out[pi] = run_policy_once(config, policy, seed=seeds[r])
+    return out
+
+
+def _summarize_cell(
+    config: SimulationConfig,
+    policies,
+    per_policy: list[dict[str, list]],
+    confidence: float,
+    stream_misses: int,
+) -> CellEvaluation:
+    evaluations: dict[str, PolicyEvaluation] = {}
+    samples: dict[str, dict[str, tuple[float, ...]]] = {}
+    replications = len(per_policy[0]["mean_response_ratio"])
+    for policy, acc in zip(policies, per_policy):
+        evaluations[policy.name] = PolicyEvaluation(
+            policy_name=policy.name,
+            config=config,
+            mean_response_time=summarize_replications(
+                acc["mean_response_time"], confidence
+            ),
+            mean_response_ratio=summarize_replications(
+                acc["mean_response_ratio"], confidence
+            ),
+            fairness=summarize_replications(acc["fairness"], confidence),
+            dispatch_fractions=acc["fractions"] / replications,
+            replications=replications,
+            jobs_per_replication=float(np.mean(acc["jobs"])),
+        )
+        samples[policy.name] = {
+            m: tuple(acc[m]) for m in _CELL_METRICS
+        }
+    return CellEvaluation(
+        config=config,
+        evaluations=evaluations,
+        samples=samples,
+        replications=replications,
+        confidence=confidence,
+        stream_misses=stream_misses,
+    )
+
+
+def _accumulate(acc: dict, result: SimulationResults) -> None:
+    acc["mean_response_time"].append(result.metrics.mean_response_time)
+    acc["mean_response_ratio"].append(result.metrics.mean_response_ratio)
+    acc["fairness"].append(result.metrics.fairness)
+    acc["jobs"].append(result.metrics.jobs)
+    acc["fractions"] += result.dispatch_fractions
+
+
+def evaluate_cell(
+    config: SimulationConfig,
+    policies,
+    *,
+    replications: int = 10,
+    base_seed: int = 0,
+    confidence: float = 0.95,
+) -> CellEvaluation:
+    """Evaluate several policies on one configuration with shared streams.
+
+    Per policy this is bit-identical to :func:`evaluate_policy` with the
+    same arguments; across policies each replication's arrival and size
+    arrays are materialized once and shared (common random numbers make
+    them equal anyway), so the cell costs one stage-1 sampling pass per
+    replication instead of one per (policy, replication).  Policies that
+    need the event engine (dynamic feedback, exotic disciplines) drop
+    out of the batch member-by-member and still evaluate correctly.
+    """
+    if replications < 1:
+        raise ValueError(f"need at least one replication, got {replications}")
+    policies = _resolve_policies(policies)
+    seeds = replication_seeds(base_seed, replications)
+    pool = StreamPool()
+    fast = _cell_fast_indices(config, policies)
+    per_policy = [
+        {m: [] for m in _CELL_METRICS} | {"jobs": [], "fractions": np.zeros(config.n)}
+        for _ in policies
+    ]
+    for r in range(replications):
+        for pi, result in _run_cell_replication(
+            config, policies, seeds, r, pool, fast
+        ).items():
+            _accumulate(per_policy[pi], result)
+    return _summarize_cell(config, policies, per_policy, confidence, pool.misses)
+
+
+def evaluate_cell_to_precision(
+    config: SimulationConfig,
+    policies,
+    *,
+    target_relative_half_width: float = 0.05,
+    metric: str = "mean_response_ratio",
+    paired_baseline: str | None = None,
+    min_replications: int = 3,
+    max_replications: int = 50,
+    base_seed: int = 0,
+    confidence: float = 0.95,
+) -> CellEvaluation:
+    """Add replications to a cell until its confidence intervals are tight.
+
+    Two stopping modes:
+
+    * **absolute** (default) — stop when every policy's ``metric``
+      interval has relative half-width ≤ the target (each policy judged
+      like :func:`evaluate_policy_to_precision`);
+    * **paired** (``paired_baseline`` names one of the policies) — stop
+      when every *other* policy's paired-difference interval against the
+      baseline has half-width ≤ target × |baseline mean|.  Differences
+      under CRN can sit near zero, so the target is scaled by the
+      baseline's metric mean rather than by the difference itself.
+
+    Replications extend deterministically (seed *r* is always the same),
+    and each one is sampled once and shared across all policies, so the
+    paired mode reaches a verdict in far fewer replications than
+    independent intervals would need.
+    """
+    if not 0.0 < target_relative_half_width:
+        raise ValueError(
+            f"target half-width must be positive, got {target_relative_half_width}"
+        )
+    if not 1 <= min_replications <= max_replications:
+        raise ValueError(
+            f"need 1 <= min_replications <= max_replications, got "
+            f"{min_replications}/{max_replications}"
+        )
+    if metric not in _CELL_METRICS:
+        raise KeyError(
+            f"unknown metric {metric!r}; expected one of {sorted(_CELL_METRICS)}"
+        )
+    policies = _resolve_policies(policies)
+    names = [p.name for p in policies]
+    if paired_baseline is not None and paired_baseline not in names:
+        raise KeyError(
+            f"paired baseline {paired_baseline!r} not among policies {names}"
+        )
+    seeds = replication_seeds(base_seed, max_replications)
+    pool = StreamPool()
+    fast = _cell_fast_indices(config, policies)
+    per_policy = [
+        {m: [] for m in _CELL_METRICS} | {"jobs": [], "fractions": np.zeros(config.n)}
+        for _ in policies
+    ]
+
+    def converged() -> bool:
+        if paired_baseline is None:
+            return all(
+                summarize_replications(
+                    acc[metric], confidence
+                ).relative_half_width
+                <= target_relative_half_width
+                for acc in per_policy
+            )
+        bi = names.index(paired_baseline)
+        base_values = per_policy[bi][metric]
+        scale = abs(float(np.mean(base_values)))
+        if scale == 0.0:
+            return False
+        return all(
+            summarize_paired(
+                per_policy[pi][metric], base_values, confidence
+            ).half_width
+            <= target_relative_half_width * scale
+            for pi in range(len(policies))
+            if pi != bi
+        )
+
+    done = 0
+    for r in range(max_replications):
+        for pi, result in _run_cell_replication(
+            config, policies, seeds, r, pool, fast
+        ).items():
+            _accumulate(per_policy[pi], result)
+        done += 1
+        if done >= min_replications and converged():
+            break
+    return _summarize_cell(config, policies, per_policy, confidence, pool.misses)

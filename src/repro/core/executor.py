@@ -56,14 +56,17 @@ from typing import Hashable, Iterable
 import numpy as np
 
 from ..metrics import summarize_replications
+from ..sim import run_cell
 from ..sim.config import SimulationConfig
+from ..sim.streams import SharedStreamPool, StreamPool, attach_streams
 from .cache import ReplicationCache
 from .checkpoint import SweepCheckpoint
-from .evaluate import PolicyEvaluation, run_policy_once
+from .evaluate import PolicyEvaluation, _cell_fast_indices, run_policy_once
 from .policies import get_policy
 
 __all__ = [
     "ReplicationTask",
+    "CellTask",
     "TaskFailure",
     "GridTaskError",
     "GridReport",
@@ -71,6 +74,7 @@ __all__ = [
     "shared_executor",
     "shutdown_shared_executor",
     "run_replication_grid",
+    "run_cell_grid",
     "summarize_outcomes",
 ]
 
@@ -85,6 +89,13 @@ _TEST_WORKER_HOOK = None
 #: Bounded backoff between retry attempts of a failed task (seconds).
 _RETRY_BASE_DELAY = 0.05
 _RETRY_MAX_DELAY = 2.0
+
+#: Grids at or below this many pending tasks run in-process even when
+#: ``n_jobs > 1``: spinning up (or round-tripping) worker processes
+#: costs more than a handful of replications, and serial execution is
+#: bit-identical anyway.  Applies only to the unhardened path — retries,
+#: timeouts, and the test worker hook always get real workers.
+_AUTO_SERIAL_TASKS = 4
 
 
 def resolve_n_jobs(value: int | str | None = None) -> int:
@@ -156,6 +167,34 @@ class ReplicationTask:
 
 
 @dataclass(frozen=True)
+class CellTask:
+    """One sweep cell: every (policy × replication) member at one point.
+
+    ``policy_names`` are the display names used in member keys — the
+    same ``(x, policy, r)`` triples the flat per-replication grid uses —
+    while ``base_names``/``estimation_errors`` are the registry
+    coordinates workers rebuild each policy from (mirroring
+    :class:`ReplicationTask`, whose cache keys these cells share).
+    """
+
+    x: Hashable
+    config: SimulationConfig
+    policy_names: tuple[str, ...]
+    base_names: tuple[str, ...]
+    estimation_errors: tuple[float | None, ...]
+    seeds: tuple
+
+    def member_key(self, pi: int, r: int) -> tuple:
+        return (self.x, self.policy_names[pi], r)
+
+    def policies(self):
+        return [
+            get_policy(base, estimation_error=err)
+            for base, err in zip(self.base_names, self.estimation_errors)
+        ]
+
+
+@dataclass(frozen=True)
 class TaskFailure:
     """One grid cell that exhausted its retries.
 
@@ -217,9 +256,8 @@ class GridReport:
     retried: int = 0
 
 
-def _run_replication(task: ReplicationTask):
-    policy = get_policy(task.policy_name, estimation_error=task.estimation_error)
-    result = run_policy_once(task.config, policy, seed=task.seed)
+def _result_outcome(result):
+    """The per-replication outcome tuple stored in caches/checkpoints."""
     return (
         result.metrics.mean_response_time,
         result.metrics.mean_response_ratio,
@@ -230,6 +268,12 @@ def _run_replication(task: ReplicationTask):
     )
 
 
+def _run_replication(task: ReplicationTask):
+    policy = get_policy(task.policy_name, estimation_error=task.estimation_error)
+    result = run_policy_once(task.config, policy, seed=task.seed)
+    return _result_outcome(result)
+
+
 def _worker(task: ReplicationTask):
     """Pool entry point: never raises — errors travel back as text."""
     try:
@@ -238,6 +282,63 @@ def _worker(task: ReplicationTask):
         return task.key, _run_replication(task), None
     except Exception:  # noqa: BLE001 — captured per task by design
         return task.key, None, traceback.format_exc()
+
+
+def _run_cell_members(task: CellTask, members, pool: StreamPool):
+    """Run the given (policy, rep) members of one cell on pooled streams.
+
+    Static members on ps/fcfs go through the batched
+    :func:`~repro.sim.fastpath.run_cell` replay; everything else falls
+    back to :func:`run_policy_once` per member (identical seeds either
+    way).  Yields ``(member_key, outcome_tuple)`` pairs.
+    """
+    policies = task.policies()
+    fast = _cell_fast_indices(task.config, policies)
+    fast_members = [(pi, r) for pi, r in members if pi in fast]
+    batched = {}
+    if fast_members:
+        batched = run_cell(
+            task.config, policies, task.seeds, pool=pool, members=fast_members
+        )
+    out = []
+    for pi, r in members:
+        result = batched.get((pi, r))
+        if result is None:
+            result = run_policy_once(
+                task.config, policies[pi], seed=task.seeds[r]
+            )
+        out.append((task.member_key(pi, r), _result_outcome(result)))
+    return out
+
+
+def _cell_worker(payload):
+    """Pool entry point for one (cell, policy) slice: never raises.
+
+    ``payload`` is ``(task, pi, rep_handles)`` with ``rep_handles`` a
+    list of ``(r, StreamHandle | None)`` — a handle maps the parent's
+    shared-memory streams for that replication; ``None`` means the
+    member is engine-bound and samples privately.
+    """
+    task, pi, rep_handles = payload
+    members = [(pi, r) for r, _ in rep_handles]
+    pool = None
+    attached = []
+    try:
+        pool = StreamPool(max_entries=max(1, len(rep_handles)))
+        for r, handle in rep_handles:
+            if handle is not None:
+                view = attach_streams(handle)
+                attached.append(view)
+                pool.prime(task.config, task.seeds[r], view.times, view.sizes)
+        settled = _run_cell_members(task, members, pool)
+        return [(key, outcome, None) for key, outcome in settled]
+    except Exception:  # noqa: BLE001 — captured per slice by design
+        tb = traceback.format_exc()
+        return [(task.member_key(mpi, r), None, tb) for mpi, r in members]
+    finally:
+        pool = None  # noqa: F841 — drop shm-backed views before unmapping
+        for view in attached:
+            view.close()
 
 
 def _retry_delay(next_attempt: int) -> float:
@@ -429,7 +530,13 @@ def run_replication_grid(
     report.timings["cache_lookup"] = time.perf_counter() - t0
 
     t0 = time.perf_counter()
-    if n_jobs == 1 or len(pending) <= 1:
+    auto_serial = (
+        len(pending) <= _AUTO_SERIAL_TASKS
+        and retries == 0
+        and task_timeout is None
+        and _TEST_WORKER_HOOK is None
+    )
+    if n_jobs == 1 or len(pending) <= 1 or auto_serial:
         completed = _run_serial(pending, retries)
     elif retries == 0 and task_timeout is None:
         pool = shared_executor(n_jobs)
@@ -469,6 +576,126 @@ def run_replication_grid(
         report.failures = failures
         if not quarantine:
             raise GridTaskError(failures, len(tasks))
+    return report
+
+
+def run_cell_grid(
+    cells: Iterable[CellTask],
+    *,
+    n_jobs: int | str | None = None,
+    cache: ReplicationCache | None = None,
+    checkpoint: SweepCheckpoint | None = None,
+) -> GridReport:
+    """Run sweep cells whole: one stream materialization per replication.
+
+    Member outcomes are keyed ``(cell.x, policy_name, r)`` with the same
+    cache keys as the flat per-replication grid, so results, caches, and
+    checkpoints are interchangeable between the two paths — and with the
+    same seeds the outcomes are bit-identical.  Parallel runs fan a cell
+    out one (policy × pending replications) slice per worker, shipping
+    each replication's streams through shared memory; cells run back to
+    back so at most one cell's streams are resident, and the parent owns
+    and always unlinks every segment, even when a worker crashes.
+
+    Hardening (retries, timeouts, quarantine) is deliberately absent —
+    sweeps that need it take :func:`run_replication_grid`.
+    """
+    cells = list(cells)
+    n_jobs = resolve_n_jobs(n_jobs)
+    report = GridReport(outcomes={})
+
+    t0 = time.perf_counter()
+    done_cells = checkpoint.load() if checkpoint is not None else {}
+    pending: list[tuple[CellTask, list[tuple[int, int]]]] = []
+    cache_keys: dict[Hashable, str] = {}
+    total = 0
+    for task in cells:
+        members: list[tuple[int, int]] = []
+        for pi in range(len(task.policy_names)):
+            for r in range(len(task.seeds)):
+                total += 1
+                key = task.member_key(pi, r)
+                if key in done_cells:
+                    report.outcomes[key] = done_cells[key]
+                    report.checkpoint_hits += 1
+                    continue
+                if cache is not None:
+                    ck = cache.task_key(
+                        task.config,
+                        task.base_names[pi],
+                        task.estimation_errors[pi],
+                        task.seeds[r],
+                    )
+                    cache_keys[key] = ck
+                    hit = cache.get(ck)
+                    if hit is not None:
+                        report.outcomes[key] = hit
+                        report.cache_hits += 1
+                        if checkpoint is not None:
+                            checkpoint.record(key, hit)
+                        continue
+                    report.cache_misses += 1
+                members.append((pi, r))
+        if members:
+            pending.append((task, members))
+    report.timings["cache_lookup"] = time.perf_counter() - t0
+
+    t0 = time.perf_counter()
+    failures: list[TaskFailure] = []
+
+    def settle(key, outcome, error):
+        if error is not None:
+            failures.append(
+                TaskFailure(key=key, policy_name=key[1], attempts=1, error=error)
+            )
+            return
+        report.outcomes[key] = outcome
+        if cache is not None:
+            cache.put(cache_keys[key], outcome)
+        if checkpoint is not None:
+            checkpoint.record(key, outcome)
+
+    n_pending = sum(len(m) for _, m in pending)
+    if n_jobs == 1 or n_pending <= _AUTO_SERIAL_TASKS:
+        for task, members in pending:
+            pool = StreamPool(max_entries=max(1, len(task.seeds)))
+            try:
+                for key, outcome in _run_cell_members(task, members, pool):
+                    settle(key, outcome, None)
+            except Exception:  # noqa: BLE001 — every member charged once
+                tb = traceback.format_exc()
+                for pi, r in members:
+                    settle(task.member_key(pi, r), None, tb)
+    else:
+        pool_exec = shared_executor(n_jobs)
+        for task, members in pending:
+            fast = _cell_fast_indices(task.config, task.policies())
+            by_policy: dict[int, list[int]] = {}
+            for pi, r in members:
+                by_policy.setdefault(pi, []).append(r)
+            with SharedStreamPool() as shared:
+                handles: dict[int, object] = {}
+                subtasks = []
+                for pi in sorted(by_policy):
+                    rep_handles = []
+                    for r in by_policy[pi]:
+                        handle = None
+                        if pi in fast:
+                            if r not in handles:
+                                handles[r] = shared.share(
+                                    task.config, task.seeds[r]
+                                )
+                            handle = handles[r]
+                        rep_handles.append((r, handle))
+                    subtasks.append((task, pi, rep_handles))
+                for settled in pool_exec.map(_cell_worker, subtasks):
+                    for key, outcome, error in settled:
+                        settle(key, outcome, error)
+    report.timings["simulate"] = time.perf_counter() - t0
+
+    if failures:
+        report.failures = failures
+        raise GridTaskError(failures, total)
     return report
 
 

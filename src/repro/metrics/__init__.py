@@ -1,7 +1,12 @@
 """Performance metrics: the paper's three headline measures plus
 streaming accumulators and replication confidence intervals."""
 
-from .ci import ReplicationSummary, summarize_replications
+from .ci import (
+    PairedSummary,
+    ReplicationSummary,
+    summarize_paired,
+    summarize_replications,
+)
 from .online import RunningStats
 from .response import MetricsCollector, ResponseMetrics
 
@@ -11,4 +16,6 @@ __all__ = [
     "ResponseMetrics",
     "ReplicationSummary",
     "summarize_replications",
+    "PairedSummary",
+    "summarize_paired",
 ]

@@ -4,6 +4,14 @@ The paper reports each data point as the average of 10 independent runs
 with different random streams.  :class:`ReplicationSummary` carries that
 average plus a Student-t confidence interval so EXPERIMENTS.md can state
 whether paper-vs-measured gaps are within run-to-run noise.
+
+:class:`PairedSummary` is the common-random-numbers companion: because
+every policy evaluated with the same replication seed sees the *same*
+arrival and size streams (see :mod:`repro.rng`), per-replication metric
+differences between two policies are matched pairs.  The paired t
+interval on those differences cancels the between-replication stream
+noise that dominates independent intervals, so policy comparisons reach
+a target precision with far fewer replications.
 """
 
 from __future__ import annotations
@@ -14,7 +22,12 @@ from dataclasses import dataclass
 import numpy as np
 from scipy import stats
 
-__all__ = ["ReplicationSummary", "summarize_replications"]
+__all__ = [
+    "ReplicationSummary",
+    "summarize_replications",
+    "PairedSummary",
+    "summarize_paired",
+]
 
 
 @dataclass(frozen=True)
@@ -70,3 +83,81 @@ def summarize_replications(values, confidence: float = 0.95) -> ReplicationSumma
     half = t * std / math.sqrt(arr.size)
     return ReplicationSummary(mean=mean, std=std, n=int(arr.size),
                               half_width=half, confidence=confidence)
+
+
+@dataclass(frozen=True)
+class PairedSummary:
+    """Paired-difference summary of metric ``a − b`` under CRN.
+
+    ``mean_diff`` is the mean per-replication difference; the t interval
+    is on the differences, so shared stream noise cancels.  For the
+    paper's metrics smaller is better, hence the verdict reads a
+    significantly *negative* difference as a win for ``a``.
+    """
+
+    a: str
+    b: str
+    mean_diff: float
+    std: float
+    n: int
+    half_width: float
+    confidence: float
+
+    @property
+    def lower(self) -> float:
+        return self.mean_diff - self.half_width
+
+    @property
+    def upper(self) -> float:
+        return self.mean_diff + self.half_width
+
+    @property
+    def verdict(self) -> str:
+        """``"a_wins"``, ``"b_wins"``, or ``"tie"`` (interval spans 0)."""
+        if self.upper < 0.0:
+            return "a_wins"
+        if self.lower > 0.0:
+            return "b_wins"
+        return "tie"
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"{self.a}−{self.b}: {self.mean_diff:.6g} ± {self.half_width:.2g} "
+            f"(n={self.n}, {self.verdict})"
+        )
+
+
+def summarize_paired(
+    a_values,
+    b_values,
+    confidence: float = 0.95,
+    labels: tuple[str, str] = ("A", "B"),
+) -> PairedSummary:
+    """Paired t interval on per-replication differences ``a − b``.
+
+    The two sequences must come from replications sharing seeds (common
+    random numbers) and be aligned by replication index — that is what
+    makes them matched pairs.  A single pair yields a zero-width
+    interval, mirroring :func:`summarize_replications`.
+    """
+    a = np.asarray(list(a_values), dtype=float)
+    b = np.asarray(list(b_values), dtype=float)
+    if a.size == 0:
+        raise ValueError("no replication values")
+    if a.shape != b.shape:
+        raise ValueError(
+            f"paired sequences must align, got {a.size} vs {b.size} values"
+        )
+    if not 0.0 < confidence < 1.0:
+        raise ValueError(f"confidence must lie in (0, 1), got {confidence}")
+    diff = a - b
+    mean = float(diff.mean())
+    if diff.size == 1:
+        return PairedSummary(a=labels[0], b=labels[1], mean_diff=mean, std=0.0,
+                             n=1, half_width=0.0, confidence=confidence)
+    std = float(diff.std(ddof=1))
+    t = float(stats.t.ppf(0.5 + confidence / 2.0, df=diff.size - 1))
+    half = t * std / math.sqrt(diff.size)
+    return PairedSummary(a=labels[0], b=labels[1], mean_diff=mean, std=std,
+                         n=int(diff.size), half_width=half,
+                         confidence=confidence)

@@ -7,13 +7,23 @@ Two execution paths produce statistically identical results:
 * :func:`run_static_simulation` — vectorized path for static policies
   (generate → dispatch → per-server PS/FCFS replay), several times
   faster.
+
+:func:`run_cell` batches the static path across every (policy ×
+replication) member of a sweep cell, sharing each replication's arrival
+and size streams through a :class:`~repro.sim.streams.StreamPool`.
 """
 
 from .arrivals import ArrivalStream, Workload
 from .config import PAPER_DURATION, PAPER_WARMUP_FRACTION, SimulationConfig
 from .engine import run_simulation
 from .events import EventKind, EventQueue
-from .fastpath import KERNEL_VERSION, fcfs_replay, ps_replay, run_static_simulation
+from .fastpath import (
+    KERNEL_VERSION,
+    fcfs_replay,
+    ps_replay,
+    run_cell,
+    run_static_simulation,
+)
 from .feedback import (
     PAPER_DETECTION_WINDOW,
     PAPER_MESSAGE_DELAY_MEAN,
@@ -36,6 +46,7 @@ __all__ = [
     "PAPER_WARMUP_FRACTION",
     "run_simulation",
     "run_static_simulation",
+    "run_cell",
     "ps_replay",
     "fcfs_replay",
     "KERNEL_VERSION",

@@ -1,0 +1,153 @@
+/* Exact processor-sharing busy-period replay.
+ *
+ * Compiled on demand by repro.sim.ckernel (gcc -O2 -fPIC -shared
+ * -ffp-contract=off) and called through ctypes from repro.sim.fastpath.
+ * The float arithmetic mirrors the Python reference loop
+ * (_ps_busy_period) operation for operation, and -ffp-contract=off
+ * forbids fused multiply-adds, so on the standard SSE2 double pipeline
+ * the completions are bit-identical to the interpreted loop.
+ *
+ * The heap is a binary min-heap over (tag, index) pairs ordered
+ * lexicographically — exactly the tuple ordering heapq applies to
+ * (tag, j) in the Python loop, so ties retire in the same order.
+ */
+#include <math.h>
+#include <stddef.h>
+
+typedef long long i64;
+
+static inline int heap_lt(const double *ht, const i64 *hi, i64 a, i64 b) {
+    if (ht[a] < ht[b]) return 1;
+    if (ht[a] > ht[b]) return 0;
+    return hi[a] < hi[b];
+}
+
+static void sift_down(double *ht, i64 *hi, i64 n, i64 pos) {
+    double t = ht[pos]; i64 ix = hi[pos];
+    for (;;) {
+        i64 c = 2 * pos + 1;
+        if (c >= n) break;
+        if (c + 1 < n && heap_lt(ht, hi, c + 1, c)) c++;
+        if (ht[c] < t || (ht[c] == t && hi[c] < ix)) {
+            ht[pos] = ht[c]; hi[pos] = hi[c]; pos = c;
+        } else break;
+    }
+    ht[pos] = t; hi[pos] = ix;
+}
+
+static void sift_up(double *ht, i64 *hi, i64 pos) {
+    double t = ht[pos]; i64 ix = hi[pos];
+    while (pos > 0) {
+        i64 p = (pos - 1) / 2;
+        if (t < ht[p] || (t == ht[p] && ix < hi[p])) {
+            ht[pos] = ht[p]; hi[pos] = hi[p]; pos = p;
+        } else break;
+    }
+    ht[pos] = t; hi[pos] = ix;
+}
+
+/* Exact virtual-time PS replay of one multi-job busy period
+ * [start, end): float-op-for-float-op the Python _ps_busy_period loop. */
+static void replay_period(const double *times, const double *work, double speed,
+                          i64 start, i64 end, double *completions,
+                          double *ht, i64 *hi) {
+    i64 n = 0;           /* active jobs (heap size) */
+    double v = 0.0;      /* virtual PS clock, fresh per busy period */
+    double t_last = times[start];
+    for (i64 j = start; j < end; j++) {
+        double t_a = times[j];
+        while (n > 0) {
+            double tag = ht[0];
+            double dt = (tag - v) * (double)n / speed;
+            if (dt < 0.0) dt = 0.0;
+            double t_dep = t_last + dt;
+            if (t_dep > t_a) break;
+            completions[hi[0]] = t_dep;
+            t_last = t_dep;
+            v = tag;
+            n--;
+            if (n > 0) { ht[0] = ht[n]; hi[0] = hi[n]; sift_down(ht, hi, n, 0); }
+        }
+        if (n > 0) v += (t_a - t_last) * speed / (double)n;
+        t_last = t_a;
+        ht[n] = v + work[j]; hi[n] = j; sift_up(ht, hi, n); n++;
+    }
+    while (n > 0) {
+        double tag = ht[0];
+        double dt = (tag - v) * (double)n / speed;
+        if (dt < 0.0) dt = 0.0;
+        t_last += dt;
+        v = tag;
+        completions[hi[0]] = t_last;
+        n--;
+        if (n > 0) { ht[0] = ht[n]; hi[0] = hi[n]; sift_down(ht, hi, n, 0); }
+    }
+}
+
+/* Replay nper busy periods of one server's substream.
+ *
+ * times/work: full substream arrays (arrival instants, job sizes);
+ * bounds/ends: start (inclusive) and end (exclusive) job index of each
+ * busy period to replay; completions: output array indexed like times;
+ * ht/hi: caller-provided heap scratch, at least max(ends-bounds) long.
+ */
+void ps_replay_periods(const double *times, const double *work, double speed,
+                       const i64 *bounds, const i64 *ends, i64 nper,
+                       double *completions, double *ht, i64 *hi) {
+    for (i64 p = 0; p < nper; p++)
+        replay_period(times, work, speed, bounds[p], ends[p], completions, ht, hi);
+}
+
+/* Fused whole-network PS replay over server-grouped substreams.
+ *
+ * Jobs are pre-sorted by target server: server s owns the contiguous
+ * slice [offsets[s], offsets[s+1]) of times/work/completions.  For each
+ * server this runs the full per-substream pipeline in one pass — the
+ * Lindley depletion recursion, busy-period segmentation, the singleton
+ * closed form, and the virtual-time heap for multi-job periods.
+ *
+ * Bit-identity with the numpy formulation is maintained by mirroring
+ * its float operation order exactly:
+ *   svc    = work[j] / speed                  (elementwise divide)
+ *   cum_j  = cum_{j-1} + svc                  (np.cumsum is sequential)
+ *   m_j    = max(m_{j-1}, t[j] - (cum_j - svc))   (np.maximum.accumulate)
+ *   dep[j] = cum_j + m_j
+ * and the singleton completion t[b] + work[b]/speed.
+ *
+ * dep: scratch of at least max(offsets[s+1]-offsets[s]) doubles;
+ * ht/hi: heap scratch of the same length.
+ */
+void ps_replay_server_batch(const double *times, const double *work,
+                            const double *speeds, const i64 *offsets,
+                            i64 nservers, double *completions,
+                            double *dep, double *ht, i64 *hi) {
+    for (i64 s = 0; s < nservers; s++) {
+        i64 lo = offsets[s];
+        i64 n = offsets[s + 1] - lo;
+        if (n <= 0) continue;
+        const double *t = times + lo;
+        const double *w = work + lo;
+        double *comp = completions + lo;
+        double sp = speeds[s];
+
+        /* FCFS depletion instants (vectorized-Lindley float order). */
+        double acc = 0.0, m = -INFINITY;
+        for (i64 j = 0; j < n; j++) {
+            double svc = w[j] / sp;
+            acc += svc;
+            double d = t[j] - (acc - svc);
+            if (d > m) m = d;
+            dep[j] = acc + m;
+        }
+
+        /* Busy periods: job j opens one iff it arrives at or after the
+         * depletion of everything before it. */
+        i64 b = 0;
+        for (i64 j = 1; j <= n; j++) {
+            if (j < n && t[j] < dep[j - 1]) continue;
+            if (j - b == 1) comp[b] = t[b] + w[b] / sp;
+            else replay_period(t, w, sp, b, j, comp, ht, hi);
+            b = j;
+        }
+    }
+}

@@ -1,0 +1,246 @@
+"""On-demand compiled core for the PS replay kernel.
+
+The multi-job busy-period loop is the one part of the static fast path
+that resists numpy vectorization: every departure changes the service
+rate of every remaining job, so the recurrence is inherently sequential
+(the pure-numpy lockstep formulations explored for kernel v3 topped out
+at ~2x — see DESIGN.md).  Instead, :mod:`repro.sim._pskernel.c` carries
+a C transliteration of the Python heap loop, compiled here at import
+time with the system ``gcc`` and loaded through :mod:`ctypes` — no
+third-party build dependency, no wheels, no code generation.
+
+Bit-identity with the interpreted loop is a hard requirement (the
+replication cache and the grid executor both assume replay kernels are
+deterministic functions of their inputs): the C source copies the float
+operation order verbatim and is compiled with ``-ffp-contract=off`` so
+the compiler cannot fuse multiply-adds into FMA instructions.  The
+cross-checking tests assert ``np.array_equal`` against the Python loop.
+
+The shared object is cached under ``$XDG_CACHE_HOME/repro-sched`` (or
+the system temp directory), keyed by the SHA-256 of the C source, and
+published with an atomic rename so concurrent grid workers never race.
+Everything degrades gracefully: no compiler, a failed compile, or
+``REPRO_DISABLE_CKERNEL=1`` simply leaves the Python loop in place.
+"""
+
+from __future__ import annotations
+
+import ctypes
+import hashlib
+import os
+import shutil
+import subprocess
+import tempfile
+from pathlib import Path
+
+import numpy as np
+
+__all__ = [
+    "ps_periods_fn",
+    "ps_servers_fn",
+    "kernel_available",
+    "compiled_library_path",
+]
+
+_SOURCE = Path(__file__).with_name("_pskernel.c")
+
+#: Compile flags: -ffp-contract=off is load-bearing — FMA contraction
+#: would change rounding and break bit-identity with the Python loop.
+_CFLAGS = ("-O2", "-fPIC", "-shared", "-ffp-contract=off")
+
+_c_double_p = ctypes.POINTER(ctypes.c_double)
+_c_i64_p = ctypes.POINTER(ctypes.c_longlong)
+
+#: None = not yet attempted; False = attempted and unavailable;
+#: otherwise the (periods_fn, servers_fn) pair from the loaded library.
+_fns: object = None
+
+
+def _cache_dir() -> Path:
+    root = os.environ.get("XDG_CACHE_HOME")
+    base = Path(root) if root else Path(tempfile.gettempdir())
+    return base / "repro-sched"
+
+
+def compiled_library_path() -> Path:
+    """Where the compiled shared object lives (keyed by source hash)."""
+    digest = hashlib.sha256(_SOURCE.read_bytes()).hexdigest()[:16]
+    return _cache_dir() / f"pskernel-{digest}.so"
+
+
+def _compile() -> Path | None:
+    gcc = shutil.which("gcc") or shutil.which("cc")
+    if gcc is None:
+        return None
+    target = compiled_library_path()
+    if target.exists():
+        return target
+    target.parent.mkdir(parents=True, exist_ok=True)
+    # Stage to a pid-unique name and publish atomically: concurrent
+    # workers compiling the same source never see a half-written .so.
+    staging = target.with_name(f"{target.name}.{os.getpid()}.tmp")
+    try:
+        subprocess.run(
+            [gcc, *_CFLAGS, "-o", str(staging), str(_SOURCE)],
+            check=True,
+            capture_output=True,
+            timeout=120,
+        )
+        os.replace(staging, target)
+    except (OSError, subprocess.SubprocessError):
+        try:
+            staging.unlink()
+        except OSError:
+            pass
+        return target if target.exists() else None
+    return target
+
+
+def _load(path: Path):
+    lib = ctypes.CDLL(str(path))
+    periods = lib.ps_replay_periods
+    periods.argtypes = [
+        _c_double_p,  # times
+        _c_double_p,  # work
+        ctypes.c_double,  # speed
+        _c_i64_p,  # bounds
+        _c_i64_p,  # ends
+        ctypes.c_longlong,  # nper
+        _c_double_p,  # completions (out)
+        _c_double_p,  # heap tag scratch
+        _c_i64_p,  # heap index scratch
+    ]
+    periods.restype = None
+    servers = lib.ps_replay_server_batch
+    servers.argtypes = [
+        _c_double_p,  # times (server-grouped)
+        _c_double_p,  # work (server-grouped)
+        _c_double_p,  # speeds
+        _c_i64_p,  # offsets (nservers + 1)
+        ctypes.c_longlong,  # nservers
+        _c_double_p,  # completions (out, server-grouped)
+        _c_double_p,  # depletion scratch
+        _c_double_p,  # heap tag scratch
+        _c_i64_p,  # heap index scratch
+    ]
+    servers.restype = None
+    return periods, servers
+
+
+def _ensure_fns():
+    global _fns
+    if _fns is False:
+        return None
+    if _fns is not None:
+        return _fns
+    if os.environ.get("REPRO_DISABLE_CKERNEL"):
+        _fns = False
+        return None
+    try:
+        path = _compile()
+        if path is None:
+            _fns = False
+            return None
+        _fns = _load(path)
+    except (OSError, AttributeError):
+        _fns = False
+        return None
+    return _fns
+
+
+def ps_periods_fn():
+    """The compiled busy-period replay entry point, or None.
+
+    Returns a callable ``fn(times, work, speed, bounds, ends, nper,
+    completions, ht, hi)`` over raw ctypes pointers, compiled and loaded
+    on first call and cached for the process.  Returns None when the
+    kernel is disabled (``REPRO_DISABLE_CKERNEL``), no compiler exists,
+    or compilation/loading failed — callers fall back to the Python
+    loop, which computes the exact same bits.
+    """
+    fns = _ensure_fns()
+    return fns[0] if fns else None
+
+
+def ps_servers_fn():
+    """The fused whole-network PS replay entry point, or None.
+
+    Returns a callable ``fn(times, work, speeds, offsets, nservers,
+    completions, dep, ht, hi)`` replaying every server's contiguous
+    slice — Lindley segmentation included — in one C call.  Same
+    availability rules and fallback contract as :func:`ps_periods_fn`.
+    """
+    fns = _ensure_fns()
+    return fns[1] if fns else None
+
+
+def kernel_available() -> bool:
+    """True when the compiled core is (or can be made) usable."""
+    return _ensure_fns() is not None
+
+
+def replay_periods_c(
+    fn,
+    times: np.ndarray,
+    work: np.ndarray,
+    speed: float,
+    bounds: np.ndarray,
+    ends: np.ndarray,
+    completions: np.ndarray,
+) -> None:
+    """Replay the given busy periods through the compiled core.
+
+    ``times``/``work``/``completions`` must be contiguous float64;
+    ``bounds``/``ends`` contiguous int64.  Heap scratch is sized to the
+    longest period and reused across all of them.
+    """
+    width = int((ends - bounds).max())
+    ht = np.empty(width)
+    hi = np.empty(width, dtype=np.int64)
+    fn(
+        times.ctypes.data_as(_c_double_p),
+        work.ctypes.data_as(_c_double_p),
+        ctypes.c_double(speed),
+        bounds.ctypes.data_as(_c_i64_p),
+        ends.ctypes.data_as(_c_i64_p),
+        ctypes.c_longlong(bounds.size),
+        completions.ctypes.data_as(_c_double_p),
+        ht.ctypes.data_as(_c_double_p),
+        hi.ctypes.data_as(_c_i64_p),
+    )
+
+
+def replay_servers_c(
+    fn,
+    times: np.ndarray,
+    work: np.ndarray,
+    speeds: np.ndarray,
+    offsets: np.ndarray,
+    completions: np.ndarray,
+) -> None:
+    """Replay every server's substream through the fused compiled core.
+
+    ``times``/``work``/``completions`` are the server-grouped (stable
+    argsort by target) job arrays; server ``s`` owns the slice
+    ``[offsets[s], offsets[s+1])``.  All float arrays contiguous
+    float64, ``offsets`` contiguous int64 of length ``len(speeds)+1``.
+    Scratch is sized to the busiest server and reused across servers.
+    """
+    counts = np.diff(offsets)
+    width = int(counts.max()) if counts.size else 0
+    if width <= 0:
+        return
+    dep = np.empty(width)
+    ht = np.empty(width)
+    hi = np.empty(width, dtype=np.int64)
+    fn(
+        times.ctypes.data_as(_c_double_p),
+        work.ctypes.data_as(_c_double_p),
+        speeds.ctypes.data_as(_c_double_p),
+        offsets.ctypes.data_as(_c_i64_p),
+        ctypes.c_longlong(len(speeds)),
+        completions.ctypes.data_as(_c_double_p),
+        dep.ctypes.data_as(_c_double_p),
+        ht.ctypes.data_as(_c_double_p),
+        hi.ctypes.data_as(_c_i64_p),
+    )

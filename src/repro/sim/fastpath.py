@@ -20,8 +20,17 @@ Two replay kernels are provided:
   segmented into busy periods with the same vectorized Lindley kernel
   (work conservation makes busy-period boundaries discipline-free);
   singleton busy periods — the common case at moderate load — are
-  resolved in one batched numpy expression, and only multi-job busy
-  periods fall back to the per-job virtual-time heap.
+  resolved in one batched numpy expression, and multi-job busy periods
+  run through the compiled virtual-time heap (:mod:`repro.sim.ckernel`,
+  bit-identical to the interpreted loop kept as fallback).
+
+:func:`run_cell` batches the three stages across the (policy ×
+replication) members of one sweep cell: stage 1 runs once per
+replication through a :class:`~repro.sim.streams.StreamPool` and the
+arrays are shared zero-copy across policies (common random numbers make
+them identical by construction), while stages 2–3 stay per-member — so
+every member's result is bit-identical to a private
+:func:`run_static_simulation` call with the same seed.
 
 Results are statistically identical to :func:`repro.sim.engine.run_simulation`
 (same RNG substreams, same boundary rules, drain semantics built in);
@@ -41,14 +50,26 @@ import numpy as np
 
 from ..dispatch.base import Dispatcher
 from ..metrics.response import MetricsCollector
-from ..rng import StreamFactory
+from ..rng import substream
+from . import ckernel
 from .config import SimulationConfig
 from .results import DispatchTrace, ServerStats, SimulationResults
+from .streams import StreamPool, materialize_streams
 
-__all__ = ["run_static_simulation", "ps_replay", "fcfs_replay", "KERNEL_VERSION"]
+__all__ = [
+    "run_static_simulation",
+    "run_cell",
+    "ps_replay",
+    "fcfs_replay",
+    "KERNEL_VERSION",
+]
 
-#: Version tag of the replay kernels (cache-key component).
-KERNEL_VERSION = "2"
+#: Version tag of the replay kernels (cache-key component).  v3: PS
+#: multi-job busy periods replay through the compiled heap core.  The
+#: bump is precautionary — v3 is asserted bit-identical to v2 — but the
+#: compiled core is new numerical surface area, so cached v2 entries
+#: are retired rather than trusted across the boundary.
+KERNEL_VERSION = "3"
 
 
 def _validate_substream(
@@ -84,6 +105,13 @@ def _lindley_departures(times: np.ndarray, service: np.ndarray) -> np.ndarray:
 def fcfs_replay(arrival_times: np.ndarray, sizes: np.ndarray, speed: float) -> np.ndarray:
     """Exact FCFS replay of one server's substream (completion times)."""
     times, work = _validate_substream(arrival_times, sizes, speed)
+    return _fcfs_replay_core(times, work, speed)
+
+
+def _fcfs_replay_core(
+    times: np.ndarray, work: np.ndarray, speed: float
+) -> np.ndarray:
+    """:func:`fcfs_replay` minus input validation (pre-validated callers)."""
     if times.size == 0:
         return np.empty(0)
     return _lindley_departures(times, work / speed)
@@ -155,9 +183,18 @@ def ps_replay(arrival_times: np.ndarray, sizes: np.ndarray, speed: float) -> np.
     busy period iff it arrives at or after that depletion instant.
     Busy periods containing a single job — the bulk of the stream at
     moderate load — complete at ``arrival + size/speed`` in one batched
-    expression; only multi-job busy periods run the per-job heap loop.
+    expression; multi-job busy periods replay through the compiled heap
+    core when available (:mod:`repro.sim.ckernel`), falling back to the
+    bit-identical per-job Python loop otherwise.
     """
     times, work = _validate_substream(arrival_times, sizes, speed)
+    return _ps_replay_core(times, work, speed)
+
+
+def _ps_replay_core(
+    times: np.ndarray, work: np.ndarray, speed: float
+) -> np.ndarray:
+    """:func:`ps_replay` minus input validation (pre-validated callers)."""
     n = times.size
     if n == 0:
         return np.empty(0)
@@ -178,12 +215,20 @@ def ps_replay(arrival_times: np.ndarray, sizes: np.ndarray, speed: float) -> np.
 
     if idx.size < bounds.size:
         multi = ~single
-        # Plain-float lists: scalar indexing in the heap loop is several
-        # times faster than indexing numpy arrays element-wise.
-        tl = times.tolist()
-        wl = work.tolist()
-        for b, e in zip(bounds[multi].tolist(), ends[multi].tolist()):
-            _ps_busy_period(tl, wl, speed, b, e, completions)
+        mb = np.ascontiguousarray(bounds[multi])
+        me = np.ascontiguousarray(ends[multi])
+        fn = ckernel.ps_periods_fn()
+        if fn is not None:
+            ckernel.replay_periods_c(
+                fn, times, work, float(speed), mb, me, completions
+            )
+        else:
+            # Plain-float lists: scalar indexing in the heap loop is
+            # several times faster than indexing numpy element-wise.
+            tl = times.tolist()
+            wl = work.tolist()
+            for b, e in zip(mb.tolist(), me.tolist()):
+                _ps_busy_period(tl, wl, speed, b, e, completions)
     return completions
 
 
@@ -230,6 +275,10 @@ def _ps_replay_loop(arrival_times, sizes, speed: float) -> np.ndarray:
 #: Discipline → exact replay kernel for the static fast path.
 _REPLAY_KERNELS = {"ps": ps_replay, "fcfs": fcfs_replay}
 
+#: Discipline → validation-free kernel used by :func:`_replay_plan`,
+#: which validates the whole arrival stream once instead of per server.
+_REPLAY_CORES = {"ps": _ps_replay_core, "fcfs": _fcfs_replay_core}
+
 
 # ----------------------------------------------------------------------
 # Stage-2 dispatch-sequence memo
@@ -275,21 +324,9 @@ def _dispatch_targets(dispatcher: Dispatcher, sizes: np.ndarray) -> np.ndarray:
     return entry[0][:n].astype(np.int64)
 
 
-def run_static_simulation(
-    config: SimulationConfig,
-    dispatcher: Dispatcher,
-    alphas,
-    *,
-    seed: int | np.random.SeedSequence = 0,
-    record_trace: bool = False,
-) -> SimulationResults:
-    """Run one replication of a static policy on the vectorized path."""
-    if not dispatcher.is_static:
-        raise ValueError(
-            f"{type(dispatcher).__name__} needs feedback; use run_simulation instead"
-        )
+def _resolve_replay(config: SimulationConfig):
     try:
-        replay = _REPLAY_KERNELS[config.discipline]
+        return _REPLAY_KERNELS[config.discipline]
     except KeyError:
         raise ValueError(
             "the fast path implements the PS discipline and the FCFS "
@@ -298,41 +335,107 @@ def run_static_simulation(
             "use repro.sim.engine.run_simulation instead"
         ) from None
 
-    streams = StreamFactory(seed)
-    workload = config.workload()
 
-    # Stage 1 — all arrivals and sizes up front.
-    times = workload.arrival_stream(streams.arrivals).arrivals_until(config.duration)
-    sizes = workload.sample_sizes(streams.sizes, times.size)
-
+def _replay_static(
+    config: SimulationConfig,
+    dispatcher: Dispatcher,
+    alphas,
+    times: np.ndarray,
+    sizes: np.ndarray,
+    record_trace: bool,
+) -> SimulationResults:
+    """Stages 2–3 for one member: dispatch, per-server replay, metrics."""
     # Stage 2 — all dispatch decisions (memoized across replications
     # for sequence-deterministic dispatchers like weighted round robin).
     dispatcher.reset(alphas)
     targets = _dispatch_targets(dispatcher, sizes)
+    return _replay_plan(config, targets, times, sizes, record_trace)
 
-    # Stage 3 — independent per-server replay (PS or FCFS).
+
+def _replay_plan(
+    config: SimulationConfig,
+    targets: np.ndarray,
+    times: np.ndarray,
+    sizes: np.ndarray,
+    record_trace: bool,
+) -> SimulationResults:
+    """Stage 3 for one dispatch plan: grouped replay plus one metrics pass.
+
+    One stable argsort groups the jobs by target server: within a group
+    the stable sort preserves arrival order, so each server's slice is
+    bit-identical to the boolean-mask extraction it replaces (at a
+    fraction of the cost — one O(n log n) pass instead of one full-array
+    scan and gather per server).  Completions are scattered back to
+    arrival order and recorded in a single metrics batch.
+    """
+    n_servers = len(config.speeds)
+    times = np.ascontiguousarray(times, dtype=float)
+    sizes = np.ascontiguousarray(sizes, dtype=float)
+    if times.shape != sizes.shape:
+        raise ValueError("arrival times and sizes must align")
+    # Validate the whole stream once: every per-server slice of a
+    # non-decreasing stream is itself non-decreasing.
+    if times.size > 1 and np.any(np.diff(times) < 0):
+        raise ValueError("arrival_times must be non-decreasing")
+    if np.any(sizes <= 0):
+        raise ValueError("job sizes must be positive")
+    speeds = np.ascontiguousarray(config.speeds, dtype=float)
+    if np.any(speeds <= 0):
+        raise ValueError("server speeds must be positive")
+
+    # Stable argsort on a narrow key: casting the targets to int8 (a
+    # network never has 128 computers) keeps the radix passes to one
+    # byte, several times faster than sorting int64 keys — and a cast
+    # preserves key order, so the permutation is identical.
+    sort_keys = targets.astype(np.int8) if n_servers <= 127 else targets
+    order = np.argsort(sort_keys, kind="stable")
+    counts = np.bincount(targets, minlength=n_servers)
+    offsets = np.zeros(n_servers + 1, dtype=np.int64)
+    np.cumsum(counts, out=offsets[1:])
+    grouped_times = times[order]
+    grouped_sizes = sizes[order]
+    grouped_completions = np.empty_like(grouped_times)
+
+    fused = ckernel.ps_servers_fn() if config.discipline == "ps" else None
+    if fused is not None:
+        ckernel.replay_servers_c(
+            fused, grouped_times, grouped_sizes, speeds, offsets,
+            grouped_completions,
+        )
+    else:
+        core = _REPLAY_CORES[config.discipline]
+        for i in range(n_servers):
+            lo, hi = int(offsets[i]), int(offsets[i + 1])
+            if lo == hi:
+                continue
+            grouped_completions[lo:hi] = core(
+                grouped_times[lo:hi], grouped_sizes[lo:hi], float(speeds[i])
+            )
+
+    completions = np.empty_like(times)
+    completions[order] = grouped_completions
     metrics = MetricsCollector(warmup_end=config.warmup)
-    server_stats = []
+    metrics.record_batch(times, completions, sizes)
+
     warmup_mask = times >= config.warmup
     post_warmup_total = int(np.count_nonzero(warmup_mask))
+    dispatched_counts = np.bincount(targets[warmup_mask], minlength=n_servers)
+    server_stats = []
     for i, speed in enumerate(config.speeds):
-        mask = targets == i
-        sub_times = times[mask]
-        sub_sizes = sizes[mask]
-        completions = replay(sub_times, sub_sizes, speed)
-        metrics.record_batch(sub_times, completions, sub_sizes)
-        dispatched = int(np.count_nonzero(mask & warmup_mask))
+        lo, hi = int(offsets[i]), int(offsets[i + 1])
         server_stats.append(
             ServerStats(
                 index=i,
                 speed=float(speed),
-                jobs_received=int(sub_times.size),
-                jobs_completed=int(sub_times.size),
+                jobs_received=hi - lo,
+                jobs_completed=hi - lo,
                 # PS and FCFS are work-conserving: busy time equals
                 # served work/speed.
-                busy_time=float(sub_sizes.sum()) / float(speed),
+                busy_time=float(grouped_sizes[lo:hi].sum()) / float(speed),
                 dispatch_fraction=(
-                    dispatched / post_warmup_total if post_warmup_total else 0.0
+                    int(dispatched_counts[i]) / post_warmup_total
+                    if post_warmup_total
+                    else 0.0
                 ),
             )
         )
@@ -348,3 +451,127 @@ def run_static_simulation(
         total_arrivals=int(times.size),
         trace=trace,
     )
+
+
+def run_static_simulation(
+    config: SimulationConfig,
+    dispatcher: Dispatcher,
+    alphas,
+    *,
+    seed: int | np.random.SeedSequence = 0,
+    record_trace: bool = False,
+) -> SimulationResults:
+    """Run one replication of a static policy on the vectorized path."""
+    if not dispatcher.is_static:
+        raise ValueError(
+            f"{type(dispatcher).__name__} needs feedback; use run_simulation instead"
+        )
+    _resolve_replay(config)  # fail fast on unsupported disciplines
+
+    # Stage 1 — all arrivals and sizes up front.
+    times, sizes = materialize_streams(config, seed)
+    return _replay_static(config, dispatcher, alphas, times, sizes, record_trace)
+
+
+def run_cell(
+    config: SimulationConfig,
+    policies,
+    seeds,
+    *,
+    pool: StreamPool | None = None,
+    members=None,
+    record_trace: bool = False,
+) -> dict[tuple[int, int], SimulationResults]:
+    """Batched fast path over the (policy × replication) grid of one cell.
+
+    Parameters
+    ----------
+    policies:
+        Sequence of policy-like objects (``.name``, ``.is_static``,
+        ``.fractions(network)``, ``.build_dispatcher(speeds, rng)`` —
+        duck-typed so this module stays independent of
+        :mod:`repro.core`).
+    seeds:
+        One root seed per replication (ints or ``SeedSequence``s,
+        typically from :func:`repro.rng.replication_seeds`).
+    pool:
+        :class:`~repro.sim.streams.StreamPool` supplying stage-1 arrays
+        (a private pool is created when omitted).  Replications present
+        in the pool — e.g. shared-memory segments attached by a grid
+        worker — are replayed without re-sampling.
+    members:
+        Optional iterable of ``(policy_index, replication_index)`` pairs
+        restricting which members run (cache-served members are skipped
+        this way); all members run when omitted.
+
+    Returns ``{(policy_index, replication_index): SimulationResults}``.
+    Each member's result is bit-identical to
+    :func:`run_static_simulation` with the same (config, seed): stage 1
+    is shared across policies precisely because common random numbers
+    make the draws identical, and stages 2–3 run per member with the
+    dispatcher rebuilt from the member's own "dispatch" substream.
+    """
+    _resolve_replay(config)  # fail fast on unsupported disciplines
+    seeds = list(seeds)
+    if members is None:
+        wanted = [(pi, r) for r in range(len(seeds)) for pi in range(len(policies))]
+    else:
+        wanted = [(int(pi), int(r)) for pi, r in members]
+        for pi, r in wanted:
+            if not 0 <= r < len(seeds):
+                raise IndexError(f"replication index {r} out of range")
+            if not 0 <= pi < len(policies):
+                raise IndexError(f"policy index {pi} out of range")
+    if pool is None:
+        pool = StreamPool()
+
+    network = config.network()
+    alphas_memo: dict[int, object] = {}
+    dispatchers_ok: set[int] = set()
+    results: dict[tuple[int, int], SimulationResults] = {}
+    by_rep: dict[int, list[int]] = {}
+    for pi, r in wanted:
+        by_rep.setdefault(r, []).append(pi)
+
+    for r in sorted(by_rep):
+        times, sizes = pool.get(config, seeds[r])
+        # Dispatch-plan dedup, the cell-only optimization: two members
+        # of the same replication whose stage-2 target sequences are
+        # identical (ORR and WRR collapse to the same plan on a
+        # homogeneous network, for instance) replay identical
+        # per-server substreams, so the first member's results are
+        # reused verbatim — bit-identity is trivially preserved.
+        plans: list[tuple[np.ndarray, SimulationResults]] = []
+        for pi in by_rep[r]:
+            policy = policies[pi]
+            if pi not in alphas_memo:
+                if not getattr(policy, "is_static", True):
+                    raise ValueError(
+                        f"policy {policy.name!r} needs feedback; "
+                        "use run_simulation instead"
+                    )
+                alphas_memo[pi] = policy.fractions(network)
+            dispatcher = policy.build_dispatcher(
+                config.speeds, substream(seeds[r], "dispatch")
+            )
+            if pi not in dispatchers_ok:
+                if not dispatcher.is_static:
+                    raise ValueError(
+                        f"{type(dispatcher).__name__} needs feedback; "
+                        "use run_simulation instead"
+                    )
+                dispatchers_ok.add(pi)
+            dispatcher.reset(alphas_memo[pi])
+            targets = _dispatch_targets(dispatcher, sizes)
+            result = None
+            for prev_targets, prev_result in plans:
+                if np.array_equal(prev_targets, targets):
+                    result = prev_result
+                    break
+            if result is None:
+                result = _replay_plan(
+                    config, targets, times, sizes, record_trace
+                )
+                plans.append((targets, result))
+            results[(pi, r)] = result
+    return results

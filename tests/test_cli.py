@@ -125,6 +125,12 @@ class TestBench:
         assert record["replication"]["ps"]["agree"] is True
         assert record["replication"]["fcfs"]["agree"] is True
         assert record["sweep"]["cache_warm_hits"] > 0
+        assert record["cell"]["cell_identical"] is True
+        assert record["cell"]["cell_speedup"] > 0
+        for point in record["cell"]["paired"]:
+            assert point["paired_half_width"] >= 0
+            assert point["unpaired_half_width"] > 0
+            assert point["verdict"] in ("a_wins", "b_wins", "tie")
 
         # A second invocation appends rather than overwrites.
         assert main(["bench", "--output", str(out_path)]) == 0
