@@ -19,7 +19,12 @@ Subcommands
 
 ``run``, ``simulate``, and ``bench`` accept ``--n-jobs N|auto`` (or the
 ``REPRO_JOBS`` environment variable) to fan replications across worker
-processes; results are bit-identical to serial runs.
+processes; results are bit-identical to serial runs.  The same three
+commands accept ``--trace PATH`` (structured JSONL telemetry: spans and
+counters, see :mod:`repro.obs`) and ``--profile [FOLDED]`` (per-phase
+wall-time breakdown on stderr, optionally folded stacks for flamegraph
+tooling); ``bench --gate`` compares the fresh record against the
+recorded baseline and exits nonzero on regression.
 """
 
 from __future__ import annotations
@@ -52,6 +57,13 @@ def build_parser() -> argparse.ArgumentParser:
         choices=("smoke", "quick", "paper"),
         default=None,
         help="run length preset (default: REPRO_SCALE env or 'quick')",
+    )
+    run_p.add_argument(
+        "--quick",
+        action="store_const",
+        dest="scale",
+        const="quick",
+        help="shorthand for --scale quick",
     )
     run_p.add_argument(
         "--json",
@@ -114,6 +126,30 @@ def build_parser() -> argparse.ArgumentParser:
 
     sub.add_parser("list", help="list available experiments")
 
+    def add_telemetry_flags(p):
+        # dest avoids colliding with unrelated arguments named "trace"
+        # (the characterize command's positional CSV, for one).
+        p.add_argument(
+            "--trace",
+            dest="trace_out",
+            metavar="PATH",
+            default=None,
+            help="write structured telemetry (spans + counters) as JSONL "
+                 "to PATH; outputs are bit-identical with or without it",
+        )
+        p.add_argument(
+            "--profile",
+            dest="profile_out",
+            nargs="?",
+            const="",
+            default=None,
+            metavar="FOLDED",
+            help="print a per-phase wall-time breakdown to stderr; with a "
+                 "path, also write folded stacks for flamegraph tooling",
+        )
+
+    add_telemetry_flags(run_p)
+
     alloc_p = sub.add_parser(
         "allocate", help="compute allocations for a given system"
     )
@@ -162,6 +198,7 @@ def build_parser() -> argparse.ArgumentParser:
              "paired-vs-baseline intervals do); --replications caps "
              "the count",
     )
+    add_telemetry_flags(sim_p)
 
     val_p = sub.add_parser(
         "validate", help="compare simulation against the analytical model"
@@ -212,6 +249,23 @@ def build_parser() -> argparse.ArgumentParser:
         help="cache directory for the cold/warm pass "
              "(default: a temporary directory)",
     )
+    bench_p.add_argument(
+        "--gate",
+        action="store_true",
+        help="compare this record against the most recent same-scale "
+             "baseline in the trajectory; exit nonzero (and do not "
+             "append) on a slowdown beyond the threshold or any "
+             "bit-identity divergence",
+    )
+    bench_p.add_argument(
+        "--gate-threshold",
+        type=float,
+        default=None,
+        metavar="FRAC",
+        help="allowed fractional speedup regression for --gate "
+             "(default 0.20)",
+    )
+    add_telemetry_flags(bench_p)
     return parser
 
 
@@ -604,6 +658,72 @@ def _time(fn, *args, **kwargs):
     return out, time.perf_counter() - t0
 
 
+def _counter_summary(delta: dict) -> list[str]:
+    """Human-readable counter lines, job ledger first, labels grouped.
+
+    Per-server ledger keys collapse to aggregates (``jobs.dispatched``
+    across 8 servers prints one line) so the summary stays a glance, not
+    a dump; everything else prints verbatim, sorted.
+    """
+    from .obs import counters as obs_counters
+
+    rolled: dict[str, float] = {}
+    for k, v in sorted(delta.items()):
+        name, labels = obs_counters.parse_key(k)
+        rolled[name] = rolled.get(name, 0) + v
+    ledger = [n for n in rolled if n.startswith(("jobs.", "runs."))]
+    rest = [n for n in rolled if n not in ledger]
+    return [f"  {n:<24} {rolled[n]:g}" for n in ledger + rest]
+
+
+def _with_telemetry(handler, args) -> int:
+    """Run *handler* under --trace / --profile, if requested.
+
+    Everything telemetry adds goes to **stderr** (and the trace file);
+    stdout stays byte-identical with or without these flags — asserted
+    by the bench telemetry section and the observability tests.
+    """
+    trace = getattr(args, "trace_out", None)
+    profile = getattr(args, "profile_out", None)
+    if trace is None and profile is None:
+        return handler(args)
+
+    from .obs import (
+        ProfileSink,
+        add_sink,
+        counters,
+        disable_tracing,
+        enable_tracing,
+        remove_sink,
+    )
+
+    prof = None
+    before = counters.snapshot()
+    if trace is not None:
+        enable_tracing(trace)
+    if profile is not None:
+        prof = ProfileSink()
+        add_sink(prof)
+    try:
+        return handler(args)
+    finally:
+        if prof is not None:
+            remove_sink(prof)
+            print(prof.table(), file=sys.stderr)
+            if profile:  # --profile PATH: folded stacks for flamegraphs
+                with open(profile, "w", encoding="utf-8") as fh:
+                    fh.write(prof.folded() + "\n")
+                print(f"folded stacks written to {profile}", file=sys.stderr)
+        if trace is not None:
+            disable_tracing()
+            print(f"trace written to {trace}", file=sys.stderr)
+        delta = counters.diff_since(before)
+        if delta:
+            print("counters:", file=sys.stderr)
+            for line in _counter_summary(delta):
+                print(line, file=sys.stderr)
+
+
 def _cmd_bench(args) -> int:
     """Benchmark the performance stack and append to the trajectory file.
 
@@ -621,10 +741,17 @@ def _cmd_bench(args) -> int:
       streams, batched replay), plus paired-vs-unpaired ORR/WRR
       confidence-interval widths under common random numbers;
     * executor — a tiny grid through real workers vs the auto-serial
-      small-task path.
+      small-task path;
+    * telemetry — the disabled-telemetry overhead guard (<2% of one
+      replication, priced from the no-op span path) and a trace-on vs
+      trace-off bit-identity check over the emitted JSONL.
 
     Every agreement gate (kernels vs loops, fast path vs engine, grid
-    and cell sweeps vs serial) must hold or the command exits nonzero.
+    and cell sweeps vs serial, trace on vs off) must hold or the command
+    exits nonzero.  With ``--gate`` the finished record is additionally
+    compared against the most recent same-scale baseline in the
+    trajectory — a tracked speedup ratio regressing more than the
+    threshold (default 20%) fails the gate and nothing is appended.
     """
     import json
     import os
@@ -905,7 +1032,80 @@ def _cmd_bench(args) -> int:
         "auto_serial_speedup": pool_s / auto_s if auto_s > 0 else float("inf"),
     }
 
-    # --- append to the trajectory and summarize -----------------------
+    # --- telemetry: disabled-overhead guard + trace bit-identity ------
+    import time
+
+    from .obs import JsonlSink, add_sink, remove_sink, validate_event
+    from .obs import spans as spans_mod
+    from .obs.digest import results_digest
+    from .obs.spans import span as obs_span
+
+    ps_config = SimulationConfig(
+        speeds=base.speeds, utilization=base.utilization,
+        duration=scale.duration, warmup=scale.warmup,
+        size_distribution=base.size_distribution,
+        arrival_cv=base.arrival_cv, discipline="ps",
+    )
+    untraced, untraced_s = _time(
+        run_policy_once, ps_config, policy, seed=scale.base_seed
+    )
+    with tempfile.TemporaryDirectory(prefix="repro-trace-") as tmp:
+        trace_path = os.path.join(tmp, "bench_trace.jsonl")
+        sink = JsonlSink(trace_path)
+        add_sink(sink)
+        try:
+            traced, traced_s = _time(
+                run_policy_once, ps_config, policy, seed=scale.base_seed
+            )
+        finally:
+            remove_sink(sink)
+        with open(trace_path, encoding="utf-8") as fh:
+            events = [json.loads(line) for line in fh if line.strip()]
+    try:
+        for event in events:
+            validate_event(event)
+    except ValueError as exc:
+        print(f"error: trace emitted a schema-invalid event: {exc}",
+              file=sys.stderr)
+        return 1
+    trace_identical = results_digest(traced) == results_digest(untraced)
+
+    # Zero-overhead-when-disabled guard: price the no-op span path with
+    # no sinks registered (sinks are parked, not closed, so an outer
+    # --trace on this very command survives), then scale by the events
+    # one traced replication actually emits.
+    saved_sinks = spans_mod._sinks[:]
+    spans_mod._sinks[:] = []
+    try:
+        noop_n = 200_000
+        t0 = time.perf_counter()
+        for _ in range(noop_n):
+            with obs_span("bench.noop", probe=1):
+                pass
+        noop_s = time.perf_counter() - t0
+    finally:
+        spans_mod._sinks[:] = saved_sinks
+    per_call = noop_s / noop_n
+    overhead = len(events) * per_call / untraced_s if untraced_s > 0 else 0.0
+    record["telemetry"] = {
+        "noop_span_ns": per_call * 1e9,
+        "events_per_replication": len(events),
+        "untraced_s": untraced_s,
+        "traced_s": traced_s,
+        "overhead_fraction": overhead,
+        "overhead_ok": overhead < 0.02,
+        "trace_identical": trace_identical,
+    }
+    if not trace_identical:
+        print("error: results diverged with tracing enabled",
+              file=sys.stderr)
+        return 1
+    if not record["telemetry"]["overhead_ok"]:
+        print(f"error: disabled-telemetry overhead {overhead:.2%} exceeds "
+              f"the 2% budget", file=sys.stderr)
+        return 1
+
+    # --- gate, then append to the trajectory and summarize ------------
     trajectory: list = []
     try:
         with open(args.output, encoding="utf-8") as fh:
@@ -914,6 +1114,23 @@ def _cmd_bench(args) -> int:
             trajectory = [trajectory]
     except (OSError, ValueError):
         pass
+
+    gate_summary = None
+    if args.gate:
+        from .obs.gate import DEFAULT_THRESHOLD, check_gate
+
+        threshold = (
+            args.gate_threshold
+            if args.gate_threshold is not None
+            else DEFAULT_THRESHOLD
+        )
+        gate = check_gate(record, trajectory, threshold)
+        gate_summary = gate.summary()
+        if not gate.passed:
+            # Failing records never pollute the trajectory baseline.
+            print(gate_summary)
+            return 1
+
     trajectory.append(record)
     # Stage to a temp file and rename into place: an interrupted or
     # concurrent bench run can never truncate the trajectory mid-write.
@@ -965,6 +1182,13 @@ def _cmd_bench(args) -> int:
     print(f"  executor    : {e['small_tasks']} tasks via pool "
           f"{e['pool_s']:.3f}s -> auto-serial {e['auto_serial_s']:.3f}s "
           f"({e['auto_serial_speedup']:.1f}x)")
+    t = record["telemetry"]
+    print(f"  telemetry   : noop span {t['noop_span_ns']:.0f}ns, "
+          f"{t['events_per_replication']} events/rep, disabled overhead "
+          f"{t['overhead_fraction']:.3%} (<2%), "
+          f"trace identical={t['trace_identical']}")
+    if gate_summary is not None:
+        print(gate_summary)
     print(f"trajectory point #{len(trajectory)} appended to {args.output}")
     return 0
 
@@ -980,7 +1204,7 @@ def main(argv: list[str] | None = None) -> int:
         "characterize": _cmd_characterize,
         "bench": _cmd_bench,
     }
-    return handlers[args.command](args)
+    return _with_telemetry(handlers[args.command], args)
 
 
 if __name__ == "__main__":  # pragma: no cover

@@ -29,6 +29,8 @@ from pathlib import Path
 
 import numpy as np
 
+from ..obs import counters
+from ..obs.spans import span
 from ..sim.config import SimulationConfig
 from ..sim.fastpath import KERNEL_VERSION
 
@@ -106,20 +108,24 @@ class ReplicationCache:
         failures degrade to a miss, and the subsequent :meth:`put`
         atomically replaces the bad entry with a fresh one.
         """
-        try:
-            data = json.loads(self._path(key).read_text())
-            return (
-                float(data["mean_response_time"]),
-                float(data["mean_response_ratio"]),
-                float(data["fairness"]),
-                int(data["jobs"]),
-                np.asarray(data["dispatch_fractions"], dtype=float),
-                # Entries written before fault injection existed lack
-                # the field; fault-free loss is exactly 0.0.
-                float(data.get("loss_rate", 0.0)),
-            )
-        except (OSError, ValueError, KeyError, TypeError):
-            return None  # treat corrupt/missing entries as misses
+        with span("cache_lookup"):
+            try:
+                data = json.loads(self._path(key).read_text())
+                outcome = (
+                    float(data["mean_response_time"]),
+                    float(data["mean_response_ratio"]),
+                    float(data["fairness"]),
+                    int(data["jobs"]),
+                    np.asarray(data["dispatch_fractions"], dtype=float),
+                    # Entries written before fault injection existed lack
+                    # the field; fault-free loss is exactly 0.0.
+                    float(data.get("loss_rate", 0.0)),
+                )
+            except (OSError, ValueError, KeyError, TypeError):
+                counters.inc("cache.miss")
+                return None  # treat corrupt/missing entries as misses
+            counters.inc("cache.hit")
+            return outcome
 
     #: Distinguishes temp files written by threads sharing one pid.
     _tmp_counter = itertools.count()

@@ -23,6 +23,7 @@ from ..metrics import (
     summarize_paired,
     summarize_replications,
 )
+from ..obs import counters
 from ..rng import replication_seeds, substream
 from ..sim import (
     SimulationConfig,
@@ -104,12 +105,15 @@ def run_policy_once(
         and (config.faults is None or not config.faults.enabled)
     )
     if use_fast:
-        return run_static_simulation(
+        result = run_static_simulation(
             config, dispatcher, alphas, seed=seed, record_trace=record_trace
         )
-    return run_simulation(
-        config, dispatcher, alphas, seed=seed, record_trace=record_trace
-    )
+    else:
+        result = run_simulation(
+            config, dispatcher, alphas, seed=seed, record_trace=record_trace
+        )
+    counters.record_run(result)
+    return result
 
 
 def evaluate_policy(

@@ -56,6 +56,8 @@ from typing import Hashable, Iterable
 import numpy as np
 
 from ..metrics import summarize_replications
+from ..obs import counters
+from ..obs.spans import span
 from ..sim import run_cell
 from ..sim.config import SimulationConfig
 from ..sim.streams import SharedStreamPool, StreamPool, attach_streams
@@ -150,6 +152,7 @@ def _rebuild_pool() -> None:
         _pool.shutdown(wait=False, cancel_futures=True)
         _pool = None
         _pool_workers = 0
+        counters.inc("executor.pool_rebuilds")
 
 
 atexit.register(shutdown_shared_executor)
@@ -275,13 +278,22 @@ def _run_replication(task: ReplicationTask):
 
 
 def _worker(task: ReplicationTask):
-    """Pool entry point: never raises — errors travel back as text."""
+    """Pool entry point: never raises — errors travel back as text.
+
+    The fourth element is the worker's counter delta for this task
+    (:func:`repro.obs.counters.diff_since`): the parent merges it so a
+    parallel grid reports the same run-level counters as a serial one.
+    In-process callers ignore it — their increments already landed in
+    the live registry.
+    """
+    before = counters.snapshot()
     try:
         if _TEST_WORKER_HOOK is not None:
             _TEST_WORKER_HOOK(task)
-        return task.key, _run_replication(task), None
+        outcome = _run_replication(task)
+        return task.key, outcome, None, counters.diff_since(before)
     except Exception:  # noqa: BLE001 — captured per task by design
-        return task.key, None, traceback.format_exc()
+        return task.key, None, traceback.format_exc(), None
 
 
 def _run_cell_members(task: CellTask, members, pool: StreamPool):
@@ -323,6 +335,7 @@ def _cell_worker(payload):
     members = [(pi, r) for r, _ in rep_handles]
     pool = None
     attached = []
+    before = counters.snapshot()
     try:
         pool = StreamPool(max_entries=max(1, len(rep_handles)))
         for r, handle in rep_handles:
@@ -331,10 +344,16 @@ def _cell_worker(payload):
                 attached.append(view)
                 pool.prime(task.config, task.seeds[r], view.times, view.sizes)
         settled = _run_cell_members(task, members, pool)
-        return [(key, outcome, None) for key, outcome in settled]
+        return (
+            [(key, outcome, None) for key, outcome in settled],
+            counters.diff_since(before),
+        )
     except Exception:  # noqa: BLE001 — captured per slice by design
         tb = traceback.format_exc()
-        return [(task.member_key(mpi, r), None, tb) for mpi, r in members]
+        return (
+            [(task.member_key(mpi, r), None, tb) for mpi, r in members],
+            None,
+        )
     finally:
         pool = None  # noqa: F841 — drop shm-backed views before unmapping
         for view in attached:
@@ -350,7 +369,8 @@ def _run_serial(pending: list[ReplicationTask], retries: int):
     """In-process execution with inline retries (no timeout support)."""
     for task in pending:
         for attempt in range(1, retries + 2):
-            _, outcome, error = _worker(task)
+            # In-process: counter increments already landed, delta unused.
+            _, outcome, error, _delta = _worker(task)
             if error is None or attempt == retries + 1:
                 yield task, outcome, error, attempt
                 break
@@ -411,7 +431,9 @@ def _run_hardened(
         for fut in done:
             task, attempt, _ = in_flight.pop(fut)
             try:
-                _, outcome, error = fut.result()
+                _, outcome, error, delta = fut.result()
+                if error is None:
+                    counters.merge(delta)
             except BrokenProcessPool:
                 # Can't attribute the dead worker: re-run in isolation,
                 # unattributed breaks don't consume an attempt.
@@ -463,7 +485,9 @@ def _run_hardened(
                 settle(task, attempt, None, error, isolated)
                 continue
             try:
-                _, outcome, error = fut.result()
+                _, outcome, error, delta = fut.result()
+                if error is None:
+                    counters.merge(delta)
             except BrokenProcessPool:
                 _rebuild_pool()
                 outcome = None
@@ -505,28 +529,29 @@ def run_replication_grid(
     report = GridReport(outcomes={})
 
     t0 = time.perf_counter()
-    done_cells = checkpoint.load() if checkpoint is not None else {}
-    pending: list[ReplicationTask] = []
-    cache_keys: dict[Hashable, str] = {}
-    for task in tasks:
-        if task.key in done_cells:
-            report.outcomes[task.key] = done_cells[task.key]
-            report.checkpoint_hits += 1
-            continue
-        if cache is not None:
-            ck = cache.task_key(
-                task.config, task.policy_name, task.estimation_error, task.seed
-            )
-            cache_keys[task.key] = ck
-            hit = cache.get(ck)
-            if hit is not None:
-                report.outcomes[task.key] = hit
-                report.cache_hits += 1
-                if checkpoint is not None:
-                    checkpoint.record(task.key, hit)
+    with span("cache_lookup", tasks=len(tasks)):
+        done_cells = checkpoint.load() if checkpoint is not None else {}
+        pending: list[ReplicationTask] = []
+        cache_keys: dict[Hashable, str] = {}
+        for task in tasks:
+            if task.key in done_cells:
+                report.outcomes[task.key] = done_cells[task.key]
+                report.checkpoint_hits += 1
                 continue
-            report.cache_misses += 1
-        pending.append(task)
+            if cache is not None:
+                ck = cache.task_key(
+                    task.config, task.policy_name, task.estimation_error, task.seed
+                )
+                cache_keys[task.key] = ck
+                hit = cache.get(ck)
+                if hit is not None:
+                    report.outcomes[task.key] = hit
+                    report.cache_hits += 1
+                    if checkpoint is not None:
+                        checkpoint.record(task.key, hit)
+                    continue
+                report.cache_misses += 1
+            pending.append(task)
     report.timings["cache_lookup"] = time.perf_counter() - t0
 
     t0 = time.perf_counter()
@@ -543,12 +568,16 @@ def run_replication_grid(
         # Chunked submission amortizes pickling overhead while keeping
         # enough chunks in flight to balance uneven task durations.
         chunksize = max(1, len(pending) // (chunks_per_worker * n_jobs))
-        completed = (
-            (task, outcome, error, 1)
-            for task, (_key, outcome, error) in zip(
+
+        def _merged_map():
+            for task, (_key, outcome, error, delta) in zip(
                 pending, pool.map(_worker, pending, chunksize=chunksize)
-            )
-        )
+            ):
+                if error is None:
+                    counters.merge(delta)
+                yield task, outcome, error, 1
+
+        completed = _merged_map()
     else:
         completed = _run_hardened(pending, n_jobs, retries, task_timeout)
 
@@ -688,7 +717,8 @@ def run_cell_grid(
                             handle = handles[r]
                         rep_handles.append((r, handle))
                     subtasks.append((task, pi, rep_handles))
-                for settled in pool_exec.map(_cell_worker, subtasks):
+                for settled, delta in pool_exec.map(_cell_worker, subtasks):
+                    counters.merge(delta or {})
                     for key, outcome, error in settled:
                         settle(key, outcome, error)
     report.timings["simulate"] = time.perf_counter() - t0

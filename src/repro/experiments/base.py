@@ -23,6 +23,7 @@ from dataclasses import dataclass, field, replace
 import numpy as np
 
 from ..core import PolicyEvaluation, get_policy
+from ..obs import counters as obs_counters
 from ..core.cache import ReplicationCache, default_cache
 from ..core.executor import (
     CellTask,
@@ -111,6 +112,10 @@ class SweepResult:
     #: Per-stage wall-clock seconds ("plan", "cache_lookup", "simulate",
     #: "aggregate") recorded by the grid executor.
     timings: dict[str, float] = field(default_factory=dict)
+    #: Run-level counter delta accumulated over this sweep (job ledger,
+    #: cache and kernel engagement, stream-pool reuse) — worker-process
+    #: tallies included, see :mod:`repro.obs.counters`.
+    counters: dict[str, float] = field(default_factory=dict)
 
     def series(self, policy: str, metric: str) -> np.ndarray:
         """Metric means across the sweep for one policy (a figure line)."""
@@ -216,6 +221,7 @@ def run_policy_sweep(
     errors = estimation_errors or {}
     if cache is None:
         cache = default_cache()
+    counters_before = obs_counters.snapshot()
 
     # Plan: flatten the sweep into one replication grid.
     t_plan = time.perf_counter()
@@ -317,6 +323,7 @@ def run_policy_sweep(
         **report.timings,
         "aggregate": time.perf_counter() - t_agg,
     }
+    result.counters = obs_counters.diff_since(counters_before)
     if cache is not None:
         logger.info(
             "%s: replication cache %d hits / %d misses",

@@ -1,0 +1,60 @@
+"""Observability layer: span tracing, run counters, profiling, gates.
+
+Four small pieces, one import surface:
+
+* :mod:`~repro.obs.spans` — ``span()`` timed regions and the sink
+  registry; ``--trace`` writes structured JSONL through it.
+* :mod:`~repro.obs.counters` — always-on run-level tallies (job ledger,
+  cache hit/miss, kernel engagement, worker restarts) with worker-delta
+  shipping so parallel paths report the same totals as serial ones.
+* :mod:`~repro.obs.profile` — per-phase wall-time breakdown and folded
+  flamegraph output behind ``--profile``.
+* :mod:`~repro.obs.gate` / :mod:`~repro.obs.digest` — perf-regression
+  gating against the BENCH trajectory and SHA digests for golden
+  bit-identity tests.
+
+Telemetry is strictly read-only with respect to simulation state: it
+never draws randomness and never alters a computed value, so outputs
+are bit-identical whether tracing is on or off — and with no sinks
+registered the whole layer costs one predicate per call site.
+"""
+
+from . import counters
+from .digest import digest_arrays, figure2_digest, results_digest, sweep_digest
+from .gate import DEFAULT_THRESHOLD, GateResult, check_gate
+from .profile import PHASES, ProfileSink
+from .spans import (
+    SCHEMA_VERSION,
+    JsonlSink,
+    add_sink,
+    disable_tracing,
+    emit_counter,
+    enable_tracing,
+    remove_sink,
+    span,
+    tracing_enabled,
+    validate_event,
+)
+
+__all__ = [
+    "counters",
+    "span",
+    "emit_counter",
+    "tracing_enabled",
+    "add_sink",
+    "remove_sink",
+    "JsonlSink",
+    "enable_tracing",
+    "disable_tracing",
+    "validate_event",
+    "SCHEMA_VERSION",
+    "ProfileSink",
+    "PHASES",
+    "GateResult",
+    "check_gate",
+    "DEFAULT_THRESHOLD",
+    "digest_arrays",
+    "sweep_digest",
+    "figure2_digest",
+    "results_digest",
+]

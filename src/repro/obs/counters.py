@@ -1,0 +1,142 @@
+"""Run-level counters: cheap monotonic tallies surfaced in results.
+
+Counters answer "did the machinery actually engage?" — cache hits,
+kernel version used, stream-pool reuse, worker restarts, and the job
+conservation ledger (dispatched / completed / lost / retried, per
+server and aggregate).  Unlike spans they are always on: a counter
+bump is one dict ``+=`` under a lock, cheap enough to leave in the hot
+path unconditionally, and the values feed the differential tests that
+assert serial / grid / cell-batched / ckernel paths agree.
+
+Keys are flat strings with optional sorted ``{k=v}`` labels::
+
+    jobs.completed{server=3}
+    cache.hit
+    kernel.engaged{name=ps, backend=c}
+
+Worker processes tally into their own registry; the executor ships each
+worker's *delta* (via :func:`diff_since` on a snapshot taken before the
+task) back in the result tuple and the parent :func:`merge`\\ s it, so a
+parallel sweep ends with the same totals as a serial one.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Dict, Mapping
+
+from .spans import emit_counter
+
+__all__ = [
+    "key",
+    "parse_key",
+    "inc",
+    "snapshot",
+    "diff_since",
+    "merge",
+    "reset",
+    "record_run",
+    "scoped",
+]
+
+_lock = threading.Lock()
+_counters: Dict[str, float] = {}
+
+
+def key(name: str, **labels) -> str:
+    """Build the canonical counter key: ``name{a=1, b=x}`` (labels sorted)."""
+    if not labels:
+        return name
+    body = ", ".join(f"{k}={labels[k]}" for k in sorted(labels))
+    return f"{name}{{{body}}}"
+
+
+def parse_key(counter_key: str):
+    """Inverse of :func:`key`: ``(name, labels_dict)``."""
+    if not counter_key.endswith("}") or "{" not in counter_key:
+        return counter_key, {}
+    name, _, body = counter_key.partition("{")
+    labels = {}
+    for part in body[:-1].split(", "):
+        if part:
+            k, _, v = part.partition("=")
+            labels[k] = v
+    return name, labels
+
+
+def inc(name: str, value: float = 1, **labels) -> None:
+    """Add *value* to the counter (also mirrored to trace sinks, if any)."""
+    k = key(name, **labels)
+    with _lock:
+        _counters[k] = _counters.get(k, 0) + value
+    emit_counter(name, value, **labels)
+
+
+def snapshot() -> Dict[str, float]:
+    """Copy of all counters right now."""
+    with _lock:
+        return dict(_counters)
+
+
+def diff_since(before: Mapping[str, float]) -> Dict[str, float]:
+    """Counters accumulated since *before* (a :func:`snapshot`), nonzero only."""
+    with _lock:
+        now = dict(_counters)
+    delta = {}
+    for k, v in now.items():
+        d = v - before.get(k, 0)
+        if d:
+            delta[k] = d
+    return delta
+
+
+def merge(delta: Mapping[str, float]) -> None:
+    """Fold a worker's counter delta into this process's registry."""
+    if not delta:
+        return
+    with _lock:
+        for k, v in delta.items():
+            _counters[k] = _counters.get(k, 0) + v
+
+
+def reset() -> None:
+    """Zero everything (tests and per-command CLI scoping)."""
+    with _lock:
+        _counters.clear()
+
+
+class scoped:
+    """Context manager capturing the counter delta over a region.
+
+    ``with scoped() as delta: ...`` leaves the accumulated counters in
+    ``delta`` (a plain dict) on exit; the global registry is untouched.
+    """
+
+    def __enter__(self) -> Dict[str, float]:
+        self._before = snapshot()
+        self._delta: Dict[str, float] = {}
+        return self._delta
+
+    def __exit__(self, *exc) -> bool:
+        self._delta.update(diff_since(self._before))
+        return False
+
+
+def record_run(results) -> None:
+    """Tally the job-conservation ledger from one SimulationResults.
+
+    Called once per completed replication (any execution path), so the
+    per-server and aggregate ledgers match across serial / grid / cell
+    runs of the same work:
+
+    * ``jobs.dispatched{server=i}`` — arrivals routed to server *i*
+    * ``jobs.completed{server=i}`` — departures observed at server *i*
+    * ``jobs.lost`` / ``jobs.retried`` / ``jobs.pending_retry`` — fault
+      ledger (zero and absent in fault-free runs)
+    * ``runs.completed`` — replication count
+
+    The per-run ledger itself is computed by
+    :meth:`repro.sim.results.SimulationResults.counters`, so the global
+    registry and a single result object can never disagree.
+    """
+    merge(results.counters())

@@ -1,0 +1,135 @@
+"""Perf-regression gate: compare a fresh bench record to the baseline.
+
+``repro bench --gate`` runs the normal bench suite, then hands the new
+record and the trajectory history from ``BENCH_sweep.json`` to
+:func:`check_gate` instead of appending.  The gate fails (CLI exits
+nonzero, nothing appended) on either:
+
+* **bit-identity divergence** — any of the recorded agreement flags
+  (``replication.*.agree``, ``sweep.grid_identical``,
+  ``cell.cell_identical``, ``telemetry.trace_identical``) is false in
+  the new record, regardless of threshold; or
+* **perf regression** — a tracked *speedup ratio* dropped more than
+  ``threshold`` (default 20%) below the baseline.  Ratios of two
+  timings taken on the same box are compared, never absolute seconds,
+  so the gate ports across machines of different absolute speed.
+
+The baseline is the most recent prior record at the same scale (same
+work → comparable ratios); with no comparable baseline the gate passes
+vacuously, reporting why.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+__all__ = ["GateResult", "check_gate", "DEFAULT_THRESHOLD"]
+
+#: ">20% slowdown" from the issue spec.
+DEFAULT_THRESHOLD = 0.20
+
+#: Speedup ratios tracked by the gate, as (dotted path, description).
+_RATIOS = (
+    ("kernels.fcfs_speedup", "FCFS kernel vs loop"),
+    ("kernels.ps_speedup", "PS kernel vs loop"),
+    ("replication.ps.speedup", "PS fast path vs engine"),
+    ("replication.fcfs.speedup", "FCFS fast path vs engine"),
+    ("sweep.cache_speedup", "warm cache vs cold sweep"),
+    ("cell.cell_speedup", "cell-batched vs flat sweep"),
+)
+
+#: Bit-identity flags that must be true whenever present.
+_IDENTITY_FLAGS = (
+    "replication.ps.agree",
+    "replication.fcfs.agree",
+    "sweep.grid_identical",
+    "cell.cell_identical",
+    "telemetry.trace_identical",
+)
+
+
+def _lookup(record: dict, dotted: str):
+    node = record
+    for part in dotted.split("."):
+        if not isinstance(node, dict) or part not in node:
+            return None
+        node = node[part]
+    return node
+
+
+@dataclass
+class GateResult:
+    """Outcome of one gate evaluation."""
+
+    passed: bool
+    threshold: float
+    baseline_timestamp: Optional[str] = None
+    failures: List[str] = field(default_factory=list)
+    notes: List[str] = field(default_factory=list)
+
+    def summary(self) -> str:
+        lines = []
+        verdict = "PASS" if self.passed else "FAIL"
+        base = self.baseline_timestamp or "none"
+        lines.append(
+            f"perf gate: {verdict} "
+            f"(threshold {self.threshold:.0%}, baseline {base})"
+        )
+        lines.extend(f"  FAIL: {f}" for f in self.failures)
+        lines.extend(f"  {n}" for n in self.notes)
+        return "\n".join(lines)
+
+
+def find_baseline(history: List[dict], record: dict) -> Optional[dict]:
+    """Most recent prior record at the same scale, or None."""
+    scale = record.get("scale")
+    for prior in reversed(history):
+        if prior is not record and prior.get("scale") == scale:
+            return prior
+    return None
+
+
+def check_gate(
+    record: dict,
+    history: List[dict],
+    threshold: float = DEFAULT_THRESHOLD,
+) -> GateResult:
+    """Evaluate *record* against the trajectory *history*."""
+    result = GateResult(passed=True, threshold=threshold)
+
+    # Bit-identity is non-negotiable at any threshold.
+    for flag in _IDENTITY_FLAGS:
+        value = _lookup(record, flag)
+        if value is False:
+            result.passed = False
+            result.failures.append(f"bit-identity divergence: {flag} is false")
+
+    baseline = find_baseline(history, record)
+    if baseline is None:
+        result.notes.append(
+            f"no baseline at scale {record.get('scale')!r}; "
+            "ratio checks skipped"
+        )
+        return result
+    result.baseline_timestamp = baseline.get("timestamp")
+
+    for path, label in _RATIOS:
+        new = _lookup(record, path)
+        old = _lookup(baseline, path)
+        if not isinstance(new, (int, float)) or not isinstance(old, (int, float)):
+            continue  # section absent in one of the two records
+        if old <= 0:
+            continue
+        drop = 1.0 - new / old
+        if drop > threshold:
+            result.passed = False
+            result.failures.append(
+                f"{label} ({path}): {old:.2f}x -> {new:.2f}x "
+                f"({drop:.0%} slowdown > {threshold:.0%})"
+            )
+        else:
+            result.notes.append(
+                f"{label}: {old:.2f}x -> {new:.2f}x ({-drop:+.0%})"
+            )
+    return result

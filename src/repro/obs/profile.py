@@ -1,0 +1,66 @@
+"""Phase profiler: per-phase wall-time breakdowns from span events.
+
+``--profile`` installs a :class:`ProfileSink`, runs the command, and
+prints a table of the canonical phases (materialize / dispatch / replay
+/ summarize, plus whatever else emitted spans) with inclusive time,
+self time, and call counts.  ``report.folded()`` renders the same data
+as Brendan Gregg's folded-stack format — one ``a;b;c <count>`` line per
+unique stack, weighted in microseconds of self time — which
+``flamegraph.pl`` and speedscope ingest directly.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Tuple
+
+__all__ = ["ProfileSink", "PHASES"]
+
+#: Canonical pipeline phases, in execution order — the table leads with
+#: these so the breakdown reads like the data flow.
+PHASES = ("materialize", "dispatch", "replay", "summarize")
+
+
+class ProfileSink:
+    """Aggregates span events into per-name and per-stack totals."""
+
+    def __init__(self):
+        # name -> [inclusive, self, count]; stack tuple -> self seconds
+        self.by_name: Dict[str, List[float]] = {}
+        self.by_stack: Dict[Tuple[str, ...], float] = {}
+
+    def handle(self, event: dict) -> None:
+        if event.get("kind") != "span":
+            return
+        row = self.by_name.setdefault(event["name"], [0.0, 0.0, 0])
+        row[0] += event["dur"]
+        row[1] += event["self"]
+        row[2] += 1
+        stack = tuple(event["stack"])
+        self.by_stack[stack] = self.by_stack.get(stack, 0.0) + event["self"]
+
+    def folded(self) -> str:
+        """Folded-stack lines (``a;b;c <microseconds>``) for flamegraphs."""
+        lines = []
+        for stack, self_time in sorted(self.by_stack.items()):
+            us = int(round(self_time * 1e6))
+            if us > 0:
+                lines.append(f"{';'.join(stack)} {us}")
+        return "\n".join(lines)
+
+    def table(self) -> str:
+        """Human-readable per-phase breakdown, canonical phases first."""
+        if not self.by_name:
+            return "(no spans recorded)"
+        ordered = [p for p in PHASES if p in self.by_name]
+        ordered += sorted(n for n in self.by_name if n not in PHASES)
+        width = max(len(n) for n in ordered)
+        total_self = sum(r[1] for r in self.by_name.values()) or 1.0
+        out = [f"{'phase':<{width}}  {'incl (s)':>10}  {'self (s)':>10}  "
+               f"{'calls':>8}  {'self %':>7}"]
+        for name in ordered:
+            incl, self_t, count = self.by_name[name]
+            out.append(
+                f"{name:<{width}}  {incl:>10.4f}  {self_t:>10.4f}  "
+                f"{count:>8d}  {100.0 * self_t / total_self:>6.1f}%"
+            )
+        return "\n".join(out)

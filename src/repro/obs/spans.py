@@ -1,0 +1,291 @@
+"""Span tracing: the collector every subsystem emits into.
+
+A *span* is one timed region of work — ``with span("replay", server=3):``
+— and a *counter event* is one named value observed at a point in time.
+Both are dispatched to whatever sinks are registered:
+
+* :class:`JsonlSink` — structured JSONL written with single ``O_APPEND``
+  writes, so concurrent grid workers (and threads) interleave whole
+  lines, never bytes.  This is what ``--trace out.jsonl`` installs.
+* :class:`~repro.obs.profile.ProfileSink` — in-process aggregation into
+  per-phase wall-time totals (``--profile``).
+
+Zero overhead when disabled is a hard requirement (the bench harness
+guards it): with no sinks registered, :func:`span` returns a shared
+no-op singleton — one function call, one global check, no allocation —
+and :func:`emit_counter` returns immediately.  Telemetry never touches
+any RNG and never changes a computed value, so results are bit-identical
+with tracing on or off.
+
+Worker processes inherit tracing automatically: :func:`enable_tracing`
+records the target path in ``REPRO_TRACE``, forked workers share the
+already-open ``O_APPEND`` descriptor, and spawned workers re-install a
+sink from the environment variable on first import.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import threading
+import time
+
+__all__ = [
+    "SCHEMA_VERSION",
+    "span",
+    "emit_counter",
+    "tracing_enabled",
+    "add_sink",
+    "remove_sink",
+    "JsonlSink",
+    "enable_tracing",
+    "disable_tracing",
+    "validate_event",
+]
+
+#: Bumped whenever an emitted event gains/loses/renames a required field.
+SCHEMA_VERSION = 1
+
+_lock = threading.RLock()
+_sinks: list = []  # empty list == telemetry disabled (the common case)
+_local = threading.local()  # per-thread span stack (only used when enabled)
+_env_sink: "JsonlSink | None" = None  # sink installed from $REPRO_TRACE
+
+
+class _NoopSpan:
+    """Shared do-nothing span handed out while telemetry is disabled."""
+
+    __slots__ = ()
+
+    def __enter__(self) -> "_NoopSpan":
+        return self
+
+    def __exit__(self, *exc) -> bool:
+        return False
+
+    def set(self, **attrs) -> "_NoopSpan":
+        return self
+
+
+_NOOP = _NoopSpan()
+
+
+class _Span:
+    """One live span: times itself and emits an event on exit.
+
+    Tracks the time spent in child spans so the emitted event carries
+    both the inclusive duration (``dur``) and the exclusive self time
+    (``self``) — the latter is what flamegraph folding wants.
+    """
+
+    __slots__ = ("name", "attrs", "_ts", "_t0", "_child")
+
+    def __init__(self, name: str, attrs: dict):
+        self.name = name
+        self.attrs = attrs
+        self._child = 0.0
+
+    def set(self, **attrs) -> "_Span":
+        """Attach attributes discovered mid-span (e.g. a backend name)."""
+        self.attrs.update(attrs)
+        return self
+
+    def __enter__(self) -> "_Span":
+        stack = getattr(_local, "stack", None)
+        if stack is None:
+            stack = _local.stack = []
+        stack.append(self)
+        self._ts = time.time()
+        self._t0 = time.perf_counter()
+        return self
+
+    def __exit__(self, *exc) -> bool:
+        dur = time.perf_counter() - self._t0
+        stack = _local.stack
+        names = [s.name for s in stack]
+        stack.pop()
+        if stack:
+            stack[-1]._child += dur
+        _dispatch(
+            {
+                "v": SCHEMA_VERSION,
+                "kind": "span",
+                "name": self.name,
+                "stack": names,
+                "ts": self._ts,
+                "dur": dur,
+                "self": max(0.0, dur - self._child),
+                "pid": os.getpid(),
+                "attrs": self.attrs,
+            }
+        )
+        return False
+
+
+def span(name: str, **attrs):
+    """A timed region; a shared no-op when no sink is registered."""
+    if not _sinks:
+        return _NOOP
+    return _Span(name, attrs)
+
+
+def emit_counter(name: str, value, **attrs) -> None:
+    """Emit one counter observation event (no-op when disabled)."""
+    if not _sinks:
+        return
+    _dispatch(
+        {
+            "v": SCHEMA_VERSION,
+            "kind": "counter",
+            "name": name,
+            "value": value,
+            "ts": time.time(),
+            "pid": os.getpid(),
+            "attrs": attrs,
+        }
+    )
+
+
+def tracing_enabled() -> bool:
+    """True when at least one sink is registered."""
+    return bool(_sinks)
+
+
+def _dispatch(event: dict) -> None:
+    # A sink that starts failing (full disk, closed fd) must never take
+    # the simulation down with it: drop it after the first error.
+    with _lock:
+        for sink in list(_sinks):
+            try:
+                sink.handle(event)
+            except Exception:  # noqa: BLE001 — telemetry must not break runs
+                _sinks.remove(sink)
+
+
+def add_sink(sink) -> None:
+    """Register a sink; spans become live once the first sink lands."""
+    with _lock:
+        if sink not in _sinks:
+            _sinks.append(sink)
+
+
+def remove_sink(sink) -> None:
+    """Unregister a sink (no-op if absent); closes it when closable."""
+    with _lock:
+        if sink in _sinks:
+            _sinks.remove(sink)
+    close = getattr(sink, "close", None)
+    if close is not None:
+        try:
+            close()
+        except OSError:
+            pass
+
+
+class JsonlSink:
+    """Appends one compact JSON line per event.
+
+    The descriptor is opened ``O_APPEND`` and every event is written in
+    a single ``os.write`` — on POSIX that makes concurrent writers
+    (threads, forked grid workers sharing the fd, spawned workers with
+    their own fd on the same path) interleave whole lines.
+    """
+
+    def __init__(self, path):
+        self.path = str(path)
+        self._fd = os.open(
+            self.path, os.O_WRONLY | os.O_CREAT | os.O_APPEND, 0o644
+        )
+
+    def handle(self, event: dict) -> None:
+        line = json.dumps(event, separators=(",", ":"), default=str) + "\n"
+        os.write(self._fd, line.encode())
+
+    def close(self) -> None:
+        try:
+            os.close(self._fd)
+        except OSError:
+            pass
+
+
+def enable_tracing(path) -> JsonlSink:
+    """Install a :class:`JsonlSink` on *path* and propagate to workers.
+
+    ``REPRO_TRACE`` is set to the absolute path so worker processes
+    started with the *spawn* method re-install their own sink on import;
+    *fork* workers simply inherit the open descriptor.
+    """
+    global _env_sink
+    sink = JsonlSink(path)
+    add_sink(sink)
+    _env_sink = sink
+    os.environ["REPRO_TRACE"] = os.path.abspath(str(path))
+    return sink
+
+
+def disable_tracing() -> None:
+    """Remove the sink installed by :func:`enable_tracing`, if any."""
+    global _env_sink
+    if _env_sink is not None:
+        remove_sink(_env_sink)
+        _env_sink = None
+    os.environ.pop("REPRO_TRACE", None)
+
+
+def _maybe_enable_from_env() -> None:
+    """Auto-install a sink in processes spawned with ``REPRO_TRACE`` set."""
+    path = os.environ.get("REPRO_TRACE")
+    if path and _env_sink is None:
+        try:
+            globals()["_env_sink"] = JsonlSink(path)
+            add_sink(_env_sink)
+        except OSError:
+            pass
+
+
+_maybe_enable_from_env()
+
+
+#: Required fields (and their types) per event kind, schema v1.
+_COMMON_FIELDS = {"v": int, "kind": str, "name": str, "ts": float,
+                  "pid": int, "attrs": dict}
+_KIND_FIELDS = {
+    "span": {"dur": float, "self": float, "stack": list},
+    "counter": {"value": (int, float)},
+}
+
+
+def validate_event(event: dict) -> None:
+    """Raise ``ValueError`` unless *event* is schema-valid (v1).
+
+    This is the single source of truth the trace tests validate emitted
+    JSONL against — no third-party JSON-schema dependency needed.
+    """
+    if not isinstance(event, dict):
+        raise ValueError(f"event must be an object, got {type(event).__name__}")
+    kind = event.get("kind")
+    if kind not in _KIND_FIELDS:
+        raise ValueError(f"unknown event kind {kind!r}")
+    required = dict(_COMMON_FIELDS)
+    required.update(_KIND_FIELDS[kind])
+    for field_name, types in required.items():
+        if field_name not in event:
+            raise ValueError(f"{kind} event missing field {field_name!r}")
+        value = event[field_name]
+        ok_types = types if isinstance(types, tuple) else (types,)
+        # bools are ints in Python; never valid for numeric fields here.
+        if isinstance(value, bool) or not isinstance(value, ok_types):
+            raise ValueError(
+                f"{kind} event field {field_name!r} has type "
+                f"{type(value).__name__}, expected {types}"
+            )
+    if event["v"] != SCHEMA_VERSION:
+        raise ValueError(f"unsupported schema version {event['v']!r}")
+    if kind == "span":
+        if event["dur"] < 0 or event["self"] < 0:
+            raise ValueError("span durations must be non-negative")
+        stack = event["stack"]
+        if not stack or stack[-1] != event["name"]:
+            raise ValueError("span stack must end with the span's own name")
+        if not all(isinstance(s, str) for s in stack):
+            raise ValueError("span stack entries must be strings")

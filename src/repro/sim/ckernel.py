@@ -35,6 +35,8 @@ from pathlib import Path
 
 import numpy as np
 
+from ..obs import counters
+
 __all__ = [
     "ps_periods_fn",
     "ps_servers_fn",
@@ -69,12 +71,13 @@ def compiled_library_path() -> Path:
 
 
 def _compile() -> Path | None:
-    gcc = shutil.which("gcc") or shutil.which("cc")
-    if gcc is None:
-        return None
     target = compiled_library_path()
     if target.exists():
         return target
+    gcc = shutil.which("gcc") or shutil.which("cc")
+    if gcc is None:
+        counters.inc("ckernel.unavailable", reason="no-compiler")
+        return None
     target.parent.mkdir(parents=True, exist_ok=True)
     # Stage to a pid-unique name and publish atomically: concurrent
     # workers compiling the same source never see a half-written .so.
@@ -92,7 +95,10 @@ def _compile() -> Path | None:
             staging.unlink()
         except OSError:
             pass
-        return target if target.exists() else None
+        if target.exists():
+            return target
+        counters.inc("ckernel.unavailable", reason="compile-failed")
+        return None
     return target
 
 
@@ -128,6 +134,15 @@ def _load(path: Path):
 
 
 def _ensure_fns():
+    """Resolve the compiled entry points once per process.
+
+    Never raises: every failure mode — explicit disable, no compiler on
+    PATH, a failed compile, a bad .so — degrades to the bit-identical
+    Python loop with a telemetry counter recording why
+    (``ckernel.disabled`` / ``ckernel.unavailable{reason=...}``), so a
+    stripped-down host runs correctly and the trace still shows the
+    kernel never engaged.
+    """
     global _fns
     if _fns is False:
         return None
@@ -135,6 +150,7 @@ def _ensure_fns():
         return _fns
     if os.environ.get("REPRO_DISABLE_CKERNEL"):
         _fns = False
+        counters.inc("ckernel.disabled")
         return None
     try:
         path = _compile()
@@ -142,8 +158,9 @@ def _ensure_fns():
             _fns = False
             return None
         _fns = _load(path)
-    except (OSError, AttributeError):
+    except Exception:  # noqa: BLE001 — degrade, never break the run
         _fns = False
+        counters.inc("ckernel.unavailable", reason="load-failed")
         return None
     return _fns
 

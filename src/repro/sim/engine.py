@@ -31,6 +31,7 @@ import numpy as np
 
 from ..dispatch.base import Dispatcher
 from ..metrics.response import MetricsCollector
+from ..obs.spans import span
 from .arrivals import _CHUNK
 from .config import SimulationConfig
 from .events import EventKind, EventQueue
@@ -196,6 +197,9 @@ def run_simulation(
             now + faults.retry.delay(attempts - 1), EventKind.RETRY, retry_ticket
         )
 
+    # Manual enter/exit keeps the event loop un-indented; the span is
+    # a shared no-op whenever tracing is off.
+    replay_span = span("replay", backend="engine").__enter__()
     while queue:
         t, kind, a, b = queue.pop()
         if not drain and t > duration:
@@ -285,6 +289,9 @@ def run_simulation(
             if nxt <= duration:
                 queue.push(nxt, EventKind.SAMPLE)
 
+    replay_span.set(jobs=total_arrivals).__exit__(None, None, None)
+
+    summarize_span = span("summarize", jobs=total_arrivals).__enter__()
     post_warmup_total = int(dispatch_counts.sum())
     fractions = (
         dispatch_counts / post_warmup_total if post_warmup_total else np.zeros(n)
@@ -312,11 +319,15 @@ def run_simulation(
             jobs_lost=jobs_lost,
             jobs_lost_total=jobs_lost_total,
             jobs_retried=jobs_retried,
+            # Bounced jobs whose retry event lies beyond the processed
+            # horizon: neither completed, lost, nor resident in a
+            # server — the conservation ledger needs them named.
+            jobs_pending_retry=len(retry_jobs),
             fault_events=fault_events,
             reallocations=getattr(dispatcher, "reallocations", 0),
             loss_rate=jobs_lost / post_warmup_total if post_warmup_total else 0.0,
         )
-    return SimulationResults(
+    out = SimulationResults(
         metrics=metrics.finalize(),
         servers=server_stats,
         duration=duration,
@@ -325,3 +336,5 @@ def run_simulation(
         trace=trace,
         faults=fault_stats,
     )
+    summarize_span.__exit__(None, None, None)
+    return out

@@ -50,6 +50,8 @@ import numpy as np
 
 from ..dispatch.base import Dispatcher
 from ..metrics.response import MetricsCollector
+from ..obs import counters
+from ..obs.spans import span
 from ..rng import substream
 from . import ckernel
 from .config import SimulationConfig
@@ -300,28 +302,34 @@ _dispatch_memo: dict[tuple, tuple[np.ndarray, Dispatcher]] = {}
 def _dispatch_targets(dispatcher: Dispatcher, sizes: np.ndarray) -> np.ndarray:
     """All stage-2 decisions, memoized for sequence-deterministic
     dispatchers (bit-identical to calling ``select_batch`` directly)."""
-    if not dispatcher.sequence_deterministic:
-        return dispatcher.select_batch(sizes)
-    key = (
-        type(dispatcher).__qualname__,
-        getattr(dispatcher, "guard_init", None),
-        dispatcher.alphas.tobytes(),
-    )
-    n = sizes.size
-    entry = _dispatch_memo.pop(key, None)
-    if entry is None:
-        targets = dispatcher.select_batch(sizes).astype(np.int16)
-        entry = (targets, dispatcher)
-    else:
-        targets, live = entry
-        if n > targets.size:
-            extra = live.select_batch(sizes[targets.size :]).astype(np.int16)
-            targets = np.concatenate([targets, extra])
-            entry = (targets, live)
-    _dispatch_memo[key] = entry  # re-insert: dict preserves LRU order
-    while len(_dispatch_memo) > _DISPATCH_MEMO_ENTRIES:
-        _dispatch_memo.pop(next(iter(_dispatch_memo)))
-    return entry[0][:n].astype(np.int64)
+    with span("dispatch", jobs=int(sizes.size)) as sp:
+        if not dispatcher.sequence_deterministic:
+            sp.set(memo="bypass")
+            return dispatcher.select_batch(sizes)
+        key = (
+            type(dispatcher).__qualname__,
+            getattr(dispatcher, "guard_init", None),
+            dispatcher.alphas.tobytes(),
+        )
+        n = sizes.size
+        entry = _dispatch_memo.pop(key, None)
+        if entry is None:
+            sp.set(memo="miss")
+            targets = dispatcher.select_batch(sizes).astype(np.int16)
+            entry = (targets, dispatcher)
+        else:
+            targets, live = entry
+            if n > targets.size:
+                sp.set(memo="extend")
+                extra = live.select_batch(sizes[targets.size :]).astype(np.int16)
+                targets = np.concatenate([targets, extra])
+                entry = (targets, live)
+            else:
+                sp.set(memo="hit")
+        _dispatch_memo[key] = entry  # re-insert: dict preserves LRU order
+        while len(_dispatch_memo) > _DISPATCH_MEMO_ENTRIES:
+            _dispatch_memo.pop(next(iter(_dispatch_memo)))
+        return entry[0][:n].astype(np.int64)
 
 
 def _resolve_replay(config: SimulationConfig):
@@ -397,60 +405,69 @@ def _replay_plan(
     grouped_completions = np.empty_like(grouped_times)
 
     fused = ckernel.ps_servers_fn() if config.discipline == "ps" else None
+    counters.inc(
+        "kernel.engaged",
+        discipline=config.discipline,
+        backend="c" if fused is not None else "python",
+        version=KERNEL_VERSION,
+    )
     if fused is not None:
-        ckernel.replay_servers_c(
-            fused, grouped_times, grouped_sizes, speeds, offsets,
-            grouped_completions,
-        )
+        with span("replay", backend="c", servers=n_servers, jobs=int(times.size)):
+            ckernel.replay_servers_c(
+                fused, grouped_times, grouped_sizes, speeds, offsets,
+                grouped_completions,
+            )
     else:
         core = _REPLAY_CORES[config.discipline]
         for i in range(n_servers):
             lo, hi = int(offsets[i]), int(offsets[i + 1])
             if lo == hi:
                 continue
-            grouped_completions[lo:hi] = core(
-                grouped_times[lo:hi], grouped_sizes[lo:hi], float(speeds[i])
+            with span("replay", backend="python", server=i, jobs=hi - lo):
+                grouped_completions[lo:hi] = core(
+                    grouped_times[lo:hi], grouped_sizes[lo:hi], float(speeds[i])
+                )
+
+    with span("summarize", jobs=int(times.size)):
+        completions = np.empty_like(times)
+        completions[order] = grouped_completions
+        metrics = MetricsCollector(warmup_end=config.warmup)
+        metrics.record_batch(times, completions, sizes)
+
+        warmup_mask = times >= config.warmup
+        post_warmup_total = int(np.count_nonzero(warmup_mask))
+        dispatched_counts = np.bincount(targets[warmup_mask], minlength=n_servers)
+        server_stats = []
+        for i, speed in enumerate(config.speeds):
+            lo, hi = int(offsets[i]), int(offsets[i + 1])
+            server_stats.append(
+                ServerStats(
+                    index=i,
+                    speed=float(speed),
+                    jobs_received=hi - lo,
+                    jobs_completed=hi - lo,
+                    # PS and FCFS are work-conserving: busy time equals
+                    # served work/speed.
+                    busy_time=float(grouped_sizes[lo:hi].sum()) / float(speed),
+                    dispatch_fraction=(
+                        int(dispatched_counts[i]) / post_warmup_total
+                        if post_warmup_total
+                        else 0.0
+                    ),
+                )
             )
 
-    completions = np.empty_like(times)
-    completions[order] = grouped_completions
-    metrics = MetricsCollector(warmup_end=config.warmup)
-    metrics.record_batch(times, completions, sizes)
-
-    warmup_mask = times >= config.warmup
-    post_warmup_total = int(np.count_nonzero(warmup_mask))
-    dispatched_counts = np.bincount(targets[warmup_mask], minlength=n_servers)
-    server_stats = []
-    for i, speed in enumerate(config.speeds):
-        lo, hi = int(offsets[i]), int(offsets[i + 1])
-        server_stats.append(
-            ServerStats(
-                index=i,
-                speed=float(speed),
-                jobs_received=hi - lo,
-                jobs_completed=hi - lo,
-                # PS and FCFS are work-conserving: busy time equals
-                # served work/speed.
-                busy_time=float(grouped_sizes[lo:hi].sum()) / float(speed),
-                dispatch_fraction=(
-                    int(dispatched_counts[i]) / post_warmup_total
-                    if post_warmup_total
-                    else 0.0
-                ),
-            )
+        trace = None
+        if record_trace:
+            trace = DispatchTrace(times=times, targets=targets)
+        return SimulationResults(
+            metrics=metrics.finalize(),
+            servers=tuple(server_stats),
+            duration=config.duration,
+            warmup=config.warmup,
+            total_arrivals=int(times.size),
+            trace=trace,
         )
-
-    trace = None
-    if record_trace:
-        trace = DispatchTrace(times=times, targets=targets)
-    return SimulationResults(
-        metrics=metrics.finalize(),
-        servers=tuple(server_stats),
-        duration=config.duration,
-        warmup=config.warmup,
-        total_arrivals=int(times.size),
-        trace=trace,
-    )
 
 
 def run_static_simulation(
@@ -567,6 +584,7 @@ def run_cell(
             for prev_targets, prev_result in plans:
                 if np.array_equal(prev_targets, targets):
                     result = prev_result
+                    counters.inc("cell.plan_reuse")
                     break
             if result is None:
                 result = _replay_plan(
@@ -574,4 +592,7 @@ def run_cell(
                 )
                 plans.append((targets, result))
             results[(pi, r)] = result
+            # One ledger entry per member, reused plans included, so the
+            # cell path tallies exactly what the flat path would.
+            counters.record_run(result)
     return results

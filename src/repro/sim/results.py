@@ -56,6 +56,11 @@ class FaultStats:
     jobs_lost_total: int = 0
     #: Successful re-dispatches of bounced jobs.
     jobs_retried: int = 0
+    #: Bounced jobs still awaiting a retry when the run ended — not
+    #: completed, not lost, not resident in any server.  Named so the
+    #: conservation ledger (arrivals == completed + lost + in-system +
+    #: pending-retry) closes exactly.
+    jobs_pending_retry: int = 0
     #: DOWN/UP/DEGRADE events processed.
     fault_events: int = 0
     #: Failure-aware re-allocations performed (0 for oblivious runs).
@@ -104,4 +109,27 @@ class SimulationResults:
         if self.faults is not None:
             out["jobs_lost"] = self.faults.jobs_lost
             out["loss_rate"] = self.faults.loss_rate
+        return out
+
+    def counters(self) -> dict[str, int]:
+        """This run's job-conservation ledger as flat counter keys.
+
+        Exactly the increments :func:`repro.obs.counters.record_run`
+        tallies globally, derived locally — per-server dispatched and
+        completed counts plus the fault ledger — so one run's counters
+        can be inspected (and conservation asserted) without touching
+        the process-wide registry.
+        """
+        out: dict[str, int] = {"runs.completed": 1}
+        for i, s in enumerate(self.servers):
+            out[f"jobs.dispatched{{server={i}}}"] = s.jobs_received
+            out[f"jobs.completed{{server={i}}}"] = s.jobs_completed
+        if self.faults is not None:
+            for name, value in (
+                ("jobs.lost", self.faults.jobs_lost_total),
+                ("jobs.retried", self.faults.jobs_retried),
+                ("jobs.pending_retry", self.faults.jobs_pending_retry),
+            ):
+                if value:
+                    out[name] = value
         return out

@@ -27,6 +27,8 @@ from multiprocessing import shared_memory
 
 import numpy as np
 
+from ..obs import counters
+from ..obs.spans import span
 from ..rng import StreamFactory
 from .config import SimulationConfig
 
@@ -49,11 +51,15 @@ def materialize_streams(
     substream roles, same chunked samplers — so the arrays are
     bit-identical to an unpooled run with the same (config, seed).
     """
-    streams = StreamFactory(seed)
-    workload = config.workload()
-    times = workload.arrival_stream(streams.arrivals).arrivals_until(config.duration)
-    sizes = workload.sample_sizes(streams.sizes, times.size)
-    return times, sizes
+    with span("materialize") as sp:
+        streams = StreamFactory(seed)
+        workload = config.workload()
+        times = workload.arrival_stream(streams.arrivals).arrivals_until(
+            config.duration
+        )
+        sizes = workload.sample_sizes(streams.sizes, times.size)
+        sp.set(jobs=int(times.size))
+        return times, sizes
 
 
 def stream_signature(config: SimulationConfig) -> tuple:
@@ -111,10 +117,12 @@ class StreamPool:
         entry = self._entries.pop(key, None)
         if entry is None:
             self.misses += 1
+            counters.inc("streams.pool_miss")
             times, sizes = materialize_streams(config, seed)
             entry = (_freeze(times), _freeze(sizes))
         else:
             self.hits += 1
+            counters.inc("streams.pool_hit")
         self._entries[key] = entry  # re-insert: dict order tracks LRU
         while len(self._entries) > self.max_entries:
             self._entries.pop(next(iter(self._entries)))

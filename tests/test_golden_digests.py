@@ -1,0 +1,89 @@
+"""Golden seed-stability digests: pinned SHAs over packed result vectors.
+
+Every digest below is the SHA-256 of the little-endian float64 bytes of
+the pinned-config result vectors (see :mod:`repro.obs.digest`).  They
+freeze two things at once:
+
+* **seed stability** — the RNG layout (base_seed 2000, spawn-key
+  substreams) keeps producing the same trajectories release to release;
+* **cross-path bit-identity** — the serial flat grid, the parallel
+  grid, the cell-batched sweep, and the pure-Python PS kernel must all
+  hash to the same digest, not merely be "close".
+
+If a digest changes legitimately (an intentional RNG or kernel-order
+change), recompute it with the corresponding ``run_*``/digest call and
+update the constant — and bump ``KERNEL_VERSION`` if replay bits moved.
+"""
+
+from __future__ import annotations
+
+from repro.core import get_policy
+from repro.core.evaluate import run_policy_once
+from repro.experiments.base import SCALES
+from repro.experiments.figure2 import run_figure2
+from repro.experiments.figure3 import run_figure3
+from repro.obs.digest import figure2_digest, results_digest, sweep_digest
+from repro.sim import SimulationConfig, ckernel
+
+SMOKE = SCALES["smoke"]
+FIGURE3_KWARGS = dict(fast_speeds=(1.0, 10.0), policies=("WRR", "ORR"))
+
+#: SHA-256 of the figure3 smoke subset (2 points x WRR/ORR x 2 reps).
+FIGURE3_SMOKE_DIGEST = (
+    "946e55683b6f73e4d06256288a60a38ffb46ee7d66c47d97887e7ea151a0c97a"
+)
+#: SHA-256 of the figure2 smoke deviation series (round-robin + random).
+FIGURE2_SMOKE_DIGEST = (
+    "1e49e7190c02216636e14be0a08dc17127c5d540a5db4ed7198a6f1ba32fe954"
+)
+#: SHA-256 of one pinned ORR replication (speeds 1,1,10 at rho=0.7).
+SINGLE_REPLICATION_DIGEST = (
+    "e037a940ceeec49cb288dbf2c2699abaa73e348e3c289a120645ca6a5dca7b4b"
+)
+
+
+class TestFigure3GoldenDigest:
+    def test_serial_flat_grid(self):
+        result = run_figure3(SMOKE, cell_batch=False, **FIGURE3_KWARGS)
+        assert sweep_digest(result) == FIGURE3_SMOKE_DIGEST
+
+    def test_parallel_grid(self):
+        result = run_figure3(
+            SMOKE, cell_batch=False, n_jobs=2, **FIGURE3_KWARGS
+        )
+        assert sweep_digest(result) == FIGURE3_SMOKE_DIGEST
+
+    def test_cell_batched(self):
+        result = run_figure3(SMOKE, cell_batch=True, **FIGURE3_KWARGS)
+        assert sweep_digest(result) == FIGURE3_SMOKE_DIGEST
+
+    def test_python_kernel(self, monkeypatch):
+        monkeypatch.setattr(ckernel, "_fns", False)  # force the Python loop
+        result = run_figure3(SMOKE, cell_batch=False, **FIGURE3_KWARGS)
+        assert sweep_digest(result) == FIGURE3_SMOKE_DIGEST
+
+
+class TestOtherGoldenDigests:
+    def test_figure2_deviations(self):
+        assert figure2_digest(run_figure2("smoke")) == FIGURE2_SMOKE_DIGEST
+
+    def test_single_replication(self):
+        config = SimulationConfig(
+            speeds=(1.0, 1.0, 10.0), utilization=0.7,
+            duration=SMOKE.duration, warmup=SMOKE.warmup,
+        )
+        result = run_policy_once(
+            config, get_policy("ORR"), seed=SMOKE.base_seed
+        )
+        assert results_digest(result) == SINGLE_REPLICATION_DIGEST
+
+    def test_single_replication_python_kernel(self, monkeypatch):
+        monkeypatch.setattr(ckernel, "_fns", False)
+        config = SimulationConfig(
+            speeds=(1.0, 1.0, 10.0), utilization=0.7,
+            duration=SMOKE.duration, warmup=SMOKE.warmup,
+        )
+        result = run_policy_once(
+            config, get_policy("ORR"), seed=SMOKE.base_seed
+        )
+        assert results_digest(result) == SINGLE_REPLICATION_DIGEST

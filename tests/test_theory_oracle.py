@@ -1,0 +1,99 @@
+"""Theory-oracle tolerance tests: simulation vs the closed-form model.
+
+The paper's equations 1-3 give the M/G/1-PS prediction for a static
+split: per-server utilization ``rho_i = alpha_i * lambda / (s_i * mu)``
+and mean response time ``E[T] = sum alpha_i / (s_i*mu - alpha_i*lambda)``.
+With Poisson arrivals (cv=1) the model is exact for *random* splitting;
+round-robin policies hand each server a strictly smoother (Erlang-thinned)
+arrival stream, so their simulated response times fall **below** the
+prediction — the model is a certified upper bound, and the zero-waiting
+service time ``sum alpha_i / (s_i*mu)`` a certified lower bound.  The
+oracle checks are therefore directional with CI-based slack rather than
+symmetric:
+
+    floor - CI  <=  measured  <=  predicted + CI
+
+Utilization has no such smoothing sensitivity (it is a pure rate
+balance), so it is checked tightly on both sides.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import get_policy
+from repro.core.evaluate import evaluate_policy, run_policy_once
+from repro.distributions import Exponential
+from repro.experiments.configs import skewness_config
+from repro.sim import SimulationConfig
+
+#: Two skew points of the Figure 3 system (2 fast + 16 slow, rho=0.7).
+SKEWS = (2.0, 10.0)
+POLICIES = ("ORR", "WRR")
+
+
+def _oracle_config(skew: float) -> SimulationConfig:
+    base = skewness_config(skew, 0.7)
+    # Exponential sizes + Poisson arrivals: the regime where eq. 1-3 are
+    # an exact M/M/1-PS model (for random splitting), so every deviation
+    # is attributable to the policy's arrival smoothing, not tail noise.
+    return SimulationConfig(
+        speeds=base.speeds, utilization=0.7,
+        duration=1.0e4, warmup=2.5e3,
+        size_distribution=Exponential(1.0), arrival_cv=1.0,
+    )
+
+
+@pytest.mark.parametrize("skew", SKEWS)
+@pytest.mark.parametrize("policy_name", POLICIES)
+class TestResponseTimeOracle:
+    def test_measured_between_service_floor_and_prediction(
+        self, skew, policy_name
+    ):
+        config = _oracle_config(skew)
+        network = config.network()
+        policy = get_policy(policy_name)
+        alphas = policy.fractions(network)
+        predicted = network.mean_response_time(alphas)
+        floor = float(np.sum(alphas / (network.speeds * network.mu)))
+        assert floor < predicted
+
+        ev = evaluate_policy(config, policy, replications=4, base_seed=2000)
+        measured = ev.mean_response_time.mean
+        ci = ev.mean_response_time.half_width
+        assert floor - ci <= measured, (
+            f"measured {measured:.4f} below the zero-waiting floor "
+            f"{floor:.4f} (CI {ci:.4f})"
+        )
+        assert measured <= predicted + ci, (
+            f"measured {measured:.4f} above the M/G/1-PS prediction "
+            f"{predicted:.4f} (CI {ci:.4f}) — RR smoothing should only "
+            "ever reduce response time"
+        )
+
+    def test_round_robin_strictly_beats_the_poisson_model(
+        self, skew, policy_name
+    ):
+        """RR's Erlang-thinned arrivals buy a real, CI-resolvable gain."""
+        config = _oracle_config(skew)
+        network = config.network()
+        policy = get_policy(policy_name)
+        predicted = network.mean_response_time(policy.fractions(network))
+        ev = evaluate_policy(config, policy, replications=4, base_seed=2000)
+        assert ev.mean_response_time.mean + ev.mean_response_time.half_width \
+            < predicted
+
+
+@pytest.mark.parametrize("skew", SKEWS)
+@pytest.mark.parametrize("policy_name", POLICIES)
+def test_per_server_utilization_matches_equation_one(skew, policy_name):
+    """rho_i = alpha_i * lambda / (s_i * mu), tight on both sides."""
+    config = _oracle_config(skew)
+    network = config.network()
+    policy = get_policy(policy_name)
+    predicted = network.per_server_utilization(policy.fractions(network))
+    result = run_policy_once(config, policy, seed=2000)
+    np.testing.assert_allclose(
+        result.per_server_utilization, predicted, atol=0.05
+    )
