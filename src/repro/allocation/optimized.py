@@ -30,7 +30,18 @@ __all__ = [
     "optimized_fractions",
     "unconstrained_fractions",
     "zero_share_cutoff",
+    "CUTOFF_RTOL",
 ]
+
+#: Relative tolerance of the Theorem 3 drop predicate.  The suffix sums
+#: behind the predicate carry O(n·ulp) accumulation noise; at very light
+#: loads (λ smaller than that noise) the *strict* inequality of the
+#: paper's listing mis-drops machines of a perfectly homogeneous network
+#: — the gap it tests is pure rounding error.  A machine is therefore
+#: only dropped when the inequality holds by more than this fraction of
+#: the suffix capacity, which is deterministic, scale-free, and far
+#: below any physically meaningful speed difference.
+CUTOFF_RTOL = 1e-12
 
 
 def unconstrained_fractions(network: HeterogeneousNetwork) -> np.ndarray:
@@ -72,6 +83,14 @@ def zero_share_cutoff(sorted_rates: np.ndarray, arrival_rate: float) -> int:
     the sorted order (proved in the paper's technical report), which is
     what makes the binary search valid; the suffix sums are precomputed
     so each probe is O(1).
+
+    The strict inequality is relaxed by :data:`CUTOFF_RTOL`: a machine
+    is dropped only when the condition holds beyond the floating-point
+    noise floor of the suffix sums.  Without the tolerance, homogeneous
+    networks at very light load (λ below the cumsum rounding error)
+    mis-drop machines whose predicate "gap" is pure rounding — the
+    boundary-condition failure mode flagged in Mondal's note on optimal
+    static load balancing.
     """
     n = sorted_rates.size
     sqrt_rates = np.sqrt(sorted_rates)
@@ -80,7 +99,8 @@ def zero_share_cutoff(sorted_rates: np.ndarray, arrival_rate: float) -> int:
     suffix_sqrt = np.concatenate([np.cumsum(sqrt_rates[::-1])[::-1], [0.0]])
 
     def dropped(i: int) -> bool:  # 0-based index of the probe computer
-        return sqrt_rates[i] * suffix_sqrt[i] < suffix_rate[i] - arrival_rate
+        gap = (suffix_rate[i] - arrival_rate) - sqrt_rates[i] * suffix_sqrt[i]
+        return gap > CUTOFF_RTOL * max(suffix_rate[i], arrival_rate)
 
     lower, upper = 0, n - 1
     while lower <= upper:
@@ -114,8 +134,18 @@ def optimized_fractions(network: HeterogeneousNetwork) -> np.ndarray:
     # The closed form sums to 1 exactly up to rounding; renormalize the
     # ~1e-16 drift so downstream validation is airtight.
     alphas = np.clip(alphas, 0.0, None)
-    alphas /= alphas.sum()
-    return alphas
+    total = alphas.sum()
+    if not np.isfinite(total) or total <= 0.0:
+        # Catastrophic cancellation: the active numerators sum to λ
+        # exactly in real arithmetic, but at λ below the rounding noise
+        # of sᵢμ-sized terms every one of them can evaluate ≤ 0.  The
+        # KKT point is then numerically indistinguishable from the
+        # capacity-proportional split of the active set, so return that
+        # instead of a NaN vector.
+        sorted_alphas[m:] = active / active.sum()
+        alphas[order] = sorted_alphas
+        return alphas
+    return alphas / total
 
 
 class OptimizedAllocator(Allocator):

@@ -219,6 +219,54 @@ def build_parser() -> argparse.ArgumentParser:
     char_p.add_argument("--speeds", default=None,
                         help="optional cluster speeds to compute offered load")
 
+    serve_p = sub.add_parser(
+        "serve",
+        help="run the quasi-static scheduler service (online estimation, "
+             "live re-allocation, admission control)",
+    )
+    serve_p.add_argument("--speeds", required=True,
+                         help="comma-separated relative speeds")
+    serve_p.add_argument("--utilization", type=float, default=0.6,
+                         help="nominal utilization of the synthetic workload")
+    serve_p.add_argument("--duration", type=float, default=2.0e4,
+                         help="simulated seconds to serve")
+    serve_p.add_argument("--resolve-period", type=float, default=100.0,
+                         help="simulated seconds between control-loop "
+                              "re-solves (and sequence-swap points)")
+    serve_p.add_argument("--window", type=float, default=None,
+                         help="rate-estimator window in simulated seconds "
+                              "(default: 2 resolve periods)")
+    serve_p.add_argument(
+        "--workload",
+        choices=("stationary", "step", "drift"),
+        default="stationary",
+        help="synthetic workload shape: constant rate, a one-time rate "
+             "step, or a linear drift",
+    )
+    serve_p.add_argument("--step-time", type=float, default=None,
+                         help="when the step happens (default: duration/2)")
+    serve_p.add_argument("--step-factor", type=float, default=2.0,
+                         help="rate multiplier after the step / at the end "
+                              "of the drift")
+    serve_p.add_argument("--arrival-cv", type=float, default=1.0,
+                         help="inter-arrival coefficient of variation")
+    serve_p.add_argument("--size-cv", type=float, default=1.0,
+                         help="job-size coefficient of variation")
+    serve_p.add_argument("--seed", type=int, default=0)
+    serve_p.add_argument("--shed-threshold", type=float, default=0.95,
+                         help="estimated utilization above which admission "
+                              "control sheds load")
+    serve_p.add_argument(
+        "--replay",
+        metavar="CSV",
+        default=None,
+        help="replay a recorded workload instead of the synthetic one "
+             "(two-column CSV: arrival_time,size)",
+    )
+    serve_p.add_argument("--json", action="store_true",
+                         help="print the full service report as JSON")
+    add_telemetry_flags(serve_p)
+
     bench_p = sub.add_parser(
         "bench",
         help="benchmark the performance stack and record a trajectory point",
@@ -674,6 +722,107 @@ def _counter_summary(delta: dict) -> list[str]:
     ledger = [n for n in rolled if n.startswith(("jobs.", "runs."))]
     rest = [n for n in rolled if n not in ledger]
     return [f"  {n:<24} {rolled[n]:g}" for n in ledger + rest]
+
+
+def _cmd_serve(args) -> int:
+    import json as json_module
+
+    from .distributions import distribution_from_mean_cv
+    from .service import (
+        SchedulerService,
+        ServiceConfig,
+        SyntheticJobSource,
+        TraceJobSource,
+    )
+    from .sim.arrivals import Workload
+    from .sim.modulated import drift_profile, step_profile
+
+    speeds = _parse_speeds(args.speeds)
+    if speeds is None:
+        print(f"error: could not parse speeds {args.speeds!r}", file=sys.stderr)
+        return 2
+    try:
+        config = ServiceConfig(
+            speeds=tuple(speeds),
+            duration=args.duration,
+            control_period=args.resolve_period,
+            estimator_window=args.window,
+            shed_threshold=args.shed_threshold,
+        )
+    except ValueError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+
+    if args.replay is not None:
+        try:
+            data = np.loadtxt(args.replay, delimiter=",", ndmin=2)
+            source = TraceJobSource(data[:, 0], data[:, 1])
+        except (OSError, ValueError, IndexError) as exc:
+            print(f"error: could not read trace {args.replay!r}: {exc}",
+                  file=sys.stderr)
+            return 2
+    else:
+        if not 0.0 < args.utilization < 1.0:
+            print(
+                f"error: utilization must lie in (0, 1), got {args.utilization}",
+                file=sys.stderr,
+            )
+            return 2
+        step_at = (
+            args.step_time if args.step_time is not None else args.duration / 2.0
+        )
+        if args.workload == "step":
+            profile = step_profile(
+                step_time=step_at, factor=args.step_factor, horizon=args.duration
+            )
+        elif args.workload == "drift":
+            profile = drift_profile(1.0, args.step_factor, horizon=args.duration)
+        else:
+            profile = None
+        try:
+            workload = Workload(
+                total_speed=sum(speeds),
+                utilization=args.utilization,
+                size_distribution=distribution_from_mean_cv(1.0, args.size_cv),
+                arrival_cv=args.arrival_cv,
+                rate_profile=profile,
+            )
+        except ValueError as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 2
+        source = SyntheticJobSource(workload, args.seed)
+
+    report = SchedulerService(config, source).run()
+
+    if args.json:
+        print(json_module.dumps(report.as_dict(), indent=2))
+        return 0
+
+    from .experiments.reporting import format_table
+
+    alphas = ", ".join(f"{a:.4f}" for a in report.final_alphas)
+    print(
+        format_table(
+            ["metric", "value"],
+            [
+                ["jobs offered", report.jobs_offered],
+                ["jobs dispatched", report.jobs_dispatched],
+                ["jobs shed", report.jobs_shed],
+                ["re-solves", report.resolves],
+                ["sequence swaps", report.swaps],
+                ["time-averaged MRT", report.time_averaged_mrt],
+                ["clean shutdown", report.clean_shutdown],
+            ],
+            title=(
+                f"Quasi-static service: {len(speeds)} servers, "
+                f"{args.duration:.0f} s, re-solve every "
+                f"{args.resolve_period:.0f} s"
+            ),
+        )
+    )
+    print()
+    print(f"final allocation: [{alphas}]")
+    return 0
 
 
 def _with_telemetry(handler, args) -> int:
@@ -1202,6 +1351,7 @@ def main(argv: list[str] | None = None) -> int:
         "simulate": _cmd_simulate,
         "validate": _cmd_validate,
         "characterize": _cmd_characterize,
+        "serve": _cmd_serve,
         "bench": _cmd_bench,
     }
     return _with_telemetry(handlers[args.command], args)

@@ -244,7 +244,13 @@ def evaluate_policy_to_precision(
                 f"unknown metric {metric!r}; expected one of {sorted(tracked)}"
             ) from None
         summary = summarize_replications(values, confidence)
-        if summary.relative_half_width <= target_relative_half_width:
+        # A degenerate interval (zero variance, or NaN-poisoned inputs
+        # collapsing to a flagged zero width) is final: more
+        # replications of the same degenerate data can never tighten
+        # it, so stop instead of burning runs to the cap.
+        if summary.degenerate or (
+            summary.relative_half_width <= target_relative_half_width
+        ):
             break
     return PolicyEvaluation(
         policy_name=policy.name,
@@ -501,28 +507,40 @@ def evaluate_cell_to_precision(
         for _ in policies
     ]
 
+    def _summary_converged(summary) -> bool:
+        # Degenerate intervals (n=1 guards never trigger here, but zero
+        # variance and NaN-poisoned metrics do) terminate the loop:
+        # their width is a flag, and repeating degenerate replications
+        # would spin to max_replications without ever converging.
+        return summary.degenerate or (
+            summary.relative_half_width <= target_relative_half_width
+        )
+
     def converged() -> bool:
         if paired_baseline is None:
             return all(
-                summarize_replications(
-                    acc[metric], confidence
-                ).relative_half_width
-                <= target_relative_half_width
+                _summary_converged(summarize_replications(acc[metric], confidence))
                 for acc in per_policy
             )
         bi = names.index(paired_baseline)
         base_values = per_policy[bi][metric]
         scale = abs(float(np.mean(base_values)))
-        if scale == 0.0:
-            return False
-        return all(
-            summarize_paired(
-                per_policy[pi][metric], base_values, confidence
-            ).half_width
-            <= target_relative_half_width * scale
-            for pi in range(len(policies))
-            if pi != bi
-        )
+        if scale == 0.0 or not np.isfinite(scale):
+            # The paired target is scaled by the baseline mean; with a
+            # zero or non-finite baseline the criterion is undefined
+            # and can never be met — stop with what we have rather
+            # than looping on NaN comparisons.
+            return True
+        for pi in range(len(policies)):
+            if pi == bi:
+                continue
+            ps = summarize_paired(per_policy[pi][metric], base_values, confidence)
+            if not (
+                ps.degenerate
+                or ps.half_width <= target_relative_half_width * scale
+            ):
+                return False
+        return True
 
     done = 0
     for r in range(max_replications):

@@ -20,7 +20,11 @@ from .jsq import PowerOfDChoicesDispatcher
 from .least_load import LeastLoadDispatcher
 from .least_work import LeastWorkDispatcher
 from .random_dispatch import RandomDispatcher
-from .round_robin import RoundRobinDispatcher
+from .round_robin import (
+    RoundRobinDispatcher,
+    build_dispatch_sequence,
+    sequence_memo_key,
+)
 from .sita import SitaDispatcher, sita_cutoffs
 
 __all__ = [
@@ -28,6 +32,8 @@ __all__ = [
     "StaticDispatcher",
     "RandomDispatcher",
     "RoundRobinDispatcher",
+    "build_dispatch_sequence",
+    "sequence_memo_key",
     "CyclicDispatcher",
     "BurstWeightedRoundRobinDispatcher",
     "LeastLoadDispatcher",

@@ -41,7 +41,11 @@ import numpy as np
 
 from .base import StaticDispatcher
 
-__all__ = ["RoundRobinDispatcher"]
+__all__ = [
+    "RoundRobinDispatcher",
+    "build_dispatch_sequence",
+    "sequence_memo_key",
+]
 
 
 class RoundRobinDispatcher(StaticDispatcher):
@@ -140,3 +144,75 @@ class RoundRobinDispatcher(StaticDispatcher):
         """Current ``next`` values (copy)."""
         self._require_reset()
         return np.asarray(self._next, dtype=float)
+
+
+# ----------------------------------------------------------------------
+# Memoized sequence builder
+# ----------------------------------------------------------------------
+#
+# Algorithm 2 never looks at job sizes or random numbers, so the target
+# sequence is a pure function of (alphas, guard_init, arrival count) and
+# the sequence for N jobs is a prefix of the sequence for M > N jobs.
+# The memo computes each sequence once per process and extends it
+# statefully: every entry owns a *private* dispatcher that nothing else
+# can reset, so a caller reusing one dispatcher object across different
+# allocations cannot corrupt a cached prefix (extending a corrupted
+# entry used to leak zero-share servers into the sequence).  The key
+# carries the full byte pattern of the allocation vector, so allocations
+# that differ only in *which* server holds the zero share occupy
+# distinct entries.  Targets are stored as int16 (a network never has
+# 32k computers) and entries are LRU-bounded.
+
+_SEQUENCE_MEMO_ENTRIES = 4
+_sequence_memo: dict[tuple, tuple[np.ndarray, "RoundRobinDispatcher"]] = {}
+
+
+def sequence_memo_key(alphas: np.ndarray, guard_init: float = 1.0) -> tuple:
+    """Memo key for Algorithm 2's target sequence.
+
+    Includes the vector length and every byte of every entry: two
+    allocations whose nonzero values match but whose zero share sits on
+    a different server produce different sequences and must not share a
+    cache line.
+    """
+    a = np.ascontiguousarray(np.asarray(alphas, dtype=float))
+    return ("round_robin", float(guard_init), a.size, a.tobytes())
+
+
+def build_dispatch_sequence(
+    alphas: np.ndarray, count: int, *, guard_init: float = 1.0
+) -> tuple[np.ndarray, str]:
+    """First ``count`` dispatch targets of Algorithm 2, memoized.
+
+    Bit-identical to resetting a fresh :class:`RoundRobinDispatcher`
+    with ``alphas`` and calling ``select_batch`` on ``count`` jobs.
+    Returns ``(targets, status)`` where ``targets`` is an int64 array of
+    length ``count`` and ``status`` is ``"miss"``, ``"extend"``, or
+    ``"hit"`` (exposed for telemetry).  Servers with an exactly zero
+    share never appear in the sequence.
+    """
+    if count < 0:
+        raise ValueError(f"count must be non-negative, got {count}")
+    key = sequence_memo_key(alphas, guard_init)
+    entry = _sequence_memo.pop(key, None)
+    if entry is None:
+        status = "miss"
+        private = RoundRobinDispatcher(guard_init=guard_init)
+        private.reset(np.array(alphas, dtype=float, copy=True))
+        targets = private.select_batch(np.zeros(count)).astype(np.int16)
+        entry = (targets, private)
+    else:
+        targets, private = entry
+        if count > targets.size:
+            status = "extend"
+            extra = private.select_batch(
+                np.zeros(count - targets.size)
+            ).astype(np.int16)
+            targets = np.concatenate([targets, extra])
+            entry = (targets, private)
+        else:
+            status = "hit"
+    _sequence_memo[key] = entry  # re-insert: dict preserves LRU order
+    while len(_sequence_memo) > _SEQUENCE_MEMO_ENTRIES:
+        _sequence_memo.pop(next(iter(_sequence_memo)))
+    return entry[0][:count].astype(np.int64), status

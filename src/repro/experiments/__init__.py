@@ -17,6 +17,7 @@ from .configs import (
 from .export import load_sweep_json, save_sweep_csv, save_sweep_json, sweep_to_dict
 from .extension_adaptive import AdaptiveResult, run_adaptive_extension
 from .extension_faults import format_faults_extension, run_faults_extension
+from .extension_online import OnlineCell, OnlineResult, run_online_extension
 from .figure2 import Figure2Result, run_figure2
 from .figure3 import format_figure3, run_figure3
 from .figure4 import format_figure4, run_figure4
@@ -68,4 +69,7 @@ __all__ = [
     "AdaptiveResult",
     "run_faults_extension",
     "format_faults_extension",
+    "run_online_extension",
+    "OnlineResult",
+    "OnlineCell",
 ]

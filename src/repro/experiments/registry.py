@@ -8,6 +8,7 @@ from .base import Scale
 from .configs import BASE_SPEEDS
 from .extension_adaptive import run_adaptive_extension
 from .extension_faults import format_faults_extension, run_faults_extension
+from .extension_online import run_online_extension
 from .figure2 import run_figure2
 from .figure3 import format_figure3, run_figure3
 from .figure4 import format_figure4, run_figure4
@@ -63,6 +64,10 @@ def _run_adaptive(scale, n_jobs=None, cache=None, **grid) -> str:
     return run_adaptive_extension(scale).format()
 
 
+def _run_online(scale, n_jobs=None, cache=None, **grid) -> str:
+    return run_online_extension(scale).format()
+
+
 def _run_faults(scale, n_jobs=None, cache=None, **grid) -> str:
     return format_faults_extension(
         run_faults_extension(scale, n_jobs=n_jobs, cache=cache, **grid)
@@ -84,6 +89,10 @@ EXPERIMENTS: dict[str, tuple[str, Callable[..., str]]] = {
     "adaptive": (
         "extension: fixed vs adaptive ORR under diurnal load",
         _run_adaptive,
+    ),
+    "online": (
+        "extension: quasi-static service vs oracle static ORR",
+        _run_online,
     ),
     "faults": (
         "extension: failure-aware vs oblivious scheduling under faults",

@@ -7,7 +7,15 @@ from .ci import (
     summarize_paired,
     summarize_replications,
 )
-from .online import RunningStats
+from .online import (
+    EwmaEstimator,
+    EwmaRateEstimator,
+    OnlineWorkloadEstimator,
+    RunningStats,
+    ServerSpeedEstimator,
+    WindowedRateEstimator,
+    WorkloadEstimate,
+)
 from .response import MetricsCollector, ResponseMetrics
 
 __all__ = [
@@ -18,4 +26,10 @@ __all__ = [
     "summarize_replications",
     "PairedSummary",
     "summarize_paired",
+    "EwmaEstimator",
+    "EwmaRateEstimator",
+    "WindowedRateEstimator",
+    "ServerSpeedEstimator",
+    "WorkloadEstimate",
+    "OnlineWorkloadEstimator",
 ]

@@ -30,15 +30,43 @@ __all__ = [
 ]
 
 
+def _safe_half_width(std: float, n: int, confidence: float) -> tuple[float, bool]:
+    """t half-width guarded against degenerate spread estimates.
+
+    ``std(ddof=1)`` is NaN for n=1 and can be NaN/inf when the inputs
+    themselves are non-finite; a NaN half-width poisons every downstream
+    comparison (``NaN <= target`` is False, so precision loops burn
+    replications to their cap without ever converging).  Degenerate
+    spreads collapse to an explicitly flagged zero-width interval
+    instead: no spread estimate is possible, and adding replications of
+    the same degenerate data would never tighten it.
+    """
+    if not math.isfinite(std):
+        return 0.0, True
+    if std == 0.0:
+        return 0.0, True
+    t = float(stats.t.ppf(0.5 + confidence / 2.0, df=n - 1))
+    return t * std / math.sqrt(n), False
+
+
 @dataclass(frozen=True)
 class ReplicationSummary:
-    """Mean over replications with a symmetric t confidence interval."""
+    """Mean over replications with a symmetric t confidence interval.
+
+    ``degenerate`` marks intervals whose width is zero by *construction*
+    rather than by measurement: a single replication, a zero-variance
+    sample, or non-finite inputs.  Consumers that iterate "until the
+    interval is tight" must treat a degenerate interval as final.
+    """
 
     mean: float
     std: float
     n: int
     half_width: float
     confidence: float
+    #: True when no spread estimate was possible (n=1, zero variance,
+    #: or non-finite inputs) and the zero width is a flag, not a fact.
+    degenerate: bool = False
 
     @property
     def lower(self) -> float:
@@ -51,6 +79,10 @@ class ReplicationSummary:
     @property
     def relative_half_width(self) -> float:
         """CI half-width as a fraction of the mean (precision gauge)."""
+        if not math.isfinite(self.mean):
+            # A non-finite mean can never be measured to a precision;
+            # inf (not NaN) keeps `<= target` comparisons well-defined.
+            return math.inf
         if self.mean == 0:
             return math.inf if self.half_width > 0 else 0.0
         return self.half_width / abs(self.mean)
@@ -66,8 +98,9 @@ class ReplicationSummary:
 def summarize_replications(values, confidence: float = 0.95) -> ReplicationSummary:
     """Summarize one metric across replications.
 
-    A single replication yields a zero-width interval (no spread
-    estimate is possible); two or more use the Student-t quantile.
+    A single replication, a zero-variance sample, or non-finite inputs
+    yield a zero-width interval flagged ``degenerate`` (no spread
+    estimate is possible); everything else uses the Student-t quantile.
     """
     arr = np.asarray(list(values), dtype=float)
     if arr.size == 0:
@@ -77,12 +110,15 @@ def summarize_replications(values, confidence: float = 0.95) -> ReplicationSumma
     mean = float(arr.mean())
     if arr.size == 1:
         return ReplicationSummary(mean=mean, std=0.0, n=1, half_width=0.0,
-                                  confidence=confidence)
-    std = float(arr.std(ddof=1))
-    t = float(stats.t.ppf(0.5 + confidence / 2.0, df=arr.size - 1))
-    half = t * std / math.sqrt(arr.size)
+                                  confidence=confidence, degenerate=True)
+    with np.errstate(invalid="ignore", over="ignore"):
+        std = float(arr.std(ddof=1))
+    half, degenerate = _safe_half_width(std, int(arr.size), confidence)
+    if degenerate:
+        std = 0.0
     return ReplicationSummary(mean=mean, std=std, n=int(arr.size),
-                              half_width=half, confidence=confidence)
+                              half_width=half, confidence=confidence,
+                              degenerate=degenerate)
 
 
 @dataclass(frozen=True)
@@ -102,6 +138,10 @@ class PairedSummary:
     n: int
     half_width: float
     confidence: float
+    #: True when the interval width is a flag, not a measurement: one
+    #: pair, an exactly zero-variance difference vector (identical
+    #: policies under CRN), or non-finite inputs.
+    degenerate: bool = False
 
     @property
     def lower(self) -> float:
@@ -154,10 +194,13 @@ def summarize_paired(
     mean = float(diff.mean())
     if diff.size == 1:
         return PairedSummary(a=labels[0], b=labels[1], mean_diff=mean, std=0.0,
-                             n=1, half_width=0.0, confidence=confidence)
-    std = float(diff.std(ddof=1))
-    t = float(stats.t.ppf(0.5 + confidence / 2.0, df=diff.size - 1))
-    half = t * std / math.sqrt(diff.size)
+                             n=1, half_width=0.0, confidence=confidence,
+                             degenerate=True)
+    with np.errstate(invalid="ignore", over="ignore"):
+        std = float(diff.std(ddof=1))
+    half, degenerate = _safe_half_width(std, int(diff.size), confidence)
+    if degenerate:
+        std = 0.0
     return PairedSummary(a=labels[0], b=labels[1], mean_diff=mean, std=std,
                          n=int(diff.size), half_width=half,
-                         confidence=confidence)
+                         confidence=confidence, degenerate=degenerate)

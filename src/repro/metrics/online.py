@@ -1,20 +1,51 @@
-"""Streaming statistics (Welford) for million-job simulation runs.
+"""Streaming statistics and online workload estimators.
 
-The paper's runs generate 1–2 million jobs; storing every response ratio
-to compute a standard deviation at the end would be fine for one run but
-wasteful across sweeps, so all job-level statistics are accumulated
-online with Welford's numerically stable algorithm.  ``merge`` allows
-combining accumulators (per-server → system, or chunked fast-path
-batches) with the Chan/Golub/LeVeque pairwise update.
+Two families live here:
+
+* :class:`RunningStats` — Welford/Chan streaming mean/variance for
+  million-job runs (per-server → system merges, chunked fast-path
+  batches).
+* The quasi-static service estimators.  The paper's Algorithm 1 takes
+  λ, μ, and the speed vector as *known* constants; a long-running
+  service has to estimate them from the live stream.  The control loop
+  (:mod:`repro.service`) periodically re-solves Theorems 1–3 over:
+
+  - :class:`EwmaEstimator` — bias-corrected exponentially weighted
+    moving average, the building block for level-like quantities
+    (mean job size, per-server effective speed);
+  - :class:`EwmaRateEstimator` — arrival rate as the reciprocal of an
+    EWMA over inter-arrival gaps;
+  - :class:`WindowedRateEstimator` — arrival rate as an event count
+    over a sliding time window: forgets a step change completely one
+    window after it happens, at the cost of more variance;
+  - :class:`ServerSpeedEstimator` — per-server effective speed from
+    observed (size, service-time) pairs, nominal-seeded;
+  - :class:`OnlineWorkloadEstimator` — the facade the service feeds:
+    per-arrival and per-completion hooks in, a
+    :class:`WorkloadEstimate` snapshot (λ̂, m̂, ŝ, ρ̂) out.
+
+  All estimators are deterministic functions of the observation
+  sequence (no hidden randomness), so service runs replay
+  bit-identically under a fixed seed.
 """
 
 from __future__ import annotations
 
 import math
+from collections import deque
+from dataclasses import dataclass
 
 import numpy as np
 
-__all__ = ["RunningStats"]
+__all__ = [
+    "RunningStats",
+    "EwmaEstimator",
+    "EwmaRateEstimator",
+    "WindowedRateEstimator",
+    "ServerSpeedEstimator",
+    "WorkloadEstimate",
+    "OnlineWorkloadEstimator",
+]
 
 
 class RunningStats:
@@ -134,3 +165,248 @@ class RunningStats:
         if self.count == 0:
             return "RunningStats(empty)"
         return f"RunningStats(n={self.count}, mean={self.mean:.6g}, std={self.std:.6g})"
+
+
+# ----------------------------------------------------------------------
+# Quasi-static service estimators
+# ----------------------------------------------------------------------
+
+
+class EwmaEstimator:
+    """Bias-corrected exponentially weighted moving average.
+
+    Standard recursion ``raw ← (1−w)·raw + w·x`` with the warm-up
+    normalization ``raw / (1 − (1−w)^k)`` so early estimates are the
+    weighted mean of the observations seen so far rather than being
+    pulled toward the arbitrary zero initialization.  The effective
+    memory is ≈ 1/w observations.
+    """
+
+    __slots__ = ("weight", "_raw", "_norm", "count")
+
+    def __init__(self, weight: float):
+        if not 0.0 < weight <= 1.0:
+            raise ValueError(f"weight must lie in (0, 1], got {weight}")
+        self.weight = float(weight)
+        self.reset()
+
+    def reset(self) -> None:
+        self._raw = 0.0
+        self._norm = 0.0
+        self.count = 0
+
+    def update(self, x: float) -> float:
+        keep = 1.0 - self.weight
+        self._raw = keep * self._raw + self.weight * float(x)
+        self._norm = keep * self._norm + self.weight
+        self.count += 1
+        return self.value
+
+    @property
+    def value(self) -> float:
+        """Current estimate (NaN before the first observation)."""
+        if self.count == 0:
+            return math.nan
+        return self._raw / self._norm
+
+
+class EwmaRateEstimator:
+    """Arrival rate as the reciprocal of an EWMA over inter-arrival gaps.
+
+    Feed it event timestamps in non-decreasing order; ``rate()`` is
+    1/(mean gap).  Smooth but slow to forget: after a step change it
+    converges geometrically with the EWMA weight rather than snapping
+    after one window.
+    """
+
+    __slots__ = ("_gaps", "_last")
+
+    def __init__(self, weight: float = 0.05):
+        self._gaps = EwmaEstimator(weight)
+        self._last: float | None = None
+
+    def reset(self) -> None:
+        self._gaps.reset()
+        self._last = None
+
+    def observe(self, t: float) -> None:
+        t = float(t)
+        if self._last is not None:
+            gap = t - self._last
+            if gap < 0.0:
+                raise ValueError(
+                    f"timestamps must be non-decreasing ({t} after {self._last})"
+                )
+            if gap > 0.0:
+                self._gaps.update(gap)
+        self._last = t
+
+    def rate(self, now: float | None = None) -> float:
+        """Events per unit time (0.0 until two distinct timestamps)."""
+        gap = self._gaps.value
+        if not math.isfinite(gap) or gap <= 0.0:
+            return 0.0
+        return 1.0 / gap
+
+
+class WindowedRateEstimator:
+    """Arrival rate as an event count over a sliding time window.
+
+    Keeps the timestamps of the last ``window`` time units and reports
+    ``count / window`` — clock time in the denominator, so an emptying
+    window honestly decays toward 0 instead of freezing at the last
+    rate.  During the first window after t=0 the denominator is the
+    elapsed time, keeping early estimates unbiased.
+    """
+
+    __slots__ = ("window", "_times")
+
+    def __init__(self, window: float):
+        if window <= 0.0:
+            raise ValueError(f"window must be positive, got {window}")
+        self.window = float(window)
+        self._times: deque[float] = deque()
+
+    def reset(self) -> None:
+        self._times.clear()
+
+    def observe(self, t: float) -> None:
+        t = float(t)
+        if self._times and t < self._times[-1]:
+            raise ValueError(
+                f"timestamps must be non-decreasing ({t} after {self._times[-1]})"
+            )
+        self._times.append(t)
+        self._evict(t)
+
+    def _evict(self, now: float) -> None:
+        cutoff = now - self.window
+        times = self._times
+        while times and times[0] < cutoff:
+            times.popleft()
+
+    def rate(self, now: float) -> float:
+        """Events per unit time over ``[now − window, now]``."""
+        self._evict(float(now))
+        span = min(float(now), self.window)
+        if span <= 0.0 or not self._times:
+            return 0.0
+        return len(self._times) / span
+
+
+class ServerSpeedEstimator:
+    """Per-server effective speed from observed (size, service-time) pairs.
+
+    A completed job of size x that held the server for τ time units
+    witnessed speed x/τ; each server keeps an EWMA of those witnesses.
+    Servers that have not completed a job yet report their nominal
+    speed, so a freshly zero-shared server does not poison the solver
+    with NaN.
+    """
+
+    __slots__ = ("nominal", "_ewmas")
+
+    def __init__(self, nominal_speeds, weight: float = 0.05):
+        self.nominal = np.asarray(nominal_speeds, dtype=float).copy()
+        if self.nominal.ndim != 1 or self.nominal.size == 0:
+            raise ValueError("nominal_speeds must be a non-empty 1-D vector")
+        if np.any(self.nominal <= 0.0):
+            raise ValueError(f"speeds must be positive, got {self.nominal}")
+        self._ewmas = [EwmaEstimator(weight) for _ in range(self.nominal.size)]
+
+    def reset(self) -> None:
+        for e in self._ewmas:
+            e.reset()
+
+    def observe(self, server: int, size: float, service_time: float) -> None:
+        if service_time <= 0.0:
+            raise ValueError(f"service_time must be positive, got {service_time}")
+        self._ewmas[server].update(float(size) / float(service_time))
+
+    def speeds(self) -> np.ndarray:
+        """Current estimate per server (nominal where no data yet)."""
+        out = self.nominal.copy()
+        for i, e in enumerate(self._ewmas):
+            if e.count > 0:
+                out[i] = e.value
+        return out
+
+
+@dataclass(frozen=True)
+class WorkloadEstimate:
+    """One control-loop snapshot of the estimated workload parameters."""
+
+    arrival_rate: float
+    mean_size: float
+    speeds: np.ndarray
+    utilization: float
+
+    @property
+    def usable(self) -> bool:
+        """True when every field is finite and positive enough to solve."""
+        return (
+            math.isfinite(self.arrival_rate)
+            and self.arrival_rate > 0.0
+            and math.isfinite(self.mean_size)
+            and self.mean_size > 0.0
+            and bool(np.all(np.isfinite(self.speeds)))
+            and bool(np.all(self.speeds > 0.0))
+        )
+
+
+class OnlineWorkloadEstimator:
+    """Facade tying the stream observations to a solver-ready snapshot.
+
+    The service calls :meth:`observe_arrival` for every arriving job —
+    admitted or shed, since the *offered* load is what sizing must
+    track — and :meth:`observe_service` for every completed job; ρ̂
+    follows as λ̂·m̂ / Σŝᵢ, estimated offered load over estimated
+    capacity.
+    """
+
+    def __init__(
+        self,
+        nominal_speeds,
+        *,
+        window: float,
+        ewma_weight: float = 0.05,
+    ):
+        self.windowed_rate = WindowedRateEstimator(window)
+        self.ewma_rate = EwmaRateEstimator(ewma_weight)
+        self.mean_size = EwmaEstimator(ewma_weight)
+        self.speed = ServerSpeedEstimator(nominal_speeds, ewma_weight)
+        self.arrivals_seen = 0
+
+    def observe_arrival(self, t: float, size: float) -> None:
+        self.windowed_rate.observe(t)
+        self.ewma_rate.observe(t)
+        self.mean_size.update(size)
+        self.arrivals_seen += 1
+
+    def observe_service(self, server: int, size: float, service_time: float) -> None:
+        self.speed.observe(server, size, service_time)
+
+    def arrival_rate(self, now: float) -> float:
+        """Windowed estimate, EWMA fallback before the window has data."""
+        rate = self.windowed_rate.rate(now)
+        if rate > 0.0:
+            return rate
+        return self.ewma_rate.rate(now)
+
+    def snapshot(self, now: float) -> WorkloadEstimate:
+        lam = self.arrival_rate(now)
+        mean_size = self.mean_size.value
+        speeds = self.speed.speeds()
+        capacity = float(speeds.sum())
+        if (
+            lam > 0.0
+            and math.isfinite(mean_size)
+            and mean_size > 0.0
+            and capacity > 0.0
+        ):
+            rho = lam * mean_size / capacity
+        else:
+            rho = math.nan
+        return WorkloadEstimate(
+            arrival_rate=lam, mean_size=mean_size, speeds=speeds, utilization=rho
+        )

@@ -1,0 +1,30 @@
+"""Quasi-static scheduler service (the online extension of the paper).
+
+The paper's scheme is *static*: Algorithm 1 turns known workload
+parameters into an allocation once, offline.  This package runs the
+same mathematics as a long-lived control loop — estimate (λ̂, m̂, ŝ)
+from the live stream, re-solve Theorems 1–3 every control period,
+drain-and-switch the Algorithm 2 dispatch sequence at window
+boundaries, and shed load when the estimated utilization approaches
+saturation.  See DESIGN.md §10 for the architecture and
+``repro serve`` for the CLI driver.
+"""
+
+from .controller import AdmissionGate, ControlDecision, QuasiStaticController
+from .loop import SchedulerService, ServiceConfig, ServiceReport, WindowRecord
+from .replay import ServerBank
+from .sources import JobSource, SyntheticJobSource, TraceJobSource
+
+__all__ = [
+    "AdmissionGate",
+    "ControlDecision",
+    "QuasiStaticController",
+    "SchedulerService",
+    "ServiceConfig",
+    "ServiceReport",
+    "WindowRecord",
+    "ServerBank",
+    "JobSource",
+    "SyntheticJobSource",
+    "TraceJobSource",
+]

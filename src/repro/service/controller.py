@@ -1,0 +1,188 @@
+"""The quasi-static control loop: estimate → re-solve → swap → shed.
+
+The paper computes one static allocation from known (λ, μ, s) and
+argues (Section 5.4) that frequent recomputation is unnecessary.  The
+service relaxes "known" to "estimated": every control period the
+controller snapshots the online estimators
+(:class:`~repro.metrics.online.OnlineWorkloadEstimator`), re-solves
+Theorems 1–3 over the estimated parameters with the *same* Algorithm 1
+code the offline path uses, and decides whether the new allocation
+differs enough to justify swapping the dispatch sequence.
+
+Swaps happen only at control-window boundaries (drain-and-switch): the
+outgoing round-robin sequence finishes its window intact, so
+Algorithm 2's interleaving invariant — every prefix of a sequence is
+balanced — holds within each segment; no job is ever dispatched from a
+half-rebuilt sequence.
+
+Admission control sheds load when the estimated utilization approaches
+saturation: above ``shed_threshold`` the controller asks the gate to
+thin arrivals to the fraction that brings the *admitted* load back to
+the threshold.  Thinning is deterministic (a fractional accumulator,
+not a coin flip), so service runs replay bit-identically.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..allocation.optimized import optimized_fractions
+from ..metrics.online import OnlineWorkloadEstimator, WorkloadEstimate
+from ..obs import counters
+from ..obs.spans import span
+from ..queueing.network import HeterogeneousNetwork
+
+__all__ = ["ControlDecision", "AdmissionGate", "QuasiStaticController"]
+
+
+@dataclass(frozen=True)
+class ControlDecision:
+    """Outcome of one control period."""
+
+    time: float
+    alphas: np.ndarray
+    estimate: WorkloadEstimate | None
+    swapped: bool
+    resolved: bool
+    shed_fraction: float
+
+
+class AdmissionGate:
+    """Deterministic thinning to a target admitted fraction.
+
+    A fractional accumulator admits ⌈f·k⌉-ish jobs out of every k in a
+    maximally even pattern — the load-shedding analog of the dispatch
+    sequence itself.  Carrying the accumulator across windows keeps the
+    admitted fraction exact in the long run.
+    """
+
+    def __init__(self) -> None:
+        self._acc = 0.0
+
+    def admit_mask(self, count: int, keep_fraction: float) -> np.ndarray:
+        if not 0.0 <= keep_fraction <= 1.0:
+            raise ValueError(f"keep_fraction must lie in [0, 1], got {keep_fraction}")
+        if keep_fraction >= 1.0:
+            return np.ones(count, dtype=bool)
+        mask = np.empty(count, dtype=bool)
+        acc = self._acc
+        for j in range(count):
+            acc += keep_fraction
+            if acc >= 1.0 - 1e-12:
+                acc -= 1.0
+                mask[j] = True
+            else:
+                mask[j] = False
+        self._acc = acc
+        return mask
+
+
+class QuasiStaticController:
+    """Estimator-driven re-solver for the scheduler service.
+
+    Parameters
+    ----------
+    nominal_speeds:
+        Speed vector the service believes before any completions are
+        observed; also the solver input dimension.
+    window:
+        Time width of the windowed rate estimator.
+    shed_threshold:
+        Estimated ρ above which admission control engages.
+    rho_cap:
+        Utilization handed to the solver is clamped here: Algorithm 1
+        requires ρ < 1, and near-saturation estimates would otherwise
+        make the re-solve blow up exactly when the estimate is noisiest.
+    swap_tolerance:
+        Minimum L∞ change in the allocation vector that triggers a
+        sequence swap; smaller drifts keep the running sequence (the
+        paper's own insensitivity result, Section 5.4, says small
+        allocation errors cost little).
+    min_arrivals_to_shed:
+        Arrivals that must be observed before admission control may
+        engage.  The first-window rate estimate can transiently
+        overshoot; dropping real jobs on a few seconds of noisy data is
+        worse than serving one slow window.
+    """
+
+    def __init__(
+        self,
+        nominal_speeds,
+        *,
+        window: float,
+        ewma_weight: float = 0.05,
+        shed_threshold: float = 0.95,
+        rho_cap: float = 0.98,
+        swap_tolerance: float = 0.01,
+        min_arrivals_to_shed: int = 200,
+    ):
+        if not 0.0 < shed_threshold < 1.0:
+            raise ValueError(f"shed_threshold must lie in (0, 1), got {shed_threshold}")
+        if not 0.0 < rho_cap < 1.0:
+            raise ValueError(f"rho_cap must lie in (0, 1), got {rho_cap}")
+        speeds = np.asarray(nominal_speeds, dtype=float)
+        self.estimator = OnlineWorkloadEstimator(
+            speeds, window=window, ewma_weight=ewma_weight
+        )
+        self.shed_threshold = float(shed_threshold)
+        self.rho_cap = float(rho_cap)
+        self.swap_tolerance = float(swap_tolerance)
+        self.min_arrivals_to_shed = int(min_arrivals_to_shed)
+        # Until the first usable estimate the best guess is the
+        # capacity-proportional split — optimal at ρ → 1 and never
+        # saturating for ρ < 1.
+        self.alphas = speeds / speeds.sum()
+        self.shed_fraction = 0.0
+        self.resolves = 0
+        self.swaps = 0
+
+    # Delegation: the service loop feeds the controller, the controller
+    # feeds the estimators.
+    def observe_arrival(self, t: float, size: float) -> None:
+        self.estimator.observe_arrival(t, size)
+
+    def observe_service(self, server: int, size: float, service_time: float) -> None:
+        self.estimator.observe_service(server, size, service_time)
+
+    def resolve(self, now: float) -> ControlDecision:
+        """Run one control period: snapshot, re-solve, decide swap/shed."""
+        with span("service.resolve", time=float(now)) as sp:
+            estimate = self.estimator.snapshot(now)
+            if not estimate.usable:
+                sp.set(status="skipped")
+                counters.inc("service.resolve_skipped")
+                return ControlDecision(
+                    time=float(now), alphas=self.alphas, estimate=None,
+                    swapped=False, resolved=False,
+                    shed_fraction=self.shed_fraction,
+                )
+            rho_hat = estimate.utilization
+            network = HeterogeneousNetwork(
+                estimate.speeds, utilization=min(rho_hat, self.rho_cap)
+            )
+            target = optimized_fractions(network)
+            delta = float(np.max(np.abs(target - self.alphas)))
+            swapped = delta > self.swap_tolerance
+            if swapped:
+                self.alphas = target
+                self.swaps += 1
+                counters.inc("service.swaps")
+            if (
+                rho_hat > self.shed_threshold
+                and self.estimator.arrivals_seen >= self.min_arrivals_to_shed
+            ):
+                self.shed_fraction = 1.0 - self.shed_threshold / rho_hat
+            else:
+                self.shed_fraction = 0.0
+            self.resolves += 1
+            counters.inc("service.resolves")
+            sp.set(status="resolved", rho_hat=round(rho_hat, 6),
+                   delta=round(delta, 6), swapped=swapped,
+                   shed_fraction=round(self.shed_fraction, 6))
+            return ControlDecision(
+                time=float(now), alphas=self.alphas, estimate=estimate,
+                swapped=swapped, resolved=True,
+                shed_fraction=self.shed_fraction,
+            )

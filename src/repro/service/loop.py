@@ -1,0 +1,267 @@
+"""The quasi-static scheduler service loop.
+
+:class:`SchedulerService` ties the pieces together: a
+:class:`~repro.service.sources.JobSource` supplies arrivals, the
+:class:`~repro.service.controller.QuasiStaticController` estimates the
+workload and periodically re-solves Theorems 1–3, the live
+:class:`~repro.dispatch.round_robin.RoundRobinDispatcher` turns
+allocations into a dispatch sequence, and the
+:class:`~repro.service.replay.ServerBank` carries each server's FCFS
+backlog across control windows.
+
+Time advances one control period at a time.  Within a window the
+dispatch sequence is immutable — Algorithm 2's interleaving invariant
+holds for the segment — and the controller may swap it only at the
+boundary (drain-and-switch).  Admission thinning decided at the last
+re-solve applies to the *next* window's arrivals, mirroring how a real
+controller can only act on what it has already measured.
+
+The run is fully deterministic given the seed: estimator updates,
+thinning, dispatch, and replay all avoid hidden randomness, so a
+service run is a reproducible experiment, not just a demo.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..dispatch.round_robin import RoundRobinDispatcher
+from ..obs import counters
+from ..obs.spans import span
+from .controller import AdmissionGate, ControlDecision, QuasiStaticController
+from .replay import ServerBank
+from .sources import JobSource
+
+__all__ = ["ServiceConfig", "WindowRecord", "ServiceReport", "SchedulerService"]
+
+
+@dataclass(frozen=True)
+class ServiceConfig:
+    """Tunables of the service loop (workload construction lives with
+    the callers — CLI and experiments — which build the JobSource)."""
+
+    speeds: tuple[float, ...]
+    duration: float
+    control_period: float
+    estimator_window: float | None = None  # default: 2 control periods
+    # 1/weight ≈ 100-sample memory: mean-size estimates with a shorter
+    # memory make ρ̂ swing ±20% on exponential sizes, which churns the
+    # swap logic for nothing.
+    ewma_weight: float = 0.01
+    shed_threshold: float = 0.95
+    rho_cap: float = 0.98
+    swap_tolerance: float = 0.01
+    min_arrivals_to_shed: int = 200
+
+    def __post_init__(self):
+        if len(self.speeds) == 0 or any(s <= 0 for s in self.speeds):
+            raise ValueError(f"speeds must be positive, got {self.speeds}")
+        if self.duration <= 0:
+            raise ValueError(f"duration must be positive, got {self.duration}")
+        if self.control_period <= 0 or self.control_period > self.duration:
+            raise ValueError(
+                f"control_period must lie in (0, duration], got {self.control_period}"
+            )
+
+    @property
+    def window(self) -> float:
+        return (
+            self.estimator_window
+            if self.estimator_window is not None
+            else 2.0 * self.control_period
+        )
+
+
+@dataclass(frozen=True)
+class WindowRecord:
+    """Telemetry of one control window."""
+
+    start: float
+    end: float
+    offered: int
+    admitted: int
+    shed: int
+    mean_response_time: float  # NaN when the window dispatched nothing
+    mean_response_ratio: float
+    lambda_hat: float
+    rho_hat: float
+    swapped: bool
+    alphas: np.ndarray
+
+
+@dataclass
+class ServiceReport:
+    """Everything a service run produced, JSON-serializable."""
+
+    config: ServiceConfig
+    windows: list[WindowRecord] = field(default_factory=list)
+    jobs_offered: int = 0
+    jobs_dispatched: int = 0
+    jobs_shed: int = 0
+    swaps: int = 0
+    resolves: int = 0
+    clean_shutdown: bool = False
+
+    @property
+    def final_alphas(self) -> np.ndarray:
+        if not self.windows:
+            raise ValueError("no windows recorded")
+        return self.windows[-1].alphas
+
+    @property
+    def time_averaged_mrt(self) -> float:
+        """Job-weighted mean response time over the whole run."""
+        total_jobs = sum(w.admitted for w in self.windows)
+        if total_jobs == 0:
+            return float("nan")
+        weighted = sum(
+            w.admitted * w.mean_response_time
+            for w in self.windows
+            if w.admitted > 0
+        )
+        return weighted / total_jobs
+
+    def allocation_history(self) -> list[tuple[float, np.ndarray]]:
+        """(window end, allocation) at every swap, initial included."""
+        out: list[tuple[float, np.ndarray]] = []
+        for w in self.windows:
+            if not out or w.swapped:
+                out.append((w.end, w.alphas))
+        return out
+
+    def as_dict(self) -> dict:
+        return {
+            "speeds": list(self.config.speeds),
+            "duration": self.config.duration,
+            "control_period": self.config.control_period,
+            "jobs_offered": self.jobs_offered,
+            "jobs_dispatched": self.jobs_dispatched,
+            "jobs_shed": self.jobs_shed,
+            "swaps": self.swaps,
+            "resolves": self.resolves,
+            "clean_shutdown": self.clean_shutdown,
+            "time_averaged_mrt": self.time_averaged_mrt,
+            "final_alphas": [float(a) for a in self.final_alphas]
+            if self.windows
+            else [],
+            "windows": [
+                {
+                    "start": w.start,
+                    "end": w.end,
+                    "offered": w.offered,
+                    "admitted": w.admitted,
+                    "shed": w.shed,
+                    "mean_response_time": w.mean_response_time,
+                    "mean_response_ratio": w.mean_response_ratio,
+                    "lambda_hat": w.lambda_hat,
+                    "rho_hat": w.rho_hat,
+                    "swapped": w.swapped,
+                }
+                for w in self.windows
+            ],
+        }
+
+
+class SchedulerService:
+    """Run the quasi-static loop over a job source until the horizon."""
+
+    def __init__(
+        self,
+        config: ServiceConfig,
+        source: JobSource,
+        controller: QuasiStaticController | None = None,
+    ):
+        self.config = config
+        self.source = source
+        self.controller = controller or QuasiStaticController(
+            np.asarray(config.speeds, dtype=float),
+            window=config.window,
+            ewma_weight=config.ewma_weight,
+            shed_threshold=config.shed_threshold,
+            rho_cap=config.rho_cap,
+            swap_tolerance=config.swap_tolerance,
+            min_arrivals_to_shed=config.min_arrivals_to_shed,
+        )
+        self.bank = ServerBank(config.speeds)
+        self.gate = AdmissionGate()
+        self.dispatcher = RoundRobinDispatcher()
+        self.dispatcher.reset(self.controller.alphas)
+
+    def run(self) -> ServiceReport:
+        config = self.config
+        report = ServiceReport(config=config)
+        n_windows = int(np.ceil(config.duration / config.control_period))
+        with span("service.run", windows=n_windows,
+                  servers=len(config.speeds)):
+            for k in range(n_windows):
+                start = k * config.control_period
+                end = min((k + 1) * config.control_period, config.duration)
+                self._run_window(start, end, report)
+        report.swaps = self.controller.swaps
+        report.resolves = self.controller.resolves
+        report.clean_shutdown = True
+        return report
+
+    def _run_window(self, start: float, end: float, report: ServiceReport) -> None:
+        controller = self.controller
+        times, sizes = self.source.jobs_until(end)
+        # The estimator sees the *offered* stream — shed jobs included —
+        # because sizing decisions must track demand, not what survived
+        # the previous shedding decision.
+        for t, x in zip(times, sizes):
+            controller.observe_arrival(t, x)
+        keep = 1.0 - controller.shed_fraction
+        mask = self.gate.admit_mask(times.size, keep)
+        adm_times = times[mask]
+        adm_sizes = sizes[mask]
+
+        # Dispatch under the window's (immutable) sequence, replay with
+        # carried backlog, and feed completions back to the estimator.
+        targets = self.dispatcher.select_batch(adm_sizes)
+        departures, service_times = self.bank.replay_window(
+            targets, adm_times, adm_sizes
+        )
+        for srv, x, svc in zip(targets, adm_sizes, service_times):
+            controller.observe_service(int(srv), float(x), float(svc))
+
+        shed = int(times.size - adm_times.size)
+        counters.inc("service.jobs_dispatched", value=int(adm_times.size))
+        if shed:
+            counters.inc("service.jobs_shed", value=shed)
+
+        if adm_times.size:
+            response = departures - adm_times
+            mrt = float(response.mean())
+            ratio = float((response / adm_sizes).mean())
+        else:
+            mrt = float("nan")
+            ratio = float("nan")
+
+        # Drain-and-switch: the controller may change the allocation
+        # only here, between windows; a swap restarts the sequence.
+        decision: ControlDecision = controller.resolve(end)
+        if decision.swapped:
+            self.dispatcher = RoundRobinDispatcher()
+            self.dispatcher.reset(decision.alphas)
+
+        estimate = decision.estimate
+        report.windows.append(
+            WindowRecord(
+                start=start,
+                end=end,
+                offered=int(times.size),
+                admitted=int(adm_times.size),
+                shed=shed,
+                mean_response_time=mrt,
+                mean_response_ratio=ratio,
+                lambda_hat=(estimate.arrival_rate if estimate else float("nan")),
+                rho_hat=(estimate.utilization if estimate else float("nan")),
+                swapped=decision.swapped,
+                alphas=decision.alphas,
+            )
+        )
+        report.jobs_offered += int(times.size)
+        report.jobs_dispatched += int(adm_times.size)
+        report.jobs_shed += shed

@@ -49,6 +49,7 @@ import heapq
 import numpy as np
 
 from ..dispatch.base import Dispatcher
+from ..dispatch.round_robin import RoundRobinDispatcher, build_dispatch_sequence
 from ..metrics.response import MetricsCollector
 from ..obs import counters
 from ..obs.spans import span
@@ -289,47 +290,27 @@ _REPLAY_CORES = {"ps": _ps_replay_core, "fcfs": _fcfs_replay_core}
 # Weighted round robin (Algorithm 2) ignores job sizes and randomness:
 # its target sequence is a pure function of (alphas, arrival count), and
 # the sequence for N jobs is a prefix of the sequence for M > N jobs.
-# Replications of one sweep cell therefore share a single sequence; the
-# memo computes it once per process and extends it statefully (the live
-# dispatcher is kept alongside the targets).  Entries are LRU-bounded
-# and stored as int16 (a network never has 32k computers) to keep the
-# footprint small at paper-scale job counts.
-
-_DISPATCH_MEMO_ENTRIES = 4
-_dispatch_memo: dict[tuple, tuple[np.ndarray, Dispatcher]] = {}
+# Replications of one sweep cell therefore share a single sequence.
+# The memo itself lives with the algorithm
+# (:func:`repro.dispatch.round_robin.build_dispatch_sequence`) and owns
+# private dispatchers, so caller-side resets can never corrupt a cached
+# prefix; this wrapper only adds the telemetry span.
 
 
 def _dispatch_targets(dispatcher: Dispatcher, sizes: np.ndarray) -> np.ndarray:
     """All stage-2 decisions, memoized for sequence-deterministic
     dispatchers (bit-identical to calling ``select_batch`` directly)."""
     with span("dispatch", jobs=int(sizes.size)) as sp:
-        if not dispatcher.sequence_deterministic:
-            sp.set(memo="bypass")
-            return dispatcher.select_batch(sizes)
-        key = (
-            type(dispatcher).__qualname__,
-            getattr(dispatcher, "guard_init", None),
-            dispatcher.alphas.tobytes(),
-        )
-        n = sizes.size
-        entry = _dispatch_memo.pop(key, None)
-        if entry is None:
-            sp.set(memo="miss")
-            targets = dispatcher.select_batch(sizes).astype(np.int16)
-            entry = (targets, dispatcher)
-        else:
-            targets, live = entry
-            if n > targets.size:
-                sp.set(memo="extend")
-                extra = live.select_batch(sizes[targets.size :]).astype(np.int16)
-                targets = np.concatenate([targets, extra])
-                entry = (targets, live)
-            else:
-                sp.set(memo="hit")
-        _dispatch_memo[key] = entry  # re-insert: dict preserves LRU order
-        while len(_dispatch_memo) > _DISPATCH_MEMO_ENTRIES:
-            _dispatch_memo.pop(next(iter(_dispatch_memo)))
-        return entry[0][:n].astype(np.int64)
+        if dispatcher.sequence_deterministic and isinstance(
+            dispatcher, RoundRobinDispatcher
+        ):
+            targets, status = build_dispatch_sequence(
+                dispatcher.alphas, sizes.size, guard_init=dispatcher.guard_init
+            )
+            sp.set(memo=status)
+            return targets
+        sp.set(memo="bypass")
+        return dispatcher.select_batch(sizes)
 
 
 def _resolve_replay(config: SimulationConfig):

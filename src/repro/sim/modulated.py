@@ -22,13 +22,27 @@ import numpy as np
 from ..distributions import Distribution
 from .arrivals import ArrivalStream
 
-__all__ = ["RateProfile", "ModulatedArrivalStream", "diurnal_profile"]
+__all__ = [
+    "RateProfile",
+    "ModulatedArrivalStream",
+    "diurnal_profile",
+    "step_profile",
+    "drift_profile",
+]
 
 
 class RateProfile:
-    """Periodic piecewise-constant rate multiplier, normalized to mean 1."""
+    """Periodic piecewise-constant rate multiplier.
 
-    def __init__(self, multipliers, segment_length: float):
+    By default the multipliers are normalized to mean 1 so the long-run
+    utilization of a modulated workload matches its nominal value (the
+    diurnal-cycle use case).  ``normalize=False`` keeps them absolute:
+    the instantaneous rate is λ·m(t) with m(t) as given, which is what
+    the quasi-static service's step-change and drift workloads need —
+    there the *point* is that the long-run load moves.
+    """
+
+    def __init__(self, multipliers, segment_length: float, *, normalize: bool = True):
         m = np.asarray(multipliers, dtype=float)
         if m.ndim != 1 or m.size == 0:
             raise ValueError("multipliers must be a non-empty 1-D vector")
@@ -36,7 +50,8 @@ class RateProfile:
             raise ValueError(f"multipliers must be positive, got {m}")
         if segment_length <= 0:
             raise ValueError(f"segment_length must be positive, got {segment_length}")
-        self.multipliers = m / m.mean()  # normalize: long-run mean rate preserved
+        self.normalized = bool(normalize)
+        self.multipliers = m / m.mean() if normalize else m.copy()
         self.segment_length = float(segment_length)
         # Cumulative integral at segment boundaries: breaks[k] = Λ(k·L).
         self._breaks = np.concatenate(
@@ -49,7 +64,7 @@ class RateProfile:
 
     @property
     def area_per_period(self) -> float:
-        """Λ(period) — equals the period because of normalization."""
+        """Λ(period) — equals the period when normalized."""
         return float(self._breaks[-1])
 
     def multiplier_at(self, t: float) -> float:
@@ -109,6 +124,48 @@ def diurnal_profile(
     amplitude = (peak_to_trough - 1.0) / 2.0
     multipliers = 1.0 + amplitude * (1.0 + np.sin(phase))
     return RateProfile(multipliers, period / segments)
+
+
+def step_profile(step_time: float, factor: float, horizon: float) -> RateProfile:
+    """Absolute step change: rate λ before *step_time*, λ·*factor* after.
+
+    The profile is built un-normalized with a period rounded up past
+    *horizon*, so within the run it never wraps — the step happens once.
+    Used by the quasi-static service experiments to test how fast the
+    control loop re-converges after the workload jumps.
+    """
+    if step_time <= 0.0:
+        raise ValueError(f"step_time must be positive, got {step_time}")
+    if horizon <= step_time:
+        raise ValueError(
+            f"horizon ({horizon}) must exceed step_time ({step_time})"
+        )
+    if factor <= 0.0:
+        raise ValueError(f"factor must be positive, got {factor}")
+    segments_after = int(np.ceil((horizon - step_time) / step_time))
+    multipliers = np.concatenate([[1.0], np.full(segments_after, factor)])
+    return RateProfile(multipliers, step_time, normalize=False)
+
+
+def drift_profile(
+    start_factor: float, end_factor: float, horizon: float, segments: int = 64
+) -> RateProfile:
+    """Absolute linear drift from λ·*start_factor* to λ·*end_factor*.
+
+    Piecewise-constant staircase over *segments* equal slices of
+    *horizon* (un-normalized; wraps only past the horizon).  Models the
+    slow-trend regime where the quasi-static loop continuously chases
+    the load rather than reacting to one discrete event.
+    """
+    if segments < 2:
+        raise ValueError(f"need at least 2 segments, got {segments}")
+    if horizon <= 0.0:
+        raise ValueError(f"horizon must be positive, got {horizon}")
+    if start_factor <= 0.0 or end_factor <= 0.0:
+        raise ValueError("drift factors must be positive")
+    centers = (np.arange(segments) + 0.5) / segments
+    multipliers = start_factor + (end_factor - start_factor) * centers
+    return RateProfile(multipliers, horizon / segments, normalize=False)
 
 
 class ModulatedArrivalStream:

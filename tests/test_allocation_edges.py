@@ -1,0 +1,142 @@
+"""Edge-case and property tests for Algorithm 1's cutoff (Theorems 1–3).
+
+The closed-form allocation has two documented boundary hazards (cf.
+Mondal's note on optimal static load balancing): homogeneous-speed
+networks at very light load, where the drop predicate's gap is pure
+floating-point noise, and near-saturation loads, where the Theorem 1
+numerators approach zero.  These tests pin the deterministic-tolerance
+behaviour: Σα = 1, α monotone in speed, and zero shares exactly for the
+machines failing the Theorem 3 condition.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.allocation.optimized import (
+    CUTOFF_RTOL,
+    optimized_fractions,
+    unconstrained_fractions,
+    zero_share_cutoff,
+)
+from repro.queueing.network import HeterogeneousNetwork
+
+SPEED_CHOICES = [1e-3, 0.05, 0.1, 1.0, 1.0, 2.0, 5.0, 10.0, 1e3]
+
+
+def _theorem3_cutoff_linear(rates: np.ndarray, lam: float) -> int:
+    """Reference linear scan of the (tolerance-relaxed) drop predicate."""
+    sq = np.sqrt(rates)
+    m = 0
+    for i in range(rates.size):
+        gap = (rates[i:].sum() - lam) - sq[i] * sq[i:].sum()
+        if gap > CUTOFF_RTOL * max(rates[i:].sum(), lam):
+            m += 1
+        else:
+            break
+    return m
+
+
+@given(
+    speeds=st.lists(st.sampled_from(SPEED_CHOICES), min_size=1, max_size=24),
+    rho=st.floats(min_value=1e-6, max_value=0.999),
+)
+@settings(max_examples=200, deadline=None)
+def test_allocation_properties(speeds, rho):
+    network = HeterogeneousNetwork(np.asarray(speeds), utilization=rho)
+    alphas = optimized_fractions(network)
+
+    # Σα = 1 within a deterministic tolerance, every entry finite.
+    assert np.all(np.isfinite(alphas))
+    assert abs(float(alphas.sum()) - 1.0) < 1e-9
+    assert np.all(alphas >= 0.0)
+
+    # α monotone in speed: a faster machine never gets less work.
+    order = np.argsort(network.speeds, kind="stable")
+    assert np.all(np.diff(alphas[order]) >= -1e-9)
+
+    # Zero share iff the Theorem 3 condition: the m slowest machines
+    # identified by the cutoff get exactly zero, everyone else > 0.
+    rates = np.sort(network.service_rates())
+    m = zero_share_cutoff(rates, network.arrival_rate)
+    sorted_alphas = alphas[order]
+    assert np.all(sorted_alphas[:m] == 0.0)
+    assert np.all(sorted_alphas[m:] > 0.0)
+
+    # Binary search agrees with the linear scan of the same predicate
+    # (the monotonicity that justifies Algorithm 1's steps 4–5).
+    assert m == _theorem3_cutoff_linear(rates, network.arrival_rate)
+
+    # Theorem 3 restated on the active suffix: dropped machines fail
+    # sqrt(sᵢμ) > c over the *kept* set, kept machines satisfy it.
+    active = rates[m:]
+    c = (active.sum() - network.arrival_rate) / np.sqrt(active).sum()
+    if m > 0:
+        assert np.sqrt(rates[m - 1]) <= c * (1.0 + 1e-9)
+    assert np.all(np.sqrt(active) >= c * (1.0 - 1e-9) - 1e-300)
+
+
+@pytest.mark.parametrize("n", [2, 7, 64, 1000, 2987])
+@pytest.mark.parametrize("speed", [0.1, 1.0 / 3.0, 1.1, 3.3])
+@pytest.mark.parametrize("rho", [1e-15, 1e-12, 1e-6, 0.5, 1.0 - 1e-9])
+def test_homogeneous_never_drops(n, speed, rho):
+    """Equal speeds ⇒ equal shares at every load level.
+
+    Before the deterministic tolerance, λ below the suffix-sum rounding
+    noise mis-dropped hundreds of machines of a homogeneous network.
+    """
+    network = HeterogeneousNetwork(np.full(n, speed), utilization=rho)
+    rates = np.sort(network.service_rates())
+    assert zero_share_cutoff(rates, network.arrival_rate) == 0
+    alphas = optimized_fractions(network)
+    assert np.all(np.isfinite(alphas))
+    assert abs(float(alphas.sum()) - 1.0) < 1e-9
+    assert np.all(alphas > 0.0)
+    np.testing.assert_allclose(alphas, 1.0 / n, rtol=1e-9)
+
+
+@pytest.mark.parametrize("rho", [0.999, 1.0 - 1e-9, 1.0 - 1e-12])
+def test_near_saturation_keeps_slowest(rho):
+    """ρ → 1⁻: every machine must work, α → capacity-proportional."""
+    speeds = np.array([0.05, 1.0, 1.0, 2.0, 10.0])
+    network = HeterogeneousNetwork(speeds, utilization=rho)
+    alphas = optimized_fractions(network)
+    assert np.all(alphas > 0.0)
+    assert abs(float(alphas.sum()) - 1.0) < 1e-9
+    # At saturation the optimum converges to the weighted (capacity-
+    # proportional) split; at ρ = 1 − 1e-12 it is there to ~1e-6.
+    if rho >= 1.0 - 1e-9:
+        np.testing.assert_allclose(alphas, speeds / speeds.sum(), rtol=1e-4)
+
+
+def test_light_load_drops_all_but_fastest():
+    """λ → 0 on a skewed network: Theorem 3 sheds every slow machine."""
+    network = HeterogeneousNetwork(
+        np.array([1.0, 1.0, 1.0, 10.0]), utilization=1e-6
+    )
+    alphas = optimized_fractions(network)
+    np.testing.assert_allclose(alphas, [0.0, 0.0, 0.0, 1.0], atol=1e-9)
+
+
+def test_unconstrained_negative_signals_drop():
+    """A negative interior solution is exactly the Theorem 2 signal."""
+    network = HeterogeneousNetwork(
+        np.array([0.05, 1.0, 1.0, 10.0]), utilization=0.3
+    )
+    raw = unconstrained_fractions(network)
+    assert raw.min() < 0.0
+    alphas = optimized_fractions(network)
+    assert alphas[np.argmin(network.speeds)] == 0.0
+
+
+def test_tie_speeds_share_equally():
+    """Stable sort + closed form: identical speeds get identical α."""
+    network = HeterogeneousNetwork(
+        np.array([2.0, 1.0, 2.0, 1.0]), utilization=0.9
+    )
+    alphas = optimized_fractions(network)
+    assert alphas[0] == alphas[2]
+    assert alphas[1] == alphas[3]

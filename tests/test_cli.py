@@ -142,3 +142,75 @@ class TestBench:
                      "--output", str(tmp_path / "b.json")])
         assert code == 2
         assert "n_jobs" in capsys.readouterr().err
+
+
+class TestServe:
+    def test_serve_json_smoke(self, capsys):
+        import json
+
+        code = main(["serve", "--speeds", "1,2,3", "--duration", "500",
+                     "--resolve-period", "100", "--seed", "4", "--json"])
+        assert code == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["clean_shutdown"] is True
+        assert payload["jobs_dispatched"] > 0
+        assert payload["resolves"] == 5
+        assert len(payload["final_alphas"]) == 3
+
+    def test_serve_human_output(self, capsys):
+        code = main(["serve", "--speeds", "1,2", "--duration", "300",
+                     "--resolve-period", "100"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "jobs dispatched" in out
+        assert "final allocation" in out
+
+    def test_serve_step_workload(self, capsys):
+        import json
+
+        code = main(["serve", "--speeds", "1,2,3", "--duration", "1000",
+                     "--resolve-period", "100", "--workload", "step",
+                     "--step-factor", "1.5", "--json"])
+        assert code == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["clean_shutdown"] is True
+        # the step raises the late arrival rate above the early one
+        windows = payload["windows"]
+        early = sum(w["offered"] for w in windows[:5])
+        late = sum(w["offered"] for w in windows[5:])
+        assert late > early
+
+    def test_serve_replay_trace(self, capsys, tmp_path):
+        import json
+
+        trace = tmp_path / "trace.csv"
+        trace.write_text(
+            "".join(f"{t * 0.1:.3f},1.0\n" for t in range(200))
+        )
+        code = main(["serve", "--speeds", "1,1", "--duration", "20",
+                     "--resolve-period", "5", "--replay", str(trace),
+                     "--json"])
+        assert code == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["jobs_dispatched"] == 200
+
+    def test_serve_bad_speeds(self, capsys):
+        assert main(["serve", "--speeds", "x,y", "--duration", "100",
+                     "--resolve-period", "10"]) == 2
+        assert "could not parse" in capsys.readouterr().err
+
+    def test_serve_bad_utilization(self, capsys):
+        assert main(["serve", "--speeds", "1,2", "--utilization", "1.3",
+                     "--duration", "100", "--resolve-period", "10"]) == 2
+        assert "utilization" in capsys.readouterr().err
+
+    def test_serve_missing_trace(self, capsys):
+        assert main(["serve", "--speeds", "1,2", "--duration", "100",
+                     "--resolve-period", "10",
+                     "--replay", "/nonexistent/trace.csv"]) == 2
+        assert "could not read" in capsys.readouterr().err
+
+    def test_serve_bad_period(self, capsys):
+        assert main(["serve", "--speeds", "1,2", "--duration", "10",
+                     "--resolve-period", "100"]) == 2
+        assert "control_period" in capsys.readouterr().err

@@ -198,3 +198,30 @@ class TestFormatTable:
     def test_empty_headers(self):
         with pytest.raises(ValueError):
             format_table([], [])
+
+
+class TestOnlineExtension:
+    def test_registered(self):
+        from repro.experiments import experiment_ids
+
+        assert "online" in experiment_ids()
+
+    def test_smoke_run_meets_acceptance(self):
+        from repro.experiments.extension_online import run_online_extension
+
+        result = run_online_extension(SMOKE)
+        out = result.format()
+        assert "quasi-static service" in out
+        for cell in result.cells:
+            assert np.isfinite(cell.service_mrt)
+            # Service stays within 5% of oracle static ORR on the same
+            # trace, stationary AND step (the step oracle re-solves at
+            # the step, the best a quasi-static scheme could do).
+            assert cell.mrt_ratio < 1.05, (
+                f"{cell.workload}@{cell.control_period}: "
+                f"ratio {cell.mrt_ratio:.3f}"
+            )
+            assert cell.tracking_error < 0.05
+        for period in (50.0, 100.0):
+            step = result.cell("step", period)
+            assert step.recovery_periods <= 2.0

@@ -216,3 +216,63 @@ class TestReplicationSummary:
             summarize_replications([])
         with pytest.raises(ValueError, match="confidence"):
             summarize_replications([1.0, 2.0], confidence=1.5)
+
+
+class TestDegenerateIntervals:
+    """Satellite fix: degenerate inputs must yield flagged zero-width
+    intervals, never NaN half-widths that poison precision loops."""
+
+    def test_single_replication_flagged(self):
+        s = summarize_replications([4.2])
+        assert s.degenerate
+        assert s.half_width == 0.0
+        assert s.relative_half_width == 0.0
+
+    def test_zero_variance_flagged(self):
+        s = summarize_replications([3.0, 3.0, 3.0, 3.0])
+        assert s.degenerate
+        assert s.half_width == 0.0
+        assert s.std == 0.0
+        assert s.relative_half_width == 0.0
+
+    def test_nonfinite_inputs_never_produce_nan_half_width(self):
+        for values in ([1.0, math.nan, 2.0], [1.0, math.inf, 2.0]):
+            s = summarize_replications(values)
+            assert s.degenerate
+            assert s.half_width == 0.0
+            assert not math.isnan(s.half_width)
+            # Non-finite mean: relative width is inf, so `<= target`
+            # comparisons stay well-defined (False, never NaN).
+            assert s.relative_half_width == math.inf
+            assert not (s.relative_half_width <= 0.05)
+
+    def test_healthy_inputs_not_flagged(self):
+        s = summarize_replications([1.0, 2.0, 3.0])
+        assert not s.degenerate
+        assert s.half_width > 0.0
+
+    def test_paired_single_pair_flagged(self):
+        from repro.metrics import summarize_paired
+
+        s = summarize_paired([1.0], [2.0])
+        assert s.degenerate
+        assert s.half_width == 0.0
+        assert s.mean_diff == -1.0
+
+    def test_paired_identical_policies_under_crn_flagged(self):
+        from repro.metrics import summarize_paired
+
+        # CRN with identical policies: the difference vector is exactly
+        # zero — a real scenario, not a numerical accident.
+        s = summarize_paired([1.5, 2.5, 3.5], [1.5, 2.5, 3.5])
+        assert s.degenerate
+        assert s.mean_diff == 0.0
+        assert s.half_width == 0.0
+        assert s.verdict == "tie"
+
+    def test_paired_nonfinite_differences_flagged(self):
+        from repro.metrics import summarize_paired
+
+        s = summarize_paired([1.0, math.nan, 3.0], [1.0, 2.0, 3.0])
+        assert s.degenerate
+        assert not math.isnan(s.half_width)

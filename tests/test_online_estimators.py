@@ -1,0 +1,221 @@
+"""Tests for the quasi-static service estimators (repro.metrics.online)
+and the absolute (un-normalized) rate profiles that drive them.
+
+Satellite coverage: EWMA/windowed estimators converge to the true λ and
+sᵢ on stationary streams, and re-converge after a step change within
+the configured window (windowed) or a bounded number of observations
+(EWMA).  Everything is seeded and tolerance-based.
+"""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.metrics.online import (
+    EwmaEstimator,
+    EwmaRateEstimator,
+    OnlineWorkloadEstimator,
+    ServerSpeedEstimator,
+    WindowedRateEstimator,
+)
+from repro.sim.modulated import RateProfile, drift_profile, step_profile
+
+
+# ----------------------------------------------------------------------
+# EwmaEstimator
+# ----------------------------------------------------------------------
+
+
+def test_ewma_first_update_is_exact():
+    e = EwmaEstimator(0.05)
+    assert math.isnan(e.value)
+    assert e.update(7.25) == pytest.approx(7.25)
+
+
+def test_ewma_bias_correction_early_window():
+    """Early estimates equal the weighted mean of data seen so far, not
+    a zero-pulled value."""
+    e = EwmaEstimator(0.01)
+    for x in (4.0, 4.0, 4.0):
+        e.update(x)
+    assert e.value == pytest.approx(4.0)
+
+
+def test_ewma_converges_on_stationary_stream():
+    rng = np.random.default_rng(42)
+    e = EwmaEstimator(0.02)
+    for x in rng.exponential(2.0, size=5000):
+        e.update(x)
+    assert e.value == pytest.approx(2.0, rel=0.15)
+
+
+def test_ewma_rejects_bad_weight():
+    with pytest.raises(ValueError):
+        EwmaEstimator(0.0)
+    with pytest.raises(ValueError):
+        EwmaEstimator(1.5)
+
+
+# ----------------------------------------------------------------------
+# Rate estimators: stationary convergence
+# ----------------------------------------------------------------------
+
+
+def _poisson_times(rate, horizon, rng):
+    gaps = rng.exponential(1.0 / rate, size=int(rate * horizon * 2) + 50)
+    times = np.cumsum(gaps)
+    return times[times <= horizon]
+
+
+def test_ewma_rate_converges_to_true_lambda():
+    rng = np.random.default_rng(7)
+    est = EwmaRateEstimator(0.01)
+    for t in _poisson_times(5.0, 2000.0, rng):
+        est.observe(t)
+    assert est.rate() == pytest.approx(5.0, rel=0.1)
+
+
+def test_windowed_rate_converges_to_true_lambda():
+    rng = np.random.default_rng(11)
+    est = WindowedRateEstimator(window=200.0)
+    times = _poisson_times(5.0, 1000.0, rng)
+    for t in times:
+        est.observe(t)
+    assert est.rate(1000.0) == pytest.approx(5.0, rel=0.1)
+
+
+def test_windowed_rate_early_times_unbiased():
+    """Before one full window has elapsed, divide by elapsed time."""
+    est = WindowedRateEstimator(window=100.0)
+    for t in np.arange(0.5, 10.0, 0.5):  # 2 events per unit time
+        est.observe(t)
+    assert est.rate(10.0) == pytest.approx(2.0, rel=0.06)
+
+
+def test_windowed_rate_empty_window_reads_zero():
+    est = WindowedRateEstimator(window=10.0)
+    est.observe(1.0)
+    assert est.rate(100.0) == 0.0
+
+
+def test_rate_estimators_reject_decreasing_timestamps():
+    for est in (EwmaRateEstimator(0.05), WindowedRateEstimator(10.0)):
+        est.observe(5.0)
+        with pytest.raises(ValueError):
+            est.observe(4.0)
+
+
+# ----------------------------------------------------------------------
+# Re-convergence after a step change
+# ----------------------------------------------------------------------
+
+
+def test_windowed_rate_reconverges_within_one_window():
+    """One window after the step, the old regime is fully forgotten."""
+    rng = np.random.default_rng(3)
+    window = 100.0
+    est = WindowedRateEstimator(window=window)
+    before = _poisson_times(2.0, 500.0, rng)
+    after = 500.0 + _poisson_times(4.0, 500.0, rng)
+    for t in np.concatenate([before, after]):
+        est.observe(t)
+    assert est.rate(500.0 + window) == pytest.approx(4.0, rel=0.15)
+    assert est.rate(1000.0) == pytest.approx(4.0, rel=0.15)
+
+
+def test_ewma_rate_reconverges_after_step():
+    rng = np.random.default_rng(5)
+    est = EwmaRateEstimator(0.02)
+    before = _poisson_times(2.0, 500.0, rng)
+    after = 500.0 + _poisson_times(4.0, 500.0, rng)
+    for t in np.concatenate([before, after]):
+        est.observe(t)
+    # ~2000 post-step observations against a 1/0.02 = 50-sample memory.
+    assert est.rate() == pytest.approx(4.0, rel=0.1)
+
+
+# ----------------------------------------------------------------------
+# Speed estimator and the facade
+# ----------------------------------------------------------------------
+
+
+def test_speed_estimator_converges_and_keeps_nominal():
+    rng = np.random.default_rng(13)
+    est = ServerSpeedEstimator([1.0, 2.5], weight=0.05)
+    for size in rng.exponential(1.0, size=500):
+        est.observe(0, size, size / 3.0)  # server 0 actually runs at 3.0
+    speeds = est.speeds()
+    assert speeds[0] == pytest.approx(3.0, rel=1e-9)
+    assert speeds[1] == 2.5  # no observations: nominal passes through
+
+
+def test_speed_estimator_rejects_bad_inputs():
+    with pytest.raises(ValueError):
+        ServerSpeedEstimator([1.0, -1.0])
+    est = ServerSpeedEstimator([1.0])
+    with pytest.raises(ValueError):
+        est.observe(0, 1.0, 0.0)
+
+
+def test_workload_estimator_snapshot_tracks_utilization():
+    rng = np.random.default_rng(29)
+    speeds = np.array([1.0, 2.0])
+    est = OnlineWorkloadEstimator(speeds, window=200.0, ewma_weight=0.002)
+    lam, mean_size = 4.0, 0.5
+    times = _poisson_times(lam, 1000.0, rng)
+    sizes = rng.exponential(mean_size, size=times.size)
+    for i, (t, x) in enumerate(zip(times, sizes)):
+        est.observe_arrival(t, x)
+        est.observe_service(i % 2, x, x / speeds[i % 2])
+    snap = est.snapshot(1000.0)
+    assert snap.usable
+    true_rho = lam * mean_size / speeds.sum()
+    assert snap.arrival_rate == pytest.approx(lam, rel=0.1)
+    assert snap.mean_size == pytest.approx(mean_size, rel=0.15)
+    np.testing.assert_allclose(snap.speeds, speeds, rtol=1e-9)
+    assert snap.utilization == pytest.approx(true_rho, rel=0.2)
+
+
+def test_workload_estimator_empty_snapshot_not_usable():
+    snap = OnlineWorkloadEstimator([1.0], window=10.0).snapshot(0.0)
+    assert not snap.usable
+    assert math.isnan(snap.utilization)
+
+
+# ----------------------------------------------------------------------
+# Absolute (un-normalized) rate profiles
+# ----------------------------------------------------------------------
+
+
+def test_rate_profile_normalize_false_keeps_absolute_multipliers():
+    p = RateProfile([2.0, 4.0], 10.0, normalize=False)
+    assert not p.normalized
+    assert p.multiplier_at(5.0) == 2.0
+    assert p.multiplier_at(15.0) == 4.0
+    assert p.cumulative(20.0) == pytest.approx(60.0)
+    assert p.inverse_cumulative(60.0) == pytest.approx(20.0)
+
+
+def test_step_profile_single_step_no_wrap():
+    p = step_profile(step_time=100.0, factor=2.0, horizon=350.0)
+    assert p.multiplier_at(50.0) == 1.0
+    for t in (150.0, 250.0, 349.0):
+        assert p.multiplier_at(t) == 2.0
+    assert p.period >= 350.0  # the step never repeats within the run
+    assert p.cumulative(300.0) == pytest.approx(100.0 + 2.0 * 200.0)
+
+
+def test_step_profile_validation():
+    with pytest.raises(ValueError):
+        step_profile(step_time=0.0, factor=2.0, horizon=10.0)
+    with pytest.raises(ValueError):
+        step_profile(step_time=10.0, factor=2.0, horizon=5.0)
+
+
+def test_drift_profile_ramps_monotonically():
+    p = drift_profile(1.0, 3.0, horizon=640.0, segments=64)
+    samples = [p.multiplier_at(t) for t in np.linspace(1.0, 639.0, 64)]
+    assert all(b >= a for a, b in zip(samples, samples[1:]))
+    assert samples[0] == pytest.approx(1.0, abs=0.05)
+    assert samples[-1] == pytest.approx(3.0, abs=0.05)

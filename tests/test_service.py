@@ -1,0 +1,268 @@
+"""Tests for the quasi-static scheduler service (repro.service).
+
+Includes the two issue acceptance checks: stationary-workload service
+MRT within 5% of oracle static ORR, and recovery to within 5% of the
+new oracle allocation within two re-solve periods after a 2× step in λ.
+"""
+
+import numpy as np
+import pytest
+
+from repro.allocation.optimized import optimized_fractions
+from repro.dispatch.round_robin import RoundRobinDispatcher
+from repro.distributions import distribution_from_mean_cv
+from repro.queueing.network import HeterogeneousNetwork
+from repro.service import (
+    AdmissionGate,
+    SchedulerService,
+    ServerBank,
+    ServiceConfig,
+    SyntheticJobSource,
+    TraceJobSource,
+)
+from repro.sim.arrivals import Workload
+from repro.sim.modulated import step_profile
+
+SPEEDS = (1.0, 2.0, 3.0)
+
+
+def make_source(rho, seed, *, profile=None, cv=1.0):
+    workload = Workload(
+        total_speed=sum(SPEEDS),
+        utilization=rho,
+        size_distribution=distribution_from_mean_cv(1.0, 1.0),
+        arrival_cv=cv,
+        rate_profile=profile,
+    )
+    return SyntheticJobSource(workload, seed)
+
+
+# ----------------------------------------------------------------------
+# ServerBank: windowed replay with carried backlog
+# ----------------------------------------------------------------------
+
+
+class TestServerBank:
+    def test_windowed_replay_equals_whole(self):
+        rng = np.random.default_rng(0)
+        n_jobs = 400
+        times = np.sort(rng.uniform(0.0, 100.0, n_jobs))
+        sizes = rng.exponential(1.0, n_jobs)
+        targets = rng.integers(0, len(SPEEDS), n_jobs)
+
+        whole = ServerBank(SPEEDS)
+        dep_whole, svc_whole = whole.replay_window(targets, times, sizes)
+
+        chunked = ServerBank(SPEEDS)
+        dep_parts, svc_parts = [], []
+        for lo, hi in [(0, 100), (100, 150), (150, 400)]:
+            d, s = chunked.replay_window(
+                targets[lo:hi], times[lo:hi], sizes[lo:hi]
+            )
+            dep_parts.append(d)
+            svc_parts.append(s)
+        np.testing.assert_allclose(
+            np.concatenate(dep_parts), dep_whole, rtol=1e-12
+        )
+        np.testing.assert_allclose(
+            np.concatenate(svc_parts), svc_whole, rtol=1e-12
+        )
+        np.testing.assert_allclose(chunked.free_at, whole.free_at, rtol=1e-12)
+
+    def test_fcfs_order_and_backlog(self):
+        bank = ServerBank([1.0])
+        dep, svc = bank.replay_window(
+            np.zeros(3, dtype=int),
+            np.array([0.0, 0.1, 0.2]),
+            np.array([2.0, 1.0, 1.0]),
+        )
+        np.testing.assert_allclose(dep, [2.0, 3.0, 4.0])
+        np.testing.assert_allclose(svc, [2.0, 1.0, 1.0])
+        assert bank.free_at[0] == 4.0
+        assert bank.backlog_at(1.5)[0] == pytest.approx(2.5)
+        # An empty window leaves the backlog untouched.
+        bank.replay_window(np.empty(0, dtype=int), np.empty(0), np.empty(0))
+        assert bank.free_at[0] == 4.0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ServerBank([1.0, -2.0])
+        bank = ServerBank([1.0])
+        with pytest.raises(ValueError):
+            bank.replay_window(np.zeros(2, dtype=int), np.zeros(3), np.zeros(3))
+
+
+# ----------------------------------------------------------------------
+# Admission gate
+# ----------------------------------------------------------------------
+
+
+class TestAdmissionGate:
+    def test_exact_long_run_fraction(self):
+        gate = AdmissionGate()
+        admitted = sum(gate.admit_mask(100, 0.7).sum() for _ in range(10))
+        assert int(admitted) == 700
+
+    def test_keep_all_and_validation(self):
+        gate = AdmissionGate()
+        assert gate.admit_mask(5, 1.0).all()
+        assert not gate.admit_mask(5, 0.0).any()
+        with pytest.raises(ValueError):
+            gate.admit_mask(5, 1.2)
+
+    def test_even_spacing(self):
+        mask = AdmissionGate().admit_mask(10, 0.5)
+        assert mask.sum() == 5
+        # Maximally even: no two consecutive shed decisions at f=0.5.
+        assert not np.any(~mask[:-1] & ~mask[1:])
+
+
+# ----------------------------------------------------------------------
+# Trace source
+# ----------------------------------------------------------------------
+
+
+class TestTraceJobSource:
+    def test_incremental_slices(self):
+        src = TraceJobSource([1.0, 2.0, 3.0, 4.0], [1.0, 1.0, 2.0, 2.0])
+        t1, s1 = src.jobs_until(2.5)
+        np.testing.assert_array_equal(t1, [1.0, 2.0])
+        t2, _ = src.jobs_until(10.0)
+        np.testing.assert_array_equal(t2, [3.0, 4.0])
+        assert src.remaining == 0
+        with pytest.raises(ValueError):
+            src.jobs_until(5.0)  # horizon went backwards
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            TraceJobSource([2.0, 1.0], [1.0, 1.0])
+        with pytest.raises(ValueError):
+            TraceJobSource([1.0], [0.0])
+
+
+# ----------------------------------------------------------------------
+# Acceptance: stationary MRT vs oracle static ORR
+# ----------------------------------------------------------------------
+
+
+def oracle_mrt(alphas, times, sizes):
+    dispatcher = RoundRobinDispatcher()
+    dispatcher.reset(alphas)
+    targets = dispatcher.select_batch(sizes)
+    bank = ServerBank(SPEEDS)
+    departures, _ = bank.replay_window(targets, times, sizes)
+    return float((departures - times).mean())
+
+
+class TestServiceAcceptance:
+    def test_stationary_mrt_within_5pct_of_oracle(self):
+        rho = 0.7
+        times, sizes = make_source(rho, seed=42).jobs_until(5000.0)
+        config = ServiceConfig(
+            speeds=SPEEDS, duration=5000.0, control_period=100.0
+        )
+        report = SchedulerService(config, TraceJobSource(times, sizes)).run()
+        assert report.clean_shutdown
+        assert report.jobs_shed == 0  # stationary ρ=0.7 must not shed
+        assert report.jobs_dispatched == times.size
+
+        oracle = optimized_fractions(
+            HeterogeneousNetwork(np.asarray(SPEEDS), utilization=rho)
+        )
+        baseline = oracle_mrt(oracle, times, sizes)
+        gap = abs(report.time_averaged_mrt - baseline) / baseline
+        assert gap < 0.05, f"service MRT off oracle by {gap:.1%}"
+
+    def test_step_recovery_within_two_resolve_periods(self):
+        rho, period, step_at, duration = 0.35, 100.0, 3000.0, 6000.0
+        profile = step_profile(step_time=step_at, factor=2.0, horizon=duration)
+        source = make_source(rho, seed=7, profile=profile)
+        config = ServiceConfig(
+            speeds=SPEEDS, duration=duration, control_period=period
+        )
+        report = SchedulerService(config, source).run()
+
+        network = HeterogeneousNetwork(np.asarray(SPEEDS), utilization=rho)
+        oracle_post = optimized_fractions(network.with_utilization(2 * rho))
+        recovered = [
+            w for w in report.windows if w.end >= step_at + 2 * period
+        ]
+        assert recovered, "no windows after the recovery deadline"
+        first = recovered[0]
+        err = float(np.max(np.abs(first.alphas - oracle_post)))
+        assert err < 0.05, (
+            f"allocation {first.alphas} still {err:.3f} from oracle "
+            f"{oracle_post} two periods after the step"
+        )
+        # ...and it stays recovered, not a lucky sample.
+        tail_err = np.mean(
+            [float(np.max(np.abs(w.alphas - oracle_post))) for w in recovered]
+        )
+        assert tail_err < 0.05
+
+
+# ----------------------------------------------------------------------
+# Service behaviour
+# ----------------------------------------------------------------------
+
+
+class TestSchedulerService:
+    def test_deterministic_given_seed(self):
+        config = ServiceConfig(
+            speeds=SPEEDS, duration=1000.0, control_period=100.0
+        )
+        reports = [
+            SchedulerService(config, make_source(0.6, seed=5)).run()
+            for _ in range(2)
+        ]
+        a, b = reports
+        assert a.jobs_dispatched == b.jobs_dispatched
+        assert a.swaps == b.swaps
+        assert a.time_averaged_mrt == b.time_averaged_mrt
+        np.testing.assert_array_equal(a.final_alphas, b.final_alphas)
+
+    def test_sheds_under_sustained_overload(self):
+        duration = 5000.0
+        profile = step_profile(step_time=1000.0, factor=1.6, horizon=duration)
+        source = make_source(0.8, seed=11, profile=profile)  # offered ρ=1.28
+        config = ServiceConfig(
+            speeds=SPEEDS, duration=duration, control_period=100.0
+        )
+        report = SchedulerService(config, source).run()
+        assert report.clean_shutdown
+        assert report.jobs_shed > 0
+        late = [w for w in report.windows if w.start >= duration * 0.7]
+        shed_fraction = sum(w.shed for w in late) / sum(w.offered for w in late)
+        # Deterministic thinning targets 1 − threshold/ρ̂ ≈ 0.26 here.
+        assert shed_fraction == pytest.approx(1.0 - 0.95 / 1.28, abs=0.08)
+
+    def test_report_serializes(self):
+        import json
+
+        config = ServiceConfig(
+            speeds=SPEEDS, duration=500.0, control_period=100.0
+        )
+        report = SchedulerService(config, make_source(0.5, seed=3)).run()
+        payload = json.dumps(report.as_dict())
+        assert "jobs_dispatched" in payload
+        assert report.allocation_history()
+        assert len(report.windows) == 5
+
+    def test_swap_only_at_boundaries(self):
+        """Within a window the dispatcher object is untouched; swaps are
+        visible only as new dispatcher objects between windows."""
+        config = ServiceConfig(
+            speeds=SPEEDS, duration=800.0, control_period=100.0
+        )
+        service = SchedulerService(config, make_source(0.6, seed=9))
+        seen = [service.dispatcher]
+        report = service.run()
+        assert report.swaps == sum(w.swapped for w in report.windows)
+
+    def test_config_validation(self):
+        with pytest.raises(ValueError):
+            ServiceConfig(speeds=(), duration=10.0, control_period=1.0)
+        with pytest.raises(ValueError):
+            ServiceConfig(speeds=(1.0,), duration=10.0, control_period=20.0)
+        with pytest.raises(ValueError):
+            ServiceConfig(speeds=(1.0, -1.0), duration=10.0, control_period=1.0)
