@@ -15,7 +15,7 @@ from repro.core.cache import ReplicationCache
 from repro.core.executor import shutdown_shared_executor
 from repro.experiments.base import SCALES
 from repro.experiments.figure3 import run_figure3
-from repro.sim import fcfs_replay, ps_replay
+from repro.sim import ckernel, fcfs_replay, ps_replay
 from repro.sim.fastpath import _fcfs_replay_loop, _ps_replay_loop
 
 from .conftest import run_once
@@ -85,6 +85,48 @@ def test_random_dispatch_throughput(benchmark):
 
     targets = benchmark(run)
     assert targets.size == sizes.size
+
+
+@pytest.mark.skipif(
+    not ckernel.kernel_available(), reason="compiled kernel unavailable"
+)
+def test_fcfs_cell_kernel_throughput(benchmark, workload):
+    """The fused C FCFS sweep: 8 plans over 100k shared-stream jobs in
+    one call — the kernel-v4 hot loop of cell-batched replay."""
+    times, sizes = workload
+    speeds = np.array([1.0, 1.0, 2.0, 4.0, 10.0])
+    rng = np.random.default_rng(3)
+    plans = [rng.integers(0, speeds.size, times.size) for _ in range(8)]
+    fn = ckernel.cell_fn()
+
+    def run():
+        return ckernel.replay_cell_c(fn, times, sizes, speeds, plans, False)
+
+    comp, _, _, _, ok = benchmark(run)
+    assert ok
+    assert comp.shape == (8, times.size)
+
+
+@pytest.mark.skipif(
+    not ckernel.kernel_available(), reason="compiled kernel unavailable"
+)
+def test_arena_reuse_steady_state(workload):
+    """Steady-state replay must not regrow arena buffers: after a warm
+    call at the high-water size, repeat calls reuse the same memory."""
+    times, sizes = workload
+    speeds = np.array([1.0, 2.0, 4.0])
+    rng = np.random.default_rng(4)
+    plans = [rng.integers(0, speeds.size, times.size) for _ in range(4)]
+    fn = ckernel.cell_fn()
+    ckernel.replay_cell_c(fn, times, sizes, speeds, plans, False, warmup_cut=100)
+    a = ckernel.arena()
+    grows_before = a.grows
+    for _ in range(5):
+        *_, ok = ckernel.replay_cell_c(
+            fn, times, sizes, speeds, plans, False, warmup_cut=100
+        )
+        assert ok
+    assert a.grows == grows_before
 
 
 def test_algorithm1_latency(benchmark):

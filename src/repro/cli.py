@@ -925,10 +925,19 @@ def _cmd_bench(args) -> int:
         ps_replay,
     )
 
+    from .sim import ckernel
+
     scale = SCALES[args.scale]
     record: dict = {
         "timestamp": datetime.now(timezone.utc).isoformat(timespec="seconds"),
         "kernel_version": KERNEL_VERSION,
+        # Provenance of the compiled core actually engaged for this
+        # record: the exact flags the shared library was built with and
+        # the OpenMP width it will fan out to (1 when OpenMP was
+        # unavailable and the kernel degraded to the serial build).
+        "compiler_flags": list(ckernel.compile_flags() or ()),
+        "openmp": bool(ckernel.openmp_enabled()),
+        "openmp_threads": int(ckernel.omp_max_threads()),
         "scale": scale.name,
         "n_jobs": n_jobs,
     }
@@ -951,7 +960,38 @@ def _cmd_bench(args) -> int:
         print("error: PS kernel disagrees with reference loop",
               file=sys.stderr)
         return 1
-    from .sim import ckernel
+
+    # Compiled FCFS replay must be BIT-identical to the numpy Lindley
+    # recursion — not merely close.  One multi-server plan through the
+    # fused cell kernel against the per-server numpy cores.
+    fcfs_bit_identical = None
+    fused = ckernel.cell_fn()
+    if fused is not None:
+        kn = 50_000
+        kspeeds = np.array([1.0, 1.0, 2.0, 4.0, 10.0])
+        ktimes = np.ascontiguousarray(times[:kn])
+        kwork = np.ascontiguousarray(work[:kn])
+        kplan = rng.integers(0, kspeeds.size, kn)
+        comp_c, _, _, _, ok = ckernel.replay_cell_c(
+            fused, ktimes, kwork, kspeeds, [kplan], False
+        )
+        korder = np.argsort(kplan, kind="stable")
+        kcounts = np.bincount(kplan, minlength=kspeeds.size)
+        koffs = np.concatenate([[0], np.cumsum(kcounts)])
+        comp_py = np.empty(kn)
+        grouped = np.empty(kn)
+        gt, gw = ktimes[korder], kwork[korder]
+        for s in range(kspeeds.size):
+            lo, hi = int(koffs[s]), int(koffs[s + 1])
+            if hi > lo:
+                grouped[lo:hi] = fcfs_replay(gt[lo:hi], gw[lo:hi],
+                                             float(kspeeds[s]))
+        comp_py[korder] = grouped
+        fcfs_bit_identical = bool(ok and np.array_equal(comp_c[0], comp_py))
+        if not fcfs_bit_identical:
+            print("error: compiled FCFS replay is not bit-identical to "
+                  "the numpy kernel", file=sys.stderr)
+            return 1
 
     record["kernels"] = {
         "fcfs_jobs": n,
@@ -963,6 +1003,8 @@ def _cmd_bench(args) -> int:
         "ps_fast_s": ps_fast_s,
         "ps_speedup": ps_loop_s / ps_fast_s,
         "ps_backend": "c" if ckernel.kernel_available() else "python",
+        "fcfs_backend": "c" if ckernel.kernel_available() else "python",
+        "fcfs_bit_identical": fcfs_bit_identical,
     }
 
     # --- replication: fast path vs event engine, both disciplines -----
@@ -1049,12 +1091,38 @@ def _cmd_bench(args) -> int:
     # --- cell batching: shared streams + batched replay ---------------
     # Both sweeps below run warm (the sweep section above already paid
     # the one-time memo and kernel warm-up), so the flat-vs-cell timing
-    # compares steady-state costs rather than cold-start order.
-    from .core import evaluate_cell
+    # compares steady-state costs rather than cold-start order.  Both
+    # disciplines are measured: the headline ``cell_speedup`` is the
+    # FCFS figure — the fully compiled kernel-v4 pipeline — while
+    # ``cell_speedup_ps`` tracks the PS composition, whose per-plan
+    # busy-period replay keeps a structurally lower flat:cell ratio
+    # (see DESIGN.md §7.1).  The two legs of each ratio are timed
+    # *interleaved* (flat, cell, flat, cell, ...) and the minima taken:
+    # the legs are sub-second, ratios of minima damp scheduler noise,
+    # and interleaving keeps slow system drift from biasing one leg —
+    # the 2.0x floor gates a steady-state property, not a lucky draw.
+    import dataclasses as _dc
 
-    flat, flat_s = _time(run_figure3, scale, cell_batch=False, **kwargs)
-    cellr, cell_s = _time(run_figure3, scale, cell_batch=True, **kwargs)
-    cell_identical = all(
+    from .core import evaluate_cell
+    from .experiments.base import run_policy_sweep
+
+    def _best_pair(fn_a, fn_b, repeats=7):
+        best_a = best_b = float("inf")
+        out_a = out_b = None
+        for _ in range(repeats):
+            out_a, t = _time(fn_a)
+            best_a = min(best_a, t)
+            out_b, t = _time(fn_b)
+            best_b = min(best_b, t)
+        return out_a, best_a, out_b, best_b
+
+    def _ps_sweep(cell_batch):
+        return run_figure3(scale, cell_batch=cell_batch, **kwargs)
+
+    flat, flat_ps_s, cellr, cell_ps_s = _best_pair(
+        lambda: _ps_sweep(False), lambda: _ps_sweep(True)
+    )
+    cell_identical_ps = all(
         np.array_equal(
             cellr.series(p, "mean_response_ratio"),
             flat.series(p, "mean_response_ratio"),
@@ -1065,6 +1133,29 @@ def _cmd_bench(args) -> int:
         )
         for p in kwargs["policies"]
     )
+
+    def _fcfs_config(x):
+        return _dc.replace(skewness_config(x, 0.70), discipline="fcfs")
+
+    def _fcfs_sweep(cell_batch):
+        return run_policy_sweep(
+            "bench-cell-fcfs", "bench cell (fcfs)", "x",
+            list(kwargs["fast_speeds"]), _fcfs_config, kwargs["policies"],
+            scale, cell_batch=cell_batch,
+        )
+
+    _fcfs_sweep(True)  # warm the fcfs leg (kernel + sequence memos)
+    flat_f, flat_s, cell_f, cell_s = _best_pair(
+        lambda: _fcfs_sweep(False), lambda: _fcfs_sweep(True)
+    )
+    cell_identical_fcfs = all(
+        np.array_equal(
+            cell_f.series(p, "mean_response_ratio"),
+            flat_f.series(p, "mean_response_ratio"),
+        )
+        for p in kwargs["policies"]
+    )
+    cell_identical = cell_identical_ps and cell_identical_fcfs
     if not cell_identical:
         print("error: cell-batched sweep diverged from the flat grid",
               file=sys.stderr)
@@ -1122,6 +1213,11 @@ def _cmd_bench(args) -> int:
         "flat_s": flat_s,
         "cell_s": cell_s,
         "cell_speedup": flat_s / cell_s if cell_s > 0 else float("inf"),
+        "flat_ps_s": flat_ps_s,
+        "cell_ps_s": cell_ps_s,
+        "cell_speedup_ps": (
+            flat_ps_s / cell_ps_s if cell_ps_s > 0 else float("inf")
+        ),
         "cell_identical": cell_identical,
         "paired": paired_points,
     }
@@ -1319,8 +1415,10 @@ def _cmd_bench(args) -> int:
     print(f"  cache       : cold {s['cache_cold_s']:.3f}s "
           f"({s['cache_cold_hits']} hits) -> warm {s['cache_warm_s']:.3f}s "
           f"({s['cache_warm_hits']} hits, {s['cache_speedup']:.1f}x)")
-    print(f"  cell batch  : flat {c['flat_s']:.3f}s -> cell "
-          f"{c['cell_s']:.3f}s ({c['cell_speedup']:.2f}x, "
+    print(f"  cell batch  : fcfs flat {c['flat_s']:.3f}s -> cell "
+          f"{c['cell_s']:.3f}s ({c['cell_speedup']:.2f}x); "
+          f"ps flat {c['flat_ps_s']:.3f}s -> cell "
+          f"{c['cell_ps_s']:.3f}s ({c['cell_speedup_ps']:.2f}x, "
           f"identical={c['cell_identical']})")
     for pp in c["paired"]:
         print(f"  paired CI   : skew {pp['skew']:g}: "

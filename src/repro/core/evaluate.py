@@ -442,11 +442,25 @@ def evaluate_cell(
         {m: [] for m in _CELL_METRICS} | {"jobs": [], "fractions": np.zeros(config.n)}
         for _ in policies
     ]
+    # One batched run_cell call for every (fast policy, replication)
+    # member: replications share the round-robin sequence memo and the
+    # per-call setup, and each replication still materializes its own
+    # streams internally, so results are bit-identical to per-rep calls.
+    members = [(pi, r) for r in range(replications) for pi in sorted(fast)]
+    batched = (
+        run_cell(config, policies, seeds, pool=pool, members=members)
+        if members
+        else {}
+    )
     for r in range(replications):
-        for pi, result in _run_cell_replication(
-            config, policies, seeds, r, pool, fast
-        ).items():
-            _accumulate(per_policy[pi], result)
+        for pi in range(len(policies)):
+            if pi in fast:
+                _accumulate(per_policy[pi], batched[(pi, r)])
+            else:
+                _accumulate(
+                    per_policy[pi],
+                    run_policy_once(config, policies[pi], seed=seeds[r]),
+                )
     return _summarize_cell(config, policies, per_policy, confidence, pool.misses)
 
 

@@ -324,15 +324,18 @@ def _run_cell_members(task: CellTask, members, pool: StreamPool):
 
 
 def _cell_worker(payload):
-    """Pool entry point for one (cell, policy) slice: never raises.
+    """Pool entry point for one (cell, replication-chunk) slice: never
+    raises.
 
-    ``payload`` is ``(task, pi, rep_handles)`` with ``rep_handles`` a
-    list of ``(r, StreamHandle | None)`` — a handle maps the parent's
-    shared-memory streams for that replication; ``None`` means the
-    member is engine-bound and samples privately.
+    ``payload`` is ``(task, members, rep_handles)`` — ``members`` the
+    ``(pi, r)`` pairs of this chunk (every pending policy of each of its
+    replications, so cross-policy plan dedup still fires inside the
+    worker), ``rep_handles`` a list of ``(r, StreamHandle | None)`` with
+    a handle mapping the parent's shared-memory streams for that
+    replication; ``None`` means every member of that replication is
+    engine-bound and samples privately.
     """
-    task, pi, rep_handles = payload
-    members = [(pi, r) for r, _ in rep_handles]
+    task, members, rep_handles = payload
     pool = None
     attached = []
     before = counters.snapshot()
@@ -351,7 +354,7 @@ def _cell_worker(payload):
     except Exception:  # noqa: BLE001 — captured per slice by design
         tb = traceback.format_exc()
         return (
-            [(task.member_key(mpi, r), None, tb) for mpi, r in members],
+            [(task.member_key(pi, r), None, tb) for pi, r in members],
             None,
         )
     finally:
@@ -621,10 +624,12 @@ def run_cell_grid(
     cache keys as the flat per-replication grid, so results, caches, and
     checkpoints are interchangeable between the two paths — and with the
     same seeds the outcomes are bit-identical.  Parallel runs fan a cell
-    out one (policy × pending replications) slice per worker, shipping
-    each replication's streams through shared memory; cells run back to
-    back so at most one cell's streams are resident, and the parent owns
-    and always unlinks every segment, even when a worker crashes.
+    out one replication-chunk slice per worker — every policy of a
+    replication stays together so cross-policy plan dedup survives the
+    split — shipping each replication's streams through shared memory;
+    cells run back to back so at most one cell's streams are resident,
+    and the parent owns and always unlinks every segment, even when a
+    worker crashes.
 
     Hardening (retries, timeouts, quarantine) is deliberately absent —
     sweeps that need it take :func:`run_replication_grid`.
@@ -699,24 +704,32 @@ def run_cell_grid(
         pool_exec = shared_executor(n_jobs)
         for task, members in pending:
             fast = _cell_fast_indices(task.config, task.policies())
-            by_policy: dict[int, list[int]] = {}
+            by_rep: dict[int, list[int]] = {}
             for pi, r in members:
-                by_policy.setdefault(pi, []).append(r)
+                by_rep.setdefault(r, []).append(pi)
+            # Slice by replication chunks, keeping every policy of a
+            # replication in the same worker: the batched replay can
+            # then dedup identical dispatch plans across policies,
+            # which a per-policy slicing would forfeit.
+            reps = sorted(by_rep)
+            n_chunks = max(1, min(n_jobs, len(reps)))
             with SharedStreamPool() as shared:
-                handles: dict[int, object] = {}
                 subtasks = []
-                for pi in sorted(by_policy):
+                for chunk in (reps[i::n_chunks] for i in range(n_chunks)):
+                    if not chunk:
+                        continue
+                    cmembers = [
+                        (pi, r) for r in chunk for pi in sorted(by_rep[r])
+                    ]
                     rep_handles = []
-                    for r in by_policy[pi]:
-                        handle = None
-                        if pi in fast:
-                            if r not in handles:
-                                handles[r] = shared.share(
-                                    task.config, task.seeds[r]
-                                )
-                            handle = handles[r]
+                    for r in chunk:
+                        handle = (
+                            shared.share(task.config, task.seeds[r])
+                            if any(pi in fast for pi in by_rep[r])
+                            else None
+                        )
                         rep_handles.append((r, handle))
-                    subtasks.append((task, pi, rep_handles))
+                    subtasks.append((task, cmembers, rep_handles))
                 for settled, delta in pool_exec.map(_cell_worker, subtasks):
                     counters.merge(delta or {})
                     for key, outcome, error in settled:

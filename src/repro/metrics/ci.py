@@ -18,9 +18,18 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass
+from functools import lru_cache
 
 import numpy as np
 from scipy import stats
+
+
+@lru_cache(maxsize=256)
+def _t_quantile(confidence: float, df: int) -> float:
+    """Student-t quantile, memoized: sweeps call this thousands of times
+    with a handful of distinct (confidence, df) pairs, and scipy's ppf
+    costs ~100µs per evaluation."""
+    return float(stats.t.ppf(0.5 + confidence / 2.0, df=df))
 
 __all__ = [
     "ReplicationSummary",
@@ -45,7 +54,7 @@ def _safe_half_width(std: float, n: int, confidence: float) -> tuple[float, bool
         return 0.0, True
     if std == 0.0:
         return 0.0, True
-    t = float(stats.t.ppf(0.5 + confidence / 2.0, df=n - 1))
+    t = _t_quantile(confidence, n - 1)
     return t * std / math.sqrt(n), False
 
 

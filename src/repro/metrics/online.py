@@ -84,11 +84,13 @@ class RunningStats:
             return
         other = RunningStats()
         other.count = int(xs.size)
-        other._mean = float(xs.mean())
+        # One pairwise sum serves both aggregates: numpy's mean is the
+        # same pairwise sum divided by the count, bit for bit.
+        other._total = float(xs.sum())
+        other._mean = other._total / other.count
         other._m2 = float(((xs - other._mean) ** 2).sum())
         other._min = float(xs.min())
         other._max = float(xs.max())
-        other._total = float(xs.sum())
         self.merge(other)
 
     def merge(self, other: "RunningStats") -> None:

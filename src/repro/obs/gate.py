@@ -12,7 +12,10 @@ nonzero, nothing appended) on either:
 * **perf regression** — a tracked *speedup ratio* dropped more than
   ``threshold`` (default 20%) below the baseline.  Ratios of two
   timings taken on the same box are compared, never absolute seconds,
-  so the gate ports across machines of different absolute speed.
+  so the gate ports across machines of different absolute speed; or
+* **floor violation** — a ratio with an absolute per-scale floor (e.g.
+  ``cell.cell_speedup`` >= 2.0x at quick scale) came in below it, even
+  when no baseline exists for the relative comparison.
 
 The baseline is the most recent prior record at the same scale (same
 work → comparable ratios); with no comparable baseline the gate passes
@@ -46,6 +49,15 @@ _IDENTITY_FLAGS = (
     "sweep.grid_identical",
     "cell.cell_identical",
     "telemetry.trace_identical",
+    "kernels.fcfs_bit_identical",
+)
+
+#: Absolute ratio floors enforced per scale, independent of any baseline:
+#: (dotted path, scale name, minimum value, description).  Floors pin the
+#: acceptance criteria that motivated an optimization so a later change
+#: cannot erode them 19% at a time under the relative threshold.
+_FLOORS = (
+    ("cell.cell_speedup", "quick", 2.0, "cell-batched vs flat sweep (fcfs)"),
 )
 
 
@@ -104,6 +116,18 @@ def check_gate(
         if value is False:
             result.passed = False
             result.failures.append(f"bit-identity divergence: {flag} is false")
+
+    # Absolute floors apply even with no baseline to compare against.
+    for path, scale, minimum, label in _FLOORS:
+        if record.get("scale") != scale:
+            continue
+        value = _lookup(record, path)
+        if isinstance(value, (int, float)) and value < minimum:
+            result.passed = False
+            result.failures.append(
+                f"{label} ({path}): {value:.2f}x below the "
+                f"{minimum:.1f}x floor at scale {scale!r}"
+            )
 
     baseline = find_baseline(history, record)
     if baseline is None:

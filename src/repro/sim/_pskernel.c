@@ -1,18 +1,27 @@
-/* Exact processor-sharing busy-period replay.
+/* Exact FCFS/PS replay kernels for the static fast path.
  *
- * Compiled on demand by repro.sim.ckernel (gcc -O2 -fPIC -shared
- * -ffp-contract=off) and called through ctypes from repro.sim.fastpath.
- * The float arithmetic mirrors the Python reference loop
- * (_ps_busy_period) operation for operation, and -ffp-contract=off
- * forbids fused multiply-adds, so on the standard SSE2 double pipeline
- * the completions are bit-identical to the interpreted loop.
+ * Compiled on demand by repro.sim.ckernel (gcc -O3 -fPIC -shared
+ * -ffp-contract=off, plus -fopenmp when the toolchain supports it) and
+ * called through ctypes from repro.sim.fastpath.  The float arithmetic
+ * mirrors the numpy/Python reference formulations operation for
+ * operation, and -ffp-contract=off forbids fused multiply-adds, so on
+ * the standard SSE2 double pipeline the completions are bit-identical
+ * to the interpreted path.
  *
  * The heap is a binary min-heap over (tag, index) pairs ordered
  * lexicographically — exactly the tuple ordering heapq applies to
  * (tag, j) in the Python loop, so ties retire in the same order.
+ *
+ * OpenMP is used only across (plan, server) slices whose outputs are
+ * disjoint: no reduction crosses a slice boundary, so the schedule and
+ * thread count cannot affect the bits.
  */
 #include <math.h>
 #include <stddef.h>
+
+#ifdef _OPENMP
+#include <omp.h>
+#endif
 
 typedef long long i64;
 
@@ -84,6 +93,56 @@ static void replay_period(const double *times, const double *work, double speed,
     }
 }
 
+/* FCFS departure instants for one server slice: the vectorized-Lindley
+ * float order of fastpath._lindley_departures —
+ *   svc    = work[j] / speed                    (elementwise divide)
+ *   cum_j  = cum_{j-1} + svc                    (np.cumsum is sequential)
+ *   m_j    = max(m_{j-1}, t[j] - (cum_j - svc)) (np.maximum.accumulate)
+ *   out[j] = cum_j + m_j
+ */
+static void lindley_slice(const double *t, const double *w, double sp,
+                          i64 n, double *out) {
+    double acc = 0.0, m = -INFINITY;
+    for (i64 j = 0; j < n; j++) {
+        double svc = w[j] / sp;
+        acc += svc;
+        double d = t[j] - (acc - svc);
+        if (d > m) m = d;
+        out[j] = acc + m;
+    }
+}
+
+/* Full per-substream PS pipeline for one server slice, single pass:
+ * the Lindley depletion recursion and the busy-period segmentation
+ * (job j opens a period iff it arrives at or after the depletion of
+ * everything before it) run fused — each completed period is resolved
+ * immediately, the singleton closed form t[b] + w[b]/speed for the
+ * common case, the virtual-time heap otherwise.  The depletion instant
+ * is carried in a register instead of a scratch array, so the float
+ * values — and hence the segmentation and the bits — are exactly those
+ * of the two-pass numpy formulation.  ht/hi: heap scratch of at least
+ * n entries each. */
+static void ps_slice(const double *t, const double *w, double sp, i64 n,
+                     double *comp, double *ht, i64 *hi) {
+    if (n <= 0) return;
+    double acc = 0.0, m = -INFINITY, dep_prev = 0.0;
+    i64 b = 0;
+    for (i64 j = 0; j < n; j++) {
+        if (j > b && t[j] >= dep_prev) {
+            if (j - b == 1) comp[b] = t[b] + w[b] / sp;
+            else replay_period(t, w, sp, b, j, comp, ht, hi);
+            b = j;
+        }
+        double svc = w[j] / sp;
+        acc += svc;
+        double d = t[j] - (acc - svc);
+        if (d > m) m = d;
+        dep_prev = acc + m;
+    }
+    if (n - b == 1) comp[b] = t[b] + w[b] / sp;
+    else replay_period(t, w, sp, b, n, comp, ht, hi);
+}
+
 /* Replay nper busy periods of one server's substream.
  *
  * times/work: full substream arrays (arrival instants, job sizes);
@@ -101,53 +160,298 @@ void ps_replay_periods(const double *times, const double *work, double speed,
 /* Fused whole-network PS replay over server-grouped substreams.
  *
  * Jobs are pre-sorted by target server: server s owns the contiguous
- * slice [offsets[s], offsets[s+1]) of times/work/completions.  For each
- * server this runs the full per-substream pipeline in one pass — the
- * Lindley depletion recursion, busy-period segmentation, the singleton
- * closed form, and the virtual-time heap for multi-job periods.
- *
- * Bit-identity with the numpy formulation is maintained by mirroring
- * its float operation order exactly:
- *   svc    = work[j] / speed                  (elementwise divide)
- *   cum_j  = cum_{j-1} + svc                  (np.cumsum is sequential)
- *   m_j    = max(m_{j-1}, t[j] - (cum_j - svc))   (np.maximum.accumulate)
- *   dep[j] = cum_j + m_j
- * and the singleton completion t[b] + work[b]/speed.
- *
- * dep: scratch of at least max(offsets[s+1]-offsets[s]) doubles;
- * ht/hi: heap scratch of the same length.
+ * slice [offsets[s], offsets[s+1]) of times/work/completions.
+ * ht/hi: heap scratch of at least max(offsets[s+1]-offsets[s]) entries.
  */
 void ps_replay_server_batch(const double *times, const double *work,
                             const double *speeds, const i64 *offsets,
                             i64 nservers, double *completions,
-                            double *dep, double *ht, i64 *hi) {
+                            double *ht, i64 *hi) {
     for (i64 s = 0; s < nservers; s++) {
         i64 lo = offsets[s];
         i64 n = offsets[s + 1] - lo;
         if (n <= 0) continue;
-        const double *t = times + lo;
-        const double *w = work + lo;
-        double *comp = completions + lo;
-        double sp = speeds[s];
+        ps_slice(times + lo, work + lo, speeds[s], n,
+                 completions + lo, ht, hi);
+    }
+}
 
-        /* FCFS depletion instants (vectorized-Lindley float order). */
-        double acc = 0.0, m = -INFINITY;
-        for (i64 j = 0; j < n; j++) {
-            double svc = w[j] / sp;
-            acc += svc;
-            double d = t[j] - (acc - svc);
-            if (d > m) m = d;
-            dep[j] = acc + m;
-        }
+/* Fused whole-network FCFS replay over server-grouped substreams: the
+ * FCFS departures ARE the Lindley depletion instants, so no
+ * segmentation or heap is needed (and no scratch). */
+void fcfs_replay_server_batch(const double *times, const double *work,
+                              const double *speeds, const i64 *offsets,
+                              i64 nservers, double *completions) {
+    for (i64 s = 0; s < nservers; s++) {
+        i64 lo = offsets[s];
+        i64 n = offsets[s + 1] - lo;
+        if (n <= 0) continue;
+        lindley_slice(times + lo, work + lo, speeds[s], n, completions + lo);
+    }
+}
 
-        /* Busy periods: job j opens one iff it arrives at or after the
-         * depletion of everything before it. */
-        i64 b = 0;
-        for (i64 j = 1; j <= n; j++) {
-            if (j < n && t[j] < dep[j - 1]) continue;
-            if (j - b == 1) comp[b] = t[b] + w[b] / sp;
-            else replay_period(t, w, sp, b, j, comp, ht, hi);
-            b = j;
+/* numpy searchsorted(cum, u, side="right"): for each u[j] the first
+ * index i with cum[i] > u[j].  Integer output — any correct upper-bound
+ * search yields the identical targets, ties included.
+ *
+ * Accelerated with a 256-bucket index over [0, 1): bucket k caches the
+ * answer for its left edge k/256, and the answer is monotone in u, so
+ * each in-range uniform finishes with a short forward scan from
+ * lut[k] — usually zero or one comparison.  Out-of-range inputs take
+ * the plain binary search. */
+void map_uniform_right(const double *cum, i64 nbins, const double *u,
+                       i64 n, i64 *out) {
+    i64 lut[257];
+    i64 i = 0;
+    for (i64 k = 0; k <= 256; k++) {
+        double x = (double)k / 256.0;
+        while (i < nbins && cum[i] <= x) i++;
+        lut[k] = i;
+    }
+    for (i64 j = 0; j < n; j++) {
+        double x = u[j];
+        if (x >= 0.0 && x < 1.0) {
+            i64 lo = lut[(i64)(x * 256.0)];
+            while (lo < nbins && cum[lo] <= x) lo++;
+            out[j] = lo;
+        } else {
+            i64 lo = 0, hi = nbins;
+            while (lo < hi) {
+                i64 mid = (lo + hi) >> 1;
+                if (x < cum[mid]) hi = mid; else lo = mid + 1;
+            }
+            out[j] = lo;
         }
     }
+}
+
+/* OpenMP introspection/control for the Python side (1/no-op without). */
+i64 pk_max_threads(void) {
+#ifdef _OPENMP
+    return (i64)omp_get_max_threads();
+#else
+    return 1;
+#endif
+}
+
+void pk_set_threads(i64 n) {
+#ifdef _OPENMP
+    if (n > 0) omp_set_num_threads((int)n);
+#else
+    (void)n;
+#endif
+}
+
+i64 pk_openmp_enabled(void) {
+#ifdef _OPENMP
+    return 1;
+#else
+    return 0;
+#endif
+}
+
+/* Whole-cell fused replay: every unique dispatch plan of one
+ * replication in a single call.
+ *
+ * times/work: the replication's shared arrival/size streams (length n);
+ * targets: nplans contiguous rows of n server indices (one dispatch
+ * plan per row); completions: nplans rows of n output instants in
+ * arrival order.  use_ps selects the PS pipeline (else FCFS).
+ *
+ * Scratch (caller-provided, reused across calls via the Python arena):
+ *   gt/gw/gc        nplans*n   server-grouped times/work/completions
+ *   order           nplans*n   grouping permutation (for scatter-back)
+ *   offsets         nplans*(nservers+1)  per-plan group bounds (output:
+ *                   the Python side reads them for per-server stats)
+ *   pos             nplans*(nservers+1)  counting-sort cursors
+ *   ht/hi           nthreads*n per-thread heap scratch
+ *
+ * Three phases, each an OpenMP parallel-for over disjoint outputs with
+ * an implicit barrier between phases, so threaded output is
+ * bit-identical to serial by construction:
+ *   A. counting-sort grouping per plan — stable (arrival order kept
+ *      within a server), the same permutation as numpy's stable argsort
+ *      on the target keys;
+ *   B. replay each (plan, server) slice;
+ *   C. scatter each plan's completions back to arrival order.
+ *
+ * Returns 0 on success, 1 if any target is out of [0, nservers) (the
+ * caller falls back to the numpy path, which raises cleanly).
+ */
+/* Phase D — per-plan summarize precursors for the post-warmup tail.
+ * Response times and response ratios are elementwise (one subtract, one
+ * divide per job — bit-identical wherever they are computed) and the
+ * per-server dispatch counts are integers, so hoisting them out of the
+ * per-plan numpy passes changes no bits.  Skipped when cut >= n. */
+static void summarize_tail(const double *times, const double *work, i64 n,
+                           i64 nservers, const i64 *targets, i64 nplans,
+                           const double *completions, i64 cut,
+                           double *resp, double *ratio, i64 *pcounts,
+                           i64 nthreads) {
+    i64 m = n - cut;
+#ifdef _OPENMP
+#pragma omp parallel for schedule(static) num_threads((int)nthreads)
+#endif
+    for (i64 p = 0; p < nplans; p++) {
+        const i64 *tg = targets + p * n;
+        const double *out = completions + p * n;
+        i64 *pc = pcounts + p * nservers;
+        double *pr = resp + p * m;
+        double *pq = ratio + p * m;
+        for (i64 s = 0; s < nservers; s++) pc[s] = 0;
+        for (i64 j = cut; j < n; j++) {
+            double r = out[j] - times[j];
+            pr[j - cut] = r;
+            pq[j - cut] = r / work[j];
+            pc[tg[j]]++;
+        }
+    }
+}
+
+i64 cell_replay_batch(const double *times, const double *work, i64 n,
+                      const double *speeds, i64 nservers,
+                      const i64 *targets, i64 nplans, i64 use_ps,
+                      double *completions,
+                      double *gt, double *gw, double *gc,
+                      i64 *order, i64 *offsets, i64 *pos,
+                      double *ht, i64 *hi, i64 nthreads,
+                      i64 cut, double *resp, double *ratio, i64 *pcounts) {
+    i64 bad = 0;
+    if (nthreads < 1) nthreads = 1;
+    /* Per-thread scratch stride, mirrored by the Python caller when it
+     * sizes ht/hi: the PS heap needs n entries, the fused FCFS pass
+     * needs 2*nservers doubles of per-server state. */
+    i64 stride = n > 2 * nservers ? n : 2 * nservers;
+
+    if (!use_ps) {
+        /* FCFS fused path: the Lindley recursion is online — carrying
+         * per-server (acc, m) state through one arrival-order sweep
+         * performs the same float ops in the same per-server order as
+         * grouping + lindley_slice + scatter, so the bits match while
+         * the grouped-times copy, the order index, and the scatter
+         * pass all disappear.  Only the server-grouped sizes (the
+         * per-server busy-time sums) still need the counting sort,
+         * and that write fuses into the same sweep. */
+#ifdef _OPENMP
+#pragma omp parallel for schedule(static) num_threads((int)nthreads) \
+    reduction(|:bad)
+#endif
+        for (i64 p = 0; p < nplans; p++) {
+            const i64 *tg = targets + p * n;
+            i64 *off = offsets + p * (nservers + 1);
+            i64 *cur = pos + p * (nservers + 1);
+            for (i64 s = 0; s <= nservers; s++) off[s] = 0;
+            i64 oops = 0;
+            for (i64 j = 0; j < n; j++) {
+                i64 t = tg[j];
+                if (t < 0 || t >= nservers) { oops = 1; break; }
+                off[t + 1]++;
+            }
+            if (oops) { bad |= 1; continue; }
+            for (i64 s = 0; s < nservers; s++) off[s + 1] += off[s];
+            for (i64 s = 0; s < nservers; s++) cur[s] = off[s];
+            i64 tid = 0;
+#ifdef _OPENMP
+            tid = (i64)omp_get_thread_num();
+#endif
+            double *acc = ht + tid * stride;
+            double *m = acc + nservers;
+            for (i64 s = 0; s < nservers; s++) {
+                acc[s] = 0.0;
+                m[s] = -INFINITY;
+            }
+            double *pw = gw + p * n;
+            double *out = completions + p * n;
+            /* Phase D fused in: the completion is still in a register
+             * when the post-warmup response/ratio are derived, saving
+             * the re-read pass the PS path needs. */
+            i64 dcut = (cut >= 0 && cut < n) ? cut : n;
+            i64 *pc = pcounts + p * nservers;
+            double *pr = resp + p * (n - dcut);
+            double *pq = ratio + p * (n - dcut);
+            if (dcut < n)
+                for (i64 s = 0; s < nservers; s++) pc[s] = 0;
+            for (i64 j = 0; j < n; j++) {
+                i64 s = tg[j];
+                pw[cur[s]++] = work[j];
+                double svc = work[j] / speeds[s];
+                double a = acc[s] + svc;
+                acc[s] = a;
+                double d = times[j] - (a - svc);
+                if (d > m[s]) m[s] = d;
+                double c = a + m[s];
+                out[j] = c;
+                if (j >= dcut) {
+                    double r = c - times[j];
+                    pr[j - dcut] = r;
+                    pq[j - dcut] = r / work[j];
+                    pc[s]++;
+                }
+            }
+        }
+        (void)gt; (void)gc; (void)order; (void)hi;
+        return bad ? 1 : 0;
+    }
+
+    /* Phase A — group each plan's jobs by target server. */
+#ifdef _OPENMP
+#pragma omp parallel for schedule(static) num_threads((int)nthreads) \
+    reduction(|:bad)
+#endif
+    for (i64 p = 0; p < nplans; p++) {
+        const i64 *tg = targets + p * n;
+        i64 *off = offsets + p * (nservers + 1);
+        i64 *cur = pos + p * (nservers + 1);
+        for (i64 s = 0; s <= nservers; s++) off[s] = 0;
+        i64 oops = 0;
+        for (i64 j = 0; j < n; j++) {
+            i64 t = tg[j];
+            if (t < 0 || t >= nservers) { oops = 1; break; }
+            off[t + 1]++;
+        }
+        if (oops) { bad |= 1; continue; }
+        for (i64 s = 0; s < nservers; s++) off[s + 1] += off[s];
+        for (i64 s = 0; s < nservers; s++) cur[s] = off[s];
+        i64 *ord = order + p * n;
+        double *pt = gt + p * n, *pw = gw + p * n;
+        for (i64 j = 0; j < n; j++) {
+            i64 k = cur[tg[j]]++;
+            ord[k] = j; pt[k] = times[j]; pw[k] = work[j];
+        }
+    }
+    if (bad) return 1;
+
+    /* Phase B — replay every (plan, server) slice. */
+#ifdef _OPENMP
+#pragma omp parallel for schedule(static) num_threads((int)nthreads)
+#endif
+    for (i64 q = 0; q < nplans * nservers; q++) {
+        i64 p = q / nservers, s = q % nservers;
+        const i64 *off = offsets + p * (nservers + 1);
+        i64 lo = off[s], cnt = off[s + 1] - lo;
+        if (cnt <= 0) continue;
+        i64 tid = 0;
+#ifdef _OPENMP
+        tid = (i64)omp_get_thread_num();
+#endif
+        const double *pt = gt + p * n + lo, *pw = gw + p * n + lo;
+        double *pc = gc + p * n + lo;
+        ps_slice(pt, pw, speeds[s], cnt, pc, ht + tid * stride,
+                 hi + tid * stride);
+    }
+
+    /* Phase C — scatter back to arrival order. */
+#ifdef _OPENMP
+#pragma omp parallel for schedule(static) num_threads((int)nthreads)
+#endif
+    for (i64 p = 0; p < nplans; p++) {
+        const i64 *ord = order + p * n;
+        const double *pc = gc + p * n;
+        double *out = completions + p * n;
+        for (i64 k = 0; k < n; k++) out[ord[k]] = pc[k];
+    }
+    if (cut >= 0 && cut < n)
+        summarize_tail(times, work, n, nservers, targets, nplans,
+                       completions, cut, resp, ratio, pcounts, nthreads);
+    return 0;
 }

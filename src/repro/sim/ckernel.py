@@ -1,26 +1,41 @@
-"""On-demand compiled core for the PS replay kernel.
+"""On-demand compiled core for the FCFS/PS replay kernels.
 
-The multi-job busy-period loop is the one part of the static fast path
-that resists numpy vectorization: every departure changes the service
-rate of every remaining job, so the recurrence is inherently sequential
-(the pure-numpy lockstep formulations explored for kernel v3 topped out
-at ~2x — see DESIGN.md).  Instead, :mod:`repro.sim._pskernel.c` carries
-a C transliteration of the Python heap loop, compiled here at import
-time with the system ``gcc`` and loaded through :mod:`ctypes` — no
-third-party build dependency, no wheels, no code generation.
+The multi-job PS busy-period loop is the one part of the static fast
+path that resists numpy vectorization: every departure changes the
+service rate of every remaining job, so the recurrence is inherently
+sequential (the pure-numpy lockstep formulations explored for kernel v3
+topped out at ~2x — see DESIGN.md).  Kernel v4 widens the compiled
+surface from that single loop to the whole replay pipeline:
+:mod:`repro.sim._pskernel.c` carries the virtual-time heap, the FCFS
+Lindley recursion, a fused whole-cell entry point (grouping + replay +
+scatter for every unique dispatch plan of a replication in one call,
+OpenMP-parallel over disjoint (plan, server) slices), and the
+searchsorted-style uniform→target mapping used by the random
+dispatchers — compiled here with the system ``gcc`` and loaded through
+:mod:`ctypes`.  No third-party build dependency, no wheels.
 
-Bit-identity with the interpreted loop is a hard requirement (the
+Bit-identity with the interpreted path is a hard requirement (the
 replication cache and the grid executor both assume replay kernels are
 deterministic functions of their inputs): the C source copies the float
 operation order verbatim and is compiled with ``-ffp-contract=off`` so
-the compiler cannot fuse multiply-adds into FMA instructions.  The
-cross-checking tests assert ``np.array_equal`` against the Python loop.
+the compiler cannot fuse multiply-adds into FMA instructions.  OpenMP
+is applied only across slices with disjoint outputs, so the thread
+count cannot affect the bits either; the cross-checking tests assert
+``np.array_equal`` against the Python formulations at 1 and N threads.
 
 The shared object is cached under ``$XDG_CACHE_HOME/repro-sched`` (or
-the system temp directory), keyed by the SHA-256 of the C source, and
-published with an atomic rename so concurrent grid workers never race.
-Everything degrades gracefully: no compiler, a failed compile, or
-``REPRO_DISABLE_CKERNEL=1`` simply leaves the Python loop in place.
+the system temp directory), keyed by the SHA-256 of the C source and
+the OpenMP variant, and published with an atomic rename so concurrent
+grid workers never race.  Everything degrades gracefully: no compiler,
+a failed compile, or ``REPRO_DISABLE_CKERNEL=1`` simply leaves the
+numpy/Python path in place; a toolchain without ``-fopenmp`` gets a
+serial compile and a ``ckernel.openmp_unavailable`` counter, never a
+failure.
+
+Scratch memory for the compiled entry points comes from a per-process
+:class:`Arena` — named buffers grown to the largest replication seen
+and reused forever after, so steady-state replay performs no numpy
+allocation at all.
 """
 
 from __future__ import annotations
@@ -31,6 +46,7 @@ import os
 import shutil
 import subprocess
 import tempfile
+from dataclasses import dataclass
 from pathlib import Path
 
 import numpy as np
@@ -40,21 +56,53 @@ from ..obs import counters
 __all__ = [
     "ps_periods_fn",
     "ps_servers_fn",
+    "fcfs_servers_fn",
+    "cell_fn",
+    "map_fn",
     "kernel_available",
     "compiled_library_path",
+    "compile_flags",
+    "openmp_enabled",
+    "omp_max_threads",
+    "set_omp_threads",
+    "Arena",
+    "arena",
+    "replay_periods_c",
+    "replay_servers_c",
+    "replay_cell_c",
+    "map_uniform_c",
 ]
 
 _SOURCE = Path(__file__).with_name("_pskernel.c")
 
 #: Compile flags: -ffp-contract=off is load-bearing — FMA contraction
 #: would change rounding and break bit-identity with the Python loop.
-_CFLAGS = ("-O2", "-fPIC", "-shared", "-ffp-contract=off")
+#: -fopenmp is appended when the toolchain supports it (probed with a
+#: graceful serial fallback, never a hard failure).
+_CFLAGS = ("-O3", "-fPIC", "-shared", "-ffp-contract=off")
+_OMP_FLAG = "-fopenmp"
 
 _c_double_p = ctypes.POINTER(ctypes.c_double)
 _c_i64_p = ctypes.POINTER(ctypes.c_longlong)
 
+
+@dataclass(frozen=True)
+class _Lib:
+    """Resolved entry points of one loaded kernel library."""
+
+    periods: object
+    servers: object
+    fcfs_servers: object
+    cell: object
+    map_uniform: object
+    max_threads: object
+    set_threads: object
+    openmp: bool
+    flags: tuple[str, ...]
+
+
 #: None = not yet attempted; False = attempted and unavailable;
-#: otherwise the (periods_fn, servers_fn) pair from the loaded library.
+#: otherwise the :class:`_Lib` of resolved entry points.
 _fns: object = None
 
 
@@ -64,27 +112,36 @@ def _cache_dir() -> Path:
     return base / "repro-sched"
 
 
-def compiled_library_path() -> Path:
-    """Where the compiled shared object lives (keyed by source hash)."""
+def _lib_path(openmp: bool) -> Path:
     digest = hashlib.sha256(_SOURCE.read_bytes()).hexdigest()[:16]
-    return _cache_dir() / f"pskernel-{digest}.so"
+    suffix = "-omp" if openmp else ""
+    return _cache_dir() / f"pskernel-{digest}{suffix}.so"
 
 
-def _compile() -> Path | None:
-    target = compiled_library_path()
-    if target.exists():
-        return target
-    gcc = shutil.which("gcc") or shutil.which("cc")
-    if gcc is None:
-        counters.inc("ckernel.unavailable", reason="no-compiler")
-        return None
+def compiled_library_path() -> Path:
+    """Where the compiled shared object lives (keyed by source hash).
+
+    Prefers the OpenMP variant; falls back to the serial variant's path
+    when only that one has been built on this host.
+    """
+    omp = _lib_path(openmp=True)
+    if omp.exists():
+        return omp
+    plain = _lib_path(openmp=False)
+    if plain.exists():
+        return plain
+    return omp
+
+
+def _compile_variant(gcc: str, target: Path, flags: tuple[str, ...]) -> Path | None:
+    """Compile one flag variant, publishing atomically; None on failure."""
     target.parent.mkdir(parents=True, exist_ok=True)
     # Stage to a pid-unique name and publish atomically: concurrent
     # workers compiling the same source never see a half-written .so.
     staging = target.with_name(f"{target.name}.{os.getpid()}.tmp")
     try:
         subprocess.run(
-            [gcc, *_CFLAGS, "-o", str(staging), str(_SOURCE)],
+            [gcc, *flags, "-o", str(staging), str(_SOURCE)],
             check=True,
             capture_output=True,
             timeout=120,
@@ -97,12 +154,41 @@ def _compile() -> Path | None:
             pass
         if target.exists():
             return target
-        counters.inc("ckernel.unavailable", reason="compile-failed")
         return None
     return target
 
 
-def _load(path: Path):
+def _compile() -> tuple[Path, bool] | None:
+    """The usable shared object and whether it carries OpenMP.
+
+    Tries the OpenMP variant first; a toolchain without ``-fopenmp``
+    degrades to the serial variant with a ``ckernel.openmp_unavailable``
+    counter — the run itself never fails on a stripped-down compiler.
+    """
+    omp_target = _lib_path(openmp=True)
+    if omp_target.exists():
+        return omp_target, True
+    plain_target = _lib_path(openmp=False)
+    gcc = shutil.which("gcc") or shutil.which("cc")
+    if gcc is None:
+        if plain_target.exists():
+            return plain_target, False
+        counters.inc("ckernel.unavailable", reason="no-compiler")
+        return None
+    built = _compile_variant(gcc, omp_target, (*_CFLAGS, _OMP_FLAG))
+    if built is not None:
+        return built, True
+    counters.inc("ckernel.openmp_unavailable")
+    if plain_target.exists():
+        return plain_target, False
+    built = _compile_variant(gcc, plain_target, _CFLAGS)
+    if built is not None:
+        return built, False
+    counters.inc("ckernel.unavailable", reason="compile-failed")
+    return None
+
+
+def _load(path: Path, openmp: bool) -> _Lib:
     lib = ctypes.CDLL(str(path))
     periods = lib.ps_replay_periods
     periods.argtypes = [
@@ -125,12 +211,73 @@ def _load(path: Path):
         _c_i64_p,  # offsets (nservers + 1)
         ctypes.c_longlong,  # nservers
         _c_double_p,  # completions (out, server-grouped)
-        _c_double_p,  # depletion scratch
         _c_double_p,  # heap tag scratch
         _c_i64_p,  # heap index scratch
     ]
     servers.restype = None
-    return periods, servers
+    fcfs_servers = lib.fcfs_replay_server_batch
+    fcfs_servers.argtypes = [
+        _c_double_p,  # times (server-grouped)
+        _c_double_p,  # work (server-grouped)
+        _c_double_p,  # speeds
+        _c_i64_p,  # offsets (nservers + 1)
+        ctypes.c_longlong,  # nservers
+        _c_double_p,  # completions (out, server-grouped)
+    ]
+    fcfs_servers.restype = None
+    cell = lib.cell_replay_batch
+    cell.argtypes = [
+        _c_double_p,  # times (shared stream)
+        _c_double_p,  # work (shared stream)
+        ctypes.c_longlong,  # n
+        _c_double_p,  # speeds
+        ctypes.c_longlong,  # nservers
+        _c_i64_p,  # targets (nplans × n)
+        ctypes.c_longlong,  # nplans
+        ctypes.c_longlong,  # use_ps
+        _c_double_p,  # completions (out, nplans × n, arrival order)
+        _c_double_p,  # gt scratch
+        _c_double_p,  # gw scratch
+        _c_double_p,  # gc scratch
+        _c_i64_p,  # order scratch
+        _c_i64_p,  # offsets (out, nplans × (nservers+1))
+        _c_i64_p,  # pos scratch
+        _c_double_p,  # ht scratch (per thread)
+        _c_i64_p,  # hi scratch (per thread)
+        ctypes.c_longlong,  # nthreads
+        ctypes.c_longlong,  # cut (post-warmup start; >= n skips phase D)
+        _c_double_p,  # resp (out, nplans × (n-cut))
+        _c_double_p,  # ratio (out, nplans × (n-cut))
+        _c_i64_p,  # pcounts (out, nplans × nservers)
+    ]
+    cell.restype = ctypes.c_longlong
+    map_uniform = lib.map_uniform_right
+    map_uniform.argtypes = [
+        _c_double_p,  # cum
+        ctypes.c_longlong,  # nbins
+        _c_double_p,  # u
+        ctypes.c_longlong,  # n
+        _c_i64_p,  # out
+    ]
+    map_uniform.restype = None
+    max_threads = lib.pk_max_threads
+    max_threads.argtypes = []
+    max_threads.restype = ctypes.c_longlong
+    set_threads = lib.pk_set_threads
+    set_threads.argtypes = [ctypes.c_longlong]
+    set_threads.restype = None
+    flags = (*_CFLAGS, _OMP_FLAG) if openmp else _CFLAGS
+    return _Lib(
+        periods=periods,
+        servers=servers,
+        fcfs_servers=fcfs_servers,
+        cell=cell,
+        map_uniform=map_uniform,
+        max_threads=max_threads,
+        set_threads=set_threads,
+        openmp=openmp,
+        flags=flags,
+    )
 
 
 def _ensure_fns():
@@ -138,7 +285,7 @@ def _ensure_fns():
 
     Never raises: every failure mode — explicit disable, no compiler on
     PATH, a failed compile, a bad .so — degrades to the bit-identical
-    Python loop with a telemetry counter recording why
+    numpy/Python path with a telemetry counter recording why
     (``ckernel.disabled`` / ``ckernel.unavailable{reason=...}``), so a
     stripped-down host runs correctly and the trace still shows the
     kernel never engaged.
@@ -153,11 +300,12 @@ def _ensure_fns():
         counters.inc("ckernel.disabled")
         return None
     try:
-        path = _compile()
-        if path is None:
+        compiled = _compile()
+        if compiled is None:
             _fns = False
             return None
-        _fns = _load(path)
+        path, openmp = compiled
+        _fns = _load(path, openmp)
     except Exception:  # noqa: BLE001 — degrade, never break the run
         _fns = False
         counters.inc("ckernel.unavailable", reason="load-failed")
@@ -175,25 +323,161 @@ def ps_periods_fn():
     or compilation/loading failed — callers fall back to the Python
     loop, which computes the exact same bits.
     """
-    fns = _ensure_fns()
-    return fns[0] if fns else None
+    lib = _ensure_fns()
+    return lib.periods if lib else None
 
 
 def ps_servers_fn():
     """The fused whole-network PS replay entry point, or None.
 
     Returns a callable ``fn(times, work, speeds, offsets, nservers,
-    completions, dep, ht, hi)`` replaying every server's contiguous
+    completions, ht, hi)`` replaying every server's contiguous
     slice — Lindley segmentation included — in one C call.  Same
     availability rules and fallback contract as :func:`ps_periods_fn`.
     """
-    fns = _ensure_fns()
-    return fns[1] if fns else None
+    lib = _ensure_fns()
+    return lib.servers if lib else None
+
+
+def fcfs_servers_fn():
+    """The fused whole-network FCFS replay entry point, or None."""
+    lib = _ensure_fns()
+    return lib.fcfs_servers if lib else None
+
+
+def cell_fn():
+    """The whole-cell fused replay entry point, or None.
+
+    One call replays every unique dispatch plan of a replication:
+    counting-sort grouping, per-(plan, server) FCFS/PS replay, and the
+    scatter back to arrival order all happen in C (OpenMP-parallel over
+    disjoint slices).  Same availability/fallback contract as
+    :func:`ps_periods_fn`.
+    """
+    lib = _ensure_fns()
+    return lib.cell if lib else None
+
+
+def map_fn():
+    """The compiled searchsorted-right uniform→bucket mapper, or None."""
+    lib = _ensure_fns()
+    return lib.map_uniform if lib else None
 
 
 def kernel_available() -> bool:
     """True when the compiled core is (or can be made) usable."""
     return _ensure_fns() is not None
+
+
+def compile_flags() -> tuple[str, ...]:
+    """The gcc flags the loaded kernel was built with (() if none)."""
+    lib = _ensure_fns()
+    return lib.flags if lib else ()
+
+
+def openmp_enabled() -> bool:
+    """True when the loaded kernel was compiled with OpenMP support."""
+    lib = _ensure_fns()
+    return bool(lib and lib.openmp)
+
+
+# GNU OpenMP thread teams do not survive fork(): a worker forked after
+# the parent ran a parallel region deadlocks on its first own region.
+# Replay is bit-identical at any thread count, so forked children are
+# simply clamped to serial.  Spawned workers re-import this module and
+# get their own pid recorded, keeping threads available there.
+_IMPORT_PID = os.getpid()
+
+
+def omp_max_threads() -> int:
+    """Threads the kernel's parallel regions may use (1 when serial)."""
+    lib = _ensure_fns()
+    if not lib or not lib.openmp:
+        return 1
+    if os.getpid() != _IMPORT_PID:
+        return 1
+    return int(lib.max_threads())
+
+
+def set_omp_threads(n: int) -> None:
+    """Cap the kernel's OpenMP thread count (no-op on serial builds).
+
+    Exists for the threads=1 vs threads=N bit-identity tests; normal
+    runs control threading with ``OMP_NUM_THREADS``.
+    """
+    lib = _ensure_fns()
+    if lib and lib.openmp:
+        lib.set_threads(int(n))
+
+
+# ----------------------------------------------------------------------
+# Scratch arena
+# ----------------------------------------------------------------------
+
+
+class Arena:
+    """Named, monotonically grown scratch buffers for the compiled core.
+
+    Each buffer is keyed by (name, dtype) and only ever grows — sized to
+    the largest replication a worker has seen — so steady-state replay
+    reuses the same memory instead of allocating fresh numpy arrays per
+    plan.  Requests return a length-``size`` view of the underlying
+    buffer (contiguous from the start, as the C entry points require).
+    Not thread-safe by design: parallelism in this codebase is
+    process-based, and each process owns one arena.
+    """
+
+    def __init__(self):
+        self._bufs: dict[tuple[str, str], np.ndarray] = {}
+        self.requests = 0
+        self.grows = 0
+
+    def _get(self, name: str, size: int, dtype) -> np.ndarray:
+        self.requests += 1
+        key = (name, np.dtype(dtype).char)
+        buf = self._bufs.get(key)
+        if buf is None or buf.size < size:
+            # Grow geometrically so a sequence of slightly-larger
+            # replications does not reallocate every time.
+            cap = size if buf is None else max(size, 2 * buf.size)
+            buf = np.empty(cap, dtype=dtype)
+            self._bufs[key] = buf
+            self.grows += 1
+            counters.inc("arena.grow", buffer=name)
+        return buf[:size]
+
+    def f64(self, name: str, size: int) -> np.ndarray:
+        """A float64 scratch view of ``size`` elements."""
+        return self._get(name, int(size), np.float64)
+
+    def i64(self, name: str, size: int) -> np.ndarray:
+        """An int64 scratch view of ``size`` elements."""
+        return self._get(name, int(size), np.int64)
+
+    @property
+    def nbytes(self) -> int:
+        """Total bytes currently held by the arena."""
+        return sum(b.nbytes for b in self._bufs.values())
+
+    def reset(self) -> None:
+        """Drop every buffer (tests and memory-pressure escapes)."""
+        self._bufs.clear()
+
+
+_arena: Arena | None = None
+
+
+def arena() -> Arena:
+    """The per-process scratch arena (created on first use)."""
+    global _arena
+    if _arena is None:
+        _arena = Arena()
+    return _arena
+
+
+# ----------------------------------------------------------------------
+# ctypes call wrappers
+# ----------------------------------------------------------------------
 
 
 def replay_periods_c(
@@ -209,11 +493,12 @@ def replay_periods_c(
 
     ``times``/``work``/``completions`` must be contiguous float64;
     ``bounds``/``ends`` contiguous int64.  Heap scratch is sized to the
-    longest period and reused across all of them.
+    longest period and served from the arena.
     """
     width = int((ends - bounds).max())
-    ht = np.empty(width)
-    hi = np.empty(width, dtype=np.int64)
+    a = arena()
+    ht = a.f64("periods.ht", width)
+    hi = a.i64("periods.hi", width)
     fn(
         times.ctypes.data_as(_c_double_p),
         work.ctypes.data_as(_c_double_p),
@@ -241,15 +526,15 @@ def replay_servers_c(
     argsort by target) job arrays; server ``s`` owns the slice
     ``[offsets[s], offsets[s+1])``.  All float arrays contiguous
     float64, ``offsets`` contiguous int64 of length ``len(speeds)+1``.
-    Scratch is sized to the busiest server and reused across servers.
+    Scratch is sized to the busiest server and served from the arena.
     """
     counts = np.diff(offsets)
     width = int(counts.max()) if counts.size else 0
     if width <= 0:
         return
-    dep = np.empty(width)
-    ht = np.empty(width)
-    hi = np.empty(width, dtype=np.int64)
+    a = arena()
+    ht = a.f64("servers.ht", width)
+    hi = a.i64("servers.hi", width)
     fn(
         times.ctypes.data_as(_c_double_p),
         work.ctypes.data_as(_c_double_p),
@@ -257,7 +542,125 @@ def replay_servers_c(
         offsets.ctypes.data_as(_c_i64_p),
         ctypes.c_longlong(len(speeds)),
         completions.ctypes.data_as(_c_double_p),
-        dep.ctypes.data_as(_c_double_p),
         ht.ctypes.data_as(_c_double_p),
         hi.ctypes.data_as(_c_i64_p),
+    )
+
+
+def replay_cell_c(
+    fn,
+    times: np.ndarray,
+    work: np.ndarray,
+    speeds: np.ndarray,
+    plans,
+    use_ps: bool,
+    warmup_cut: int | None = None,
+):
+    """Replay every unique dispatch plan of one replication in one call.
+
+    ``plans`` is a sequence of int64 target arrays (one per unique
+    plan), each aligned with the shared ``times``/``work`` streams.
+    Returns ``(completions, grouped_work, offsets, tail, ok)`` where
+    ``completions`` is (nplans, n) in arrival order, ``grouped_work``
+    is the server-grouped job sizes (for per-server busy-time sums),
+    ``offsets`` is (nplans, nservers+1), and ``ok`` is False when a
+    target was out of range (caller falls back to the numpy path).
+
+    When ``warmup_cut`` is given (the index of the first post-warmup
+    arrival), the kernel also emits the per-plan summarize precursors
+    and ``tail`` is ``(resp, ratio, pcounts)``: response times and
+    response ratios of the post-warmup jobs, (nplans, n-warmup_cut)
+    each, plus per-server post-warmup dispatch counts,
+    (nplans, nservers).  All elementwise or integer work, so the
+    arrays are bit-identical to the numpy expressions they replace.
+    ``tail`` is None when ``warmup_cut`` is omitted or >= n.
+
+    All returned arrays are arena-backed views: consume them before the
+    next replay call, never store them.
+    """
+    n = int(times.size)
+    nplans = len(plans)
+    nservers = int(speeds.size)
+    nthreads = max(1, omp_max_threads())
+    a = arena()
+    if (
+        nplans == 1
+        and plans[0].dtype == np.int64
+        and plans[0].flags.c_contiguous
+    ):
+        targets = plans[0]
+    else:
+        targets = a.i64("cell.targets", nplans * n).reshape(nplans, n)
+        for k, plan in enumerate(plans):
+            np.copyto(targets[k], plan)
+    completions = a.f64("cell.comp", nplans * n)
+    gt = a.f64("cell.gt", nplans * n)
+    gw = a.f64("cell.gw", nplans * n)
+    gc = a.f64("cell.gc", nplans * n)
+    order = a.i64("cell.order", nplans * n)
+    offsets = a.i64("cell.offsets", nplans * (nservers + 1))
+    pos = a.i64("cell.pos", nplans * (nservers + 1))
+    # Matches the kernel's per-thread scratch stride: the PS heap needs
+    # n entries, the fused FCFS pass 2*nservers of per-server state.
+    stride = max(n, 2 * nservers)
+    ht = a.f64("cell.ht", nthreads * stride)
+    hi = a.i64("cell.hi", nthreads * stride)
+    cut = n if warmup_cut is None else min(max(int(warmup_cut), 0), n)
+    tail_len = n - cut
+    resp = a.f64("cell.resp", nplans * tail_len)
+    ratio = a.f64("cell.ratio", nplans * tail_len)
+    pcounts = a.i64("cell.pcounts", nplans * nservers)
+    status = fn(
+        times.ctypes.data_as(_c_double_p),
+        work.ctypes.data_as(_c_double_p),
+        ctypes.c_longlong(n),
+        speeds.ctypes.data_as(_c_double_p),
+        ctypes.c_longlong(nservers),
+        targets.ctypes.data_as(_c_i64_p),
+        ctypes.c_longlong(nplans),
+        ctypes.c_longlong(1 if use_ps else 0),
+        completions.ctypes.data_as(_c_double_p),
+        gt.ctypes.data_as(_c_double_p),
+        gw.ctypes.data_as(_c_double_p),
+        gc.ctypes.data_as(_c_double_p),
+        order.ctypes.data_as(_c_i64_p),
+        offsets.ctypes.data_as(_c_i64_p),
+        pos.ctypes.data_as(_c_i64_p),
+        ht.ctypes.data_as(_c_double_p),
+        hi.ctypes.data_as(_c_i64_p),
+        ctypes.c_longlong(nthreads),
+        ctypes.c_longlong(cut),
+        resp.ctypes.data_as(_c_double_p),
+        ratio.ctypes.data_as(_c_double_p),
+        pcounts.ctypes.data_as(_c_i64_p),
+    )
+    tail = None
+    if tail_len > 0:
+        tail = (
+            resp.reshape(nplans, tail_len),
+            ratio.reshape(nplans, tail_len),
+            pcounts.reshape(nplans, nservers),
+        )
+    return (
+        completions.reshape(nplans, n),
+        gw.reshape(nplans, n),
+        offsets.reshape(nplans, nservers + 1),
+        tail,
+        status == 0,
+    )
+
+
+def map_uniform_c(fn, cum: np.ndarray, u: np.ndarray, out: np.ndarray) -> None:
+    """searchsorted(cum, u, side="right") through the compiled mapper.
+
+    ``cum`` and ``u`` contiguous float64, ``out`` contiguous int64 of
+    ``u``'s length.  Integer output: bit-identical to numpy by
+    construction.
+    """
+    fn(
+        cum.ctypes.data_as(_c_double_p),
+        ctypes.c_longlong(cum.size),
+        u.ctypes.data_as(_c_double_p),
+        ctypes.c_longlong(u.size),
+        out.ctypes.data_as(_c_i64_p),
     )

@@ -49,7 +49,13 @@ import heapq
 import numpy as np
 
 from ..dispatch.base import Dispatcher
-from ..dispatch.round_robin import RoundRobinDispatcher, build_dispatch_sequence
+from ..dispatch.random_dispatch import RandomDispatcher
+from ..dispatch.round_robin import (
+    RoundRobinDispatcher,
+    build_dispatch_sequence,
+    sequence_memo_key,
+)
+from ..metrics.online import RunningStats
 from ..metrics.response import MetricsCollector
 from ..obs import counters
 from ..obs.spans import span
@@ -67,12 +73,15 @@ __all__ = [
     "KERNEL_VERSION",
 ]
 
-#: Version tag of the replay kernels (cache-key component).  v3: PS
-#: multi-job busy periods replay through the compiled heap core.  The
-#: bump is precautionary — v3 is asserted bit-identical to v2 — but the
-#: compiled core is new numerical surface area, so cached v2 entries
-#: are retired rather than trusted across the boundary.
-KERNEL_VERSION = "3"
+#: Version tag of the replay kernels (cache-key component).  v4: the
+#: whole replay pipeline — FCFS Lindley recursion included — runs
+#: through the fused compiled cell kernel (grouping, per-(plan, server)
+#: replay, scatter-back in one C call, OpenMP over disjoint slices).
+#: The bump is precautionary — v4 is asserted bit-identical to v3 at
+#: any thread count — but the compiled surface grew substantially, so
+#: cached v3 entries are retired rather than trusted across the
+#: boundary.
+KERNEL_VERSION = "4"
 
 
 def _validate_substream(
@@ -341,83 +350,84 @@ def _replay_static(
     return _replay_plan(config, targets, times, sizes, record_trace)
 
 
-def _replay_plan(
-    config: SimulationConfig,
-    targets: np.ndarray,
-    times: np.ndarray,
-    sizes: np.ndarray,
-    record_trace: bool,
-) -> SimulationResults:
-    """Stage 3 for one dispatch plan: grouped replay plus one metrics pass.
+def _validate_plan_inputs(
+    times: np.ndarray, sizes: np.ndarray, speeds: np.ndarray
+) -> tuple[np.ndarray, np.ndarray]:
+    """Whole-stream validation shared by every plan of a replication.
 
-    One stable argsort groups the jobs by target server: within a group
-    the stable sort preserves arrival order, so each server's slice is
-    bit-identical to the boolean-mask extraction it replaces (at a
-    fraction of the cost — one O(n log n) pass instead of one full-array
-    scan and gather per server).  Completions are scattered back to
-    arrival order and recorded in a single metrics batch.
+    Every per-server slice of a non-decreasing stream is itself
+    non-decreasing, so validating once covers all plans and servers.
     """
-    n_servers = len(config.speeds)
     times = np.ascontiguousarray(times, dtype=float)
     sizes = np.ascontiguousarray(sizes, dtype=float)
     if times.shape != sizes.shape:
         raise ValueError("arrival times and sizes must align")
-    # Validate the whole stream once: every per-server slice of a
-    # non-decreasing stream is itself non-decreasing.
     if times.size > 1 and np.any(np.diff(times) < 0):
         raise ValueError("arrival_times must be non-decreasing")
     if np.any(sizes <= 0):
         raise ValueError("job sizes must be positive")
-    speeds = np.ascontiguousarray(config.speeds, dtype=float)
     if np.any(speeds <= 0):
         raise ValueError("server speeds must be positive")
+    return times, sizes
 
-    # Stable argsort on a narrow key: casting the targets to int8 (a
-    # network never has 128 computers) keeps the radix passes to one
-    # byte, several times faster than sorting int64 keys — and a cast
-    # preserves key order, so the permutation is identical.
-    sort_keys = targets.astype(np.int8) if n_servers <= 127 else targets
-    order = np.argsort(sort_keys, kind="stable")
-    counts = np.bincount(targets, minlength=n_servers)
-    offsets = np.zeros(n_servers + 1, dtype=np.int64)
-    np.cumsum(counts, out=offsets[1:])
-    grouped_times = times[order]
-    grouped_sizes = sizes[order]
-    grouped_completions = np.empty_like(grouped_times)
 
-    fused = ckernel.ps_servers_fn() if config.discipline == "ps" else None
-    counters.inc(
-        "kernel.engaged",
-        discipline=config.discipline,
-        backend="c" if fused is not None else "python",
-        version=KERNEL_VERSION,
-    )
-    if fused is not None:
-        with span("replay", backend="c", servers=n_servers, jobs=int(times.size)):
-            ckernel.replay_servers_c(
-                fused, grouped_times, grouped_sizes, speeds, offsets,
-                grouped_completions,
-            )
-    else:
-        core = _REPLAY_CORES[config.discipline]
-        for i in range(n_servers):
-            lo, hi = int(offsets[i]), int(offsets[i + 1])
-            if lo == hi:
-                continue
-            with span("replay", backend="python", server=i, jobs=hi - lo):
-                grouped_completions[lo:hi] = core(
-                    grouped_times[lo:hi], grouped_sizes[lo:hi], float(speeds[i])
-                )
+def _summarize_plan(
+    config: SimulationConfig,
+    targets: np.ndarray,
+    times: np.ndarray,
+    sizes: np.ndarray,
+    completions: np.ndarray,
+    grouped_sizes: np.ndarray,
+    offsets: np.ndarray,
+    record_trace: bool,
+    warmup_cut: int | None = None,
+    job_size_stats: RunningStats | None = None,
+    tail: tuple[np.ndarray, np.ndarray, np.ndarray] | None = None,
+) -> SimulationResults:
+    """One plan's metrics pass over arrival-order completions.
 
+    ``grouped_sizes``/``offsets`` are the server-grouped job sizes and
+    group bounds from the replay stage (server ``i`` owns
+    ``grouped_sizes[offsets[i]:offsets[i+1]]``).  Arrivals are sorted,
+    so the post-warm-up jobs form a suffix: ``warmup_cut`` is its start
+    index (binary-searched here when not supplied; plans of one
+    replication share the stream, so callers may share the cut).  The
+    suffix holds exactly the jobs the boolean mask ``times >= warmup``
+    selects, in the same order — the accumulated bits are identical,
+    the gather copies are not made.  ``job_size_stats`` likewise depends
+    only on the stream, so one accumulation may serve every plan of a
+    replication: merging it into a fresh collector copies its aggregates
+    verbatim, the same bits a private accumulation would produce.
+    ``tail`` is this plan's ``(response, ratio, counts)`` precursor
+    slice from the compiled kernel (see
+    :func:`repro.sim.ckernel.replay_cell_c`) — elementwise subtraction
+    and division plus integer counts, bit-identical to the numpy
+    expressions computed here when absent.
+    """
+    n_servers = len(config.speeds)
     with span("summarize", jobs=int(times.size)):
-        completions = np.empty_like(times)
-        completions[order] = grouped_completions
+        if warmup_cut is None:
+            warmup_cut = int(np.searchsorted(times, config.warmup, side="left"))
         metrics = MetricsCollector(warmup_end=config.warmup)
-        metrics.record_batch(times, completions, sizes)
-
-        warmup_mask = times >= config.warmup
-        post_warmup_total = int(np.count_nonzero(warmup_mask))
-        dispatched_counts = np.bincount(targets[warmup_mask], minlength=n_servers)
+        dispatched_counts = None
+        if job_size_stats is not None and warmup_cut < times.size:
+            if tail is not None:
+                response, response_ratio, dispatched_counts = tail
+            else:
+                response = completions[warmup_cut:] - times[warmup_cut:]
+                response_ratio = response / sizes[warmup_cut:]
+            metrics.response_time.add_array(response)
+            metrics.response_ratio.add_array(response_ratio)
+            metrics.job_size.merge(job_size_stats)
+        else:
+            metrics.record_batch(
+                times, completions, sizes, assume_valid=True, arrivals_sorted=True
+            )
+        post_warmup_total = int(times.size) - warmup_cut
+        if dispatched_counts is None:
+            dispatched_counts = np.bincount(
+                targets[warmup_cut:], minlength=n_servers
+            )
         server_stats = []
         for i, speed in enumerate(config.speeds):
             lo, hi = int(offsets[i]), int(offsets[i + 1])
@@ -449,6 +459,84 @@ def _replay_plan(
             total_arrivals=int(times.size),
             trace=trace,
         )
+
+
+def _replay_plan(
+    config: SimulationConfig,
+    targets: np.ndarray,
+    times: np.ndarray,
+    sizes: np.ndarray,
+    record_trace: bool,
+    *,
+    validated: bool = False,
+) -> SimulationResults:
+    """Stage 3 for one dispatch plan: grouped replay plus one metrics pass.
+
+    With the compiled kernel this is one fused C call (counting-sort
+    grouping, per-server replay, scatter back to arrival order —
+    :func:`repro.sim.ckernel.replay_cell_c` with a single plan, scratch
+    from the arena).  The numpy fallback groups with one stable argsort
+    on a narrow key — within a group the stable sort preserves arrival
+    order, so each server's slice is bit-identical to the boolean-mask
+    extraction it replaces — and replays per server in Python.  Both
+    paths produce the same bits by construction.
+    """
+    n_servers = len(config.speeds)
+    speeds = np.ascontiguousarray(config.speeds, dtype=float)
+    if not validated:
+        times, sizes = _validate_plan_inputs(times, sizes, speeds)
+
+    fused = ckernel.cell_fn()
+    counters.inc(
+        "kernel.engaged",
+        discipline=config.discipline,
+        backend="c" if fused is not None else "python",
+        version=KERNEL_VERSION,
+        threads=ckernel.omp_max_threads() if fused is not None else 1,
+    )
+    if fused is not None:
+        with span("replay", backend="c", servers=n_servers, jobs=int(times.size)):
+            comp, gw, offs, _, ok = ckernel.replay_cell_c(
+                fused, times, sizes, speeds, [targets],
+                config.discipline == "ps",
+            )
+        if ok:
+            return _summarize_plan(
+                config, targets, times, sizes, comp[0], gw[0], offs[0],
+                record_trace,
+            )
+        # Out-of-range target: fall through to the numpy path, whose
+        # bincount raises the descriptive error.
+
+    # Stable argsort on a narrow key: casting the targets to int8 (a
+    # network never has 128 computers) keeps the radix passes to one
+    # byte, several times faster than sorting int64 keys — and a cast
+    # preserves key order, so the permutation is identical.
+    sort_keys = targets.astype(np.int8) if n_servers <= 127 else targets
+    order = np.argsort(sort_keys, kind="stable")
+    counts = np.bincount(targets, minlength=n_servers)
+    offsets = np.zeros(n_servers + 1, dtype=np.int64)
+    np.cumsum(counts, out=offsets[1:])
+    grouped_times = times[order]
+    grouped_sizes = sizes[order]
+    grouped_completions = np.empty_like(grouped_times)
+
+    core = _REPLAY_CORES[config.discipline]
+    for i in range(n_servers):
+        lo, hi = int(offsets[i]), int(offsets[i + 1])
+        if lo == hi:
+            continue
+        with span("replay", backend="python", server=i, jobs=hi - lo):
+            grouped_completions[lo:hi] = core(
+                grouped_times[lo:hi], grouped_sizes[lo:hi], float(speeds[i])
+            )
+
+    completions = np.empty_like(times)
+    completions[order] = grouped_completions
+    return _summarize_plan(
+        config, targets, times, sizes, completions, grouped_sizes, offsets,
+        record_trace,
+    )
 
 
 def run_static_simulation(
@@ -524,7 +612,14 @@ def run_cell(
         pool = StreamPool()
 
     network = config.network()
+    speeds = np.ascontiguousarray(config.speeds, dtype=float)
     alphas_memo: dict[int, object] = {}
+    # Round-robin plans are a pure function of (alphas, guard_init,
+    # count) — no stream dependence — so one materialized sequence
+    # serves every member (and every same-length replication), and
+    # members with equal allocations share the identical array, making
+    # the dedup below an identity check.
+    rr_memo: dict[tuple, np.ndarray] = {}
     dispatchers_ok: set[int] = set()
     results: dict[tuple[int, int], SimulationResults] = {}
     by_rep: dict[int, list[int]] = {}
@@ -533,13 +628,19 @@ def run_cell(
 
     for r in sorted(by_rep):
         times, sizes = pool.get(config, seeds[r])
+        # Validate the shared streams once per replication: every plan
+        # replays the same arrays, so per-plan validation is redundant.
+        times, sizes = _validate_plan_inputs(times, sizes, speeds)
         # Dispatch-plan dedup, the cell-only optimization: two members
         # of the same replication whose stage-2 target sequences are
         # identical (ORR and WRR collapse to the same plan on a
         # homogeneous network, for instance) replay identical
-        # per-server substreams, so the first member's results are
-        # reused verbatim — bit-identity is trivially preserved.
-        plans: list[tuple[np.ndarray, SimulationResults]] = []
+        # per-server substreams, so one replay serves both members —
+        # bit-identity is trivially preserved.
+        u_shared: np.ndarray | None = None
+        random_memo: dict[bytes, np.ndarray] = {}
+        plans: list[np.ndarray] = []
+        member_plan: dict[int, int] = {}
         for pi in by_rep[r]:
             policy = policies[pi]
             if pi not in alphas_memo:
@@ -560,20 +661,131 @@ def run_cell(
                     )
                 dispatchers_ok.add(pi)
             dispatcher.reset(alphas_memo[pi])
-            targets = _dispatch_targets(dispatcher, sizes)
-            result = None
-            for prev_targets, prev_result in plans:
-                if np.array_equal(prev_targets, targets):
-                    result = prev_result
+            if isinstance(dispatcher, RandomDispatcher):
+                # Common random numbers, one level deeper: every random
+                # dispatcher of this replication was just built from an
+                # identical fresh "dispatch" substream, so the first
+                # member's uniforms ARE every member's uniforms — draw
+                # once and only re-map per allocation.
+                with span("dispatch", jobs=int(sizes.size)) as sp:
+                    if u_shared is None:
+                        u_shared = dispatcher.draw(sizes.size)
+                        sp.set(memo="bypass")
+                    else:
+                        sp.set(memo="cell-crn")
+                    # Same uniforms + same cumulative fractions → same
+                    # targets, so the mapping itself memoizes on the
+                    # allocation (WRAN and ORAN coincide on a
+                    # homogeneous network, for instance); the memo hit
+                    # returns the identical array, making the plan
+                    # dedup below an identity check.
+                    key = dispatcher.allocation_key()
+                    targets = random_memo.get(key)
+                    if targets is None:
+                        targets = dispatcher.select_batch_given(u_shared)
+                        random_memo[key] = targets
+            elif isinstance(dispatcher, RoundRobinDispatcher) and (
+                dispatcher.sequence_deterministic
+            ):
+                key = (
+                    sequence_memo_key(dispatcher.alphas, dispatcher.guard_init),
+                    int(sizes.size),
+                )
+                targets = rr_memo.get(key)
+                if targets is None:
+                    targets = _dispatch_targets(dispatcher, sizes)
+                    rr_memo[key] = targets
+            else:
+                targets = _dispatch_targets(dispatcher, sizes)
+            plan_idx = None
+            for j, prev in enumerate(plans):
+                # Identity, not np.array_equal: the random and
+                # round-robin memos above hand equal plans back as the
+                # same object (ORR/WRR with equal fractions share one
+                # cached array), and a missed dedup of coincidentally
+                # equal arrays only costs a redundant replay — it can
+                # never change results.
+                if prev is targets:
+                    plan_idx = j
                     counters.inc("cell.plan_reuse")
                     break
-            if result is None:
-                result = _replay_plan(
-                    config, targets, times, sizes, record_trace
-                )
-                plans.append((targets, result))
+            if plan_idx is None:
+                plans.append(targets)
+                plan_idx = len(plans) - 1
+            member_plan[pi] = plan_idx
+
+        plan_results = _replay_cell_plans(
+            config, plans, times, sizes, speeds, record_trace
+        )
+        for pi in by_rep[r]:
+            result = plan_results[member_plan[pi]]
             results[(pi, r)] = result
             # One ledger entry per member, reused plans included, so the
             # cell path tallies exactly what the flat path would.
             counters.record_run(result)
     return results
+
+
+def _replay_cell_plans(
+    config: SimulationConfig,
+    plans: list[np.ndarray],
+    times: np.ndarray,
+    sizes: np.ndarray,
+    speeds: np.ndarray,
+    record_trace: bool,
+) -> list[SimulationResults]:
+    """Stage 3 for every unique dispatch plan of one replication.
+
+    With the compiled kernel the whole cell replays in ONE C call —
+    grouping, per-(plan, server) replay (OpenMP over disjoint slices),
+    and scatter-back share the materialized streams and the arena
+    scratch — followed by one numpy metrics pass per plan (kept in
+    numpy so the accumulation order, and hence the bits, match the flat
+    path).  Without it, each plan runs the per-plan fallback.
+    """
+    if not plans:
+        return []
+    fused = ckernel.cell_fn()
+    if fused is not None:
+        threads = ckernel.omp_max_threads()
+        with span(
+            "replay",
+            backend="c",
+            plans=len(plans),
+            servers=len(config.speeds),
+            jobs=int(times.size),
+        ):
+            cut = int(np.searchsorted(times, config.warmup, side="left"))
+            comp, gw, offs, tail, ok = ckernel.replay_cell_c(
+                fused, times, sizes, speeds, plans,
+                config.discipline == "ps", warmup_cut=cut,
+            )
+        if ok:
+            job_size_stats = None
+            if cut < times.size:
+                job_size_stats = RunningStats()
+                job_size_stats.add_array(sizes[cut:])
+            out = []
+            for k, targets in enumerate(plans):
+                counters.inc(
+                    "kernel.engaged",
+                    discipline=config.discipline,
+                    backend="c",
+                    version=KERNEL_VERSION,
+                    threads=threads,
+                )
+                out.append(
+                    _summarize_plan(
+                        config, targets, times, sizes, comp[k], gw[k],
+                        offs[k], record_trace, warmup_cut=cut,
+                        job_size_stats=job_size_stats,
+                        tail=None if tail is None else (
+                            tail[0][k], tail[1][k], tail[2][k]
+                        ),
+                    )
+                )
+            return out
+    return [
+        _replay_plan(config, targets, times, sizes, record_trace, validated=True)
+        for targets in plans
+    ]
