@@ -263,6 +263,49 @@ def build_parser() -> argparse.ArgumentParser:
         help="replay a recorded workload instead of the synthetic one "
              "(two-column CSV: arrival_time,size)",
     )
+    serve_p.add_argument(
+        "--slo",
+        type=float,
+        default=None,
+        metavar="P99",
+        help="response-time p99 target; shedding then engages exactly "
+             "while the last window's p99 exceeds it (replaces the "
+             "utilization-threshold rule)",
+    )
+    serve_p.add_argument(
+        "--faults",
+        default=None,
+        metavar="SPEC",
+        help="inject failures, e.g. 'mtbf=2000,mttr=200' (same keys as "
+             "`run --faults`); down servers bounce jobs through the "
+             "retry policy",
+    )
+    serve_p.add_argument("--fault-seed", type=int, default=0,
+                         help="seed of the fault-timeline substreams")
+    serve_p.add_argument(
+        "--checkpoint",
+        metavar="PATH",
+        default=None,
+        help="crash-safe JSONL checkpoint file (fsynced snapshot of the "
+             "full loop state every --checkpoint-every windows)",
+    )
+    serve_p.add_argument("--checkpoint-every", type=int, default=10,
+                         metavar="N",
+                         help="windows between checkpoint snapshots")
+    serve_p.add_argument(
+        "--resume",
+        action="store_true",
+        help="continue from the last snapshot in --checkpoint (fresh "
+             "start if the file has none)",
+    )
+    serve_p.add_argument(
+        "--crash-after",
+        type=int,
+        default=None,
+        metavar="N",
+        help="simulate a hard crash after N windows (exit code 3) — "
+             "test hook for the --resume round trip",
+    )
     serve_p.add_argument("--json", action="store_true",
                          help="print the full service report as JSON")
     add_telemetry_flags(serve_p)
@@ -730,7 +773,9 @@ def _cmd_serve(args) -> int:
     from .distributions import distribution_from_mean_cv
     from .service import (
         SchedulerService,
+        ServiceCheckpoint,
         ServiceConfig,
+        ServiceCrash,
         SyntheticJobSource,
         TraceJobSource,
     )
@@ -741,6 +786,18 @@ def _cmd_serve(args) -> int:
     if speeds is None:
         print(f"error: could not parse speeds {args.speeds!r}", file=sys.stderr)
         return 2
+    faults = None
+    if args.faults is not None:
+        from .faults import FaultConfig
+
+        try:
+            faults = FaultConfig.parse(args.faults)
+        except ValueError as exc:
+            print(f"error: bad --faults spec: {exc}", file=sys.stderr)
+            return 2
+    if args.resume and args.checkpoint is None:
+        print("error: --resume needs --checkpoint PATH", file=sys.stderr)
+        return 2
     try:
         config = ServiceConfig(
             speeds=tuple(speeds),
@@ -748,6 +805,9 @@ def _cmd_serve(args) -> int:
             control_period=args.resolve_period,
             estimator_window=args.window,
             shed_threshold=args.shed_threshold,
+            slo_target=args.slo,
+            faults=faults,
+            fault_seed=args.fault_seed,
         )
     except ValueError as exc:
         print(f"error: {exc}", file=sys.stderr)
@@ -792,7 +852,38 @@ def _cmd_serve(args) -> int:
             return 2
         source = SyntheticJobSource(workload, args.seed)
 
-    report = SchedulerService(config, source).run()
+    checkpoint = (
+        ServiceCheckpoint(args.checkpoint) if args.checkpoint is not None else None
+    )
+    service = SchedulerService(
+        config,
+        source,
+        checkpoint=checkpoint,
+        checkpoint_every=args.checkpoint_every,
+        crash_after=args.crash_after,
+    )
+    if args.resume:
+        try:
+            state = checkpoint.load_last()
+        except ValueError as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 2
+        if state is None:
+            print(
+                f"note: no snapshot in {args.checkpoint!r}; starting fresh",
+                file=sys.stderr,
+            )
+        else:
+            try:
+                service.restore(state)
+            except ValueError as exc:
+                print(f"error: cannot resume: {exc}", file=sys.stderr)
+                return 2
+    try:
+        report = service.run()
+    except ServiceCrash as exc:
+        print(f"crashed (simulated): {exc}", file=sys.stderr)
+        return 3
 
     if args.json:
         print(json_module.dumps(report.as_dict(), indent=2))
@@ -800,19 +891,29 @@ def _cmd_serve(args) -> int:
 
     from .experiments.reporting import format_table
 
+    rows = [
+        ["jobs offered", report.jobs_offered],
+        ["jobs dispatched", report.jobs_dispatched],
+        ["jobs shed", report.jobs_shed],
+        ["re-solves", report.resolves],
+        ["sequence swaps", report.swaps],
+        ["time-averaged MRT", report.time_averaged_mrt],
+        ["response p50", report.p50],
+        ["response p99", report.p99],
+        ["clean shutdown", report.clean_shutdown],
+    ]
+    if faults is not None or report.membership_changes:
+        rows[6:6] = [
+            ["jobs lost", report.jobs_lost],
+            ["jobs retried", report.jobs_retried],
+            ["loss rate", report.loss_rate],
+            ["membership changes", report.membership_changes],
+        ]
     alphas = ", ".join(f"{a:.4f}" for a in report.final_alphas)
     print(
         format_table(
             ["metric", "value"],
-            [
-                ["jobs offered", report.jobs_offered],
-                ["jobs dispatched", report.jobs_dispatched],
-                ["jobs shed", report.jobs_shed],
-                ["re-solves", report.resolves],
-                ["sequence swaps", report.swaps],
-                ["time-averaged MRT", report.time_averaged_mrt],
-                ["clean shutdown", report.clean_shutdown],
-            ],
+            rows,
             title=(
                 f"Quasi-static service: {len(speeds)} servers, "
                 f"{args.duration:.0f} s, re-solve every "

@@ -145,6 +145,33 @@ class RoundRobinDispatcher(StaticDispatcher):
         self._require_reset()
         return np.asarray(self._next, dtype=float)
 
+    # ------------------------------------------------------------------
+    # Crash-safe service checkpoints
+    # ------------------------------------------------------------------
+    #
+    # The service swaps sequences only at some window boundaries, so a
+    # checkpoint usually lands mid-sequence; `assign`/`next` must be
+    # restored exactly or the resumed run walks a different sequence.
+
+    def state_dict(self) -> dict:
+        return {
+            "guard_init": self.guard_init,
+            "alphas": None if self.alphas is None else [float(a) for a in self.alphas],
+            "assign": [int(a) for a in self._assign],
+            "next": [float(x) for x in self._next],
+            "started": [int(i) for i in self._started],
+        }
+
+    def load_state(self, state: dict) -> None:
+        self.guard_init = float(state["guard_init"])
+        if state["alphas"] is None:
+            self.alphas = None
+            return
+        self.reset(np.asarray(state["alphas"], dtype=float))
+        self._assign = [int(a) for a in state["assign"]]
+        self._next = [float(x) for x in state["next"]]
+        self._started = [int(i) for i in state["started"]]
+
 
 # ----------------------------------------------------------------------
 # Memoized sequence builder

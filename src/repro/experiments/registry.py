@@ -7,6 +7,7 @@ from typing import Callable
 from .base import Scale
 from .configs import BASE_SPEEDS
 from .extension_adaptive import run_adaptive_extension
+from .extension_chaos import format_chaos_extension, run_chaos_extension
 from .extension_faults import format_faults_extension, run_faults_extension
 from .extension_online import run_online_extension
 from .figure2 import run_figure2
@@ -74,6 +75,10 @@ def _run_faults(scale, n_jobs=None, cache=None, **grid) -> str:
     )
 
 
+def _run_chaos(scale, n_jobs=None, cache=None, **grid) -> str:
+    return format_chaos_extension(run_chaos_extension(scale))
+
+
 #: id → (description, runner returning printable text).  Runners accept
 #: (scale, n_jobs=None, cache=None, **grid); sweep-based runners forward
 #: the grid hardening/fault knobs, the others ignore them.
@@ -97,6 +102,11 @@ EXPERIMENTS: dict[str, tuple[str, Callable[..., str]]] = {
     "faults": (
         "extension: failure-aware vs oblivious scheduling under faults",
         _run_faults,
+    ),
+    "chaos": (
+        "extension: chaos drills on the fault-tolerant service "
+        "(asserted recovery/loss bounds)",
+        _run_chaos,
     ),
 }
 

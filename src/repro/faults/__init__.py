@@ -4,7 +4,7 @@ See :mod:`repro.faults.models` for the fault processes and
 :mod:`repro.faults.aware` for the failure-aware dispatching mode.
 """
 
-from .aware import FailureAwareDispatcher
+from .aware import FailureAwareDispatcher, survivor_fractions
 from .models import FaultConfig, FaultEvent, RetryPolicy, build_timeline
 
 __all__ = [
@@ -13,4 +13,5 @@ __all__ = [
     "RetryPolicy",
     "build_timeline",
     "FailureAwareDispatcher",
+    "survivor_fractions",
 ]

@@ -26,7 +26,52 @@ from ..allocation.base import Allocator
 from ..dispatch.base import Dispatcher
 from ..queueing.network import HeterogeneousNetwork
 
-__all__ = ["FailureAwareDispatcher"]
+__all__ = ["survivor_fractions", "FailureAwareDispatcher"]
+
+
+def survivor_fractions(speeds, up, utilization, solve=None) -> np.ndarray | None:
+    """Full-length allocation with zero share on every down server.
+
+    The FA_ORR core, shared by the batch-engine
+    :class:`FailureAwareDispatcher` and the service controller's
+    failure detector: solve Theorems 1–3 over the surviving
+    sub-network, scatter back into a full-length vector.  When the
+    survivors cannot carry the load (``utilization`` outside (0, 1) or
+    the solve degenerates) the fallback is capacity-proportional over
+    the survivors, which at least balances the overload.  Returns
+    ``None`` on total outage — no allocation exists and the caller
+    should keep its current one.
+
+    ``solve`` maps a :class:`HeterogeneousNetwork` to an alpha vector;
+    it defaults to the closed-form
+    :func:`~repro.allocation.optimized.optimized_fractions`.
+    """
+    up = np.asarray(up, dtype=bool)
+    speeds = np.asarray(speeds, dtype=float)
+    if up.shape != speeds.shape:
+        raise ValueError(
+            f"membership mask has {up.size} entries for {speeds.size} servers"
+        )
+    survivors = np.flatnonzero(up)
+    if survivors.size == 0:
+        return None
+    if solve is None:
+        from ..allocation.optimized import optimized_fractions
+
+        solve = optimized_fractions
+    sub_speeds = speeds[survivors]
+    sub_alphas = None
+    if 0.0 < utilization < 1.0:
+        try:
+            network = HeterogeneousNetwork(sub_speeds, utilization=utilization)
+            sub_alphas = solve(network)
+        except ValueError:
+            sub_alphas = None
+    if sub_alphas is None:
+        sub_alphas = sub_speeds / sub_speeds.sum()
+    full = np.zeros(speeds.size)
+    full[survivors] = sub_alphas
+    return full
 
 
 class FailureAwareDispatcher(Dispatcher):
@@ -97,29 +142,15 @@ class FailureAwareDispatcher(Dispatcher):
         capacity; ``speeds`` are the (possibly drift-perturbed) speed
         estimates the controller sees — defaults to the nominal speeds.
         """
-        up = np.asarray(up, dtype=bool)
-        if up.size != self.speeds.size:
-            raise ValueError(
-                f"membership mask has {up.size} entries for {self.speeds.size} servers"
-            )
-        survivors = np.flatnonzero(up)
-        if survivors.size == 0:
-            return  # total outage: keep the last allocation, jobs bounce
         perceived = self.speeds if speeds is None else np.asarray(speeds, dtype=float)
-        sub_speeds = perceived[survivors]
-        sub_alphas = None
-        if 0.0 < utilization < 1.0:
-            try:
-                network = HeterogeneousNetwork(sub_speeds, utilization=utilization)
-                sub_alphas = self.allocator.compute(network).alphas
-            except ValueError:
-                sub_alphas = None
-        if sub_alphas is None:
-            # Overloaded (or degenerate) survivor set: no stabilizing
-            # allocation exists — fall back to capacity-proportional.
-            sub_alphas = sub_speeds / sub_speeds.sum()
-        full = np.zeros(self.speeds.size)
-        full[survivors] = sub_alphas
+        full = survivor_fractions(
+            perceived,
+            up,
+            utilization,
+            solve=lambda network: self.allocator.compute(network).alphas,
+        )
+        if full is None:
+            return  # total outage: keep the last allocation, jobs bounce
         self.alphas = full
         self.inner.reset(full)  # rebuilds the WRR sequence state
         self.reallocations += 1

@@ -167,6 +167,15 @@ class FaultConfig:
     def applies_to(self, server: int) -> bool:
         return self.servers is None or server in self.servers
 
+    #: Every key ``parse`` accepts, in documentation order — the
+    #: unknown-key error lists these so a typo (``mtr=50``) tells the
+    #: user what would have been valid instead of just what was not.
+    PARSE_KEYS = (
+        "mtbf", "mttr", "degrade_rate", "degrade_duration",
+        "degrade_factor", "drift", "on_failure", "max_attempts",
+        "base_delay", "backoff", "max_delay",
+    )
+
     @classmethod
     def parse(cls, spec: str) -> "FaultConfig":
         """Build a config from a CLI spec like ``mtbf=500,mttr=50``.
@@ -174,7 +183,8 @@ class FaultConfig:
         Recognized keys: ``mtbf``, ``mttr``, ``degrade_rate``,
         ``degrade_duration``, ``degrade_factor``, ``drift``,
         ``on_failure`` (retry|lose), ``max_attempts``, ``base_delay``,
-        ``backoff``, ``max_delay``.
+        ``backoff``, ``max_delay``.  Unknown keys fail loudly with the
+        valid-key list rather than being silently ignored.
         """
         kwargs: dict = {}
         retry_kwargs: dict = {}
@@ -183,7 +193,10 @@ class FaultConfig:
             if not part:
                 continue
             if "=" not in part:
-                raise ValueError(f"fault spec entries need key=value, got {part!r}")
+                raise ValueError(
+                    f"fault spec entries need key=value, got {part!r} "
+                    f"(valid keys: {', '.join(cls.PARSE_KEYS)})"
+                )
             key, value = (s.strip() for s in part.split("=", 1))
             if key in ("mtbf", "mttr", "degrade_rate", "degrade_duration",
                        "degrade_factor"):
@@ -197,7 +210,10 @@ class FaultConfig:
             elif key in ("base_delay", "backoff", "max_delay"):
                 retry_kwargs[key] = float(value)
             else:
-                raise ValueError(f"unknown fault spec key {key!r}")
+                raise ValueError(
+                    f"unknown fault spec key {key!r}; valid keys: "
+                    f"{', '.join(cls.PARSE_KEYS)}"
+                )
         if retry_kwargs:
             kwargs["retry"] = RetryPolicy(**retry_kwargs)
         return cls(**kwargs)

@@ -11,6 +11,7 @@ from .online import (
     EwmaEstimator,
     EwmaRateEstimator,
     OnlineWorkloadEstimator,
+    P2Quantile,
     RunningStats,
     ServerSpeedEstimator,
     WindowedRateEstimator,
@@ -30,6 +31,7 @@ __all__ = [
     "EwmaRateEstimator",
     "WindowedRateEstimator",
     "ServerSpeedEstimator",
+    "P2Quantile",
     "WorkloadEstimate",
     "OnlineWorkloadEstimator",
 ]

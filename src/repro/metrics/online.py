@@ -20,13 +20,22 @@ Two families live here:
     window after it happens, at the cost of more variance;
   - :class:`ServerSpeedEstimator` — per-server effective speed from
     observed (size, service-time) pairs, nominal-seeded;
+  - :class:`P2Quantile` — the Jain–Chlamtac P² streaming quantile
+    estimator: five markers, constant memory, no stored samples — the
+    response-time p50/p99 the service's SLO gate steers by;
   - :class:`OnlineWorkloadEstimator` — the facade the service feeds:
     per-arrival and per-completion hooks in, a
-    :class:`WorkloadEstimate` snapshot (λ̂, m̂, ŝ, ρ̂) out.
+    :class:`WorkloadEstimate` snapshot (λ̂, m̂, ŝ, ρ̂) out.  A
+    membership mask (set by the failure detector) restricts the
+    capacity in ρ̂ to the servers currently up.
 
   All estimators are deterministic functions of the observation
   sequence (no hidden randomness), so service runs replay
-  bit-identically under a fixed seed.
+  bit-identically under a fixed seed.  Each one exposes
+  ``state_dict()``/``load_state()`` returning plain JSON-serializable
+  values, so the crash-safe service checkpoints can snapshot and
+  restore estimator state exactly (floats round-trip bit-identically
+  through JSON).
 """
 
 from __future__ import annotations
@@ -43,6 +52,7 @@ __all__ = [
     "EwmaRateEstimator",
     "WindowedRateEstimator",
     "ServerSpeedEstimator",
+    "P2Quantile",
     "WorkloadEstimate",
     "OnlineWorkloadEstimator",
 ]
@@ -211,6 +221,14 @@ class EwmaEstimator:
             return math.nan
         return self._raw / self._norm
 
+    def state_dict(self) -> dict:
+        return {"raw": self._raw, "norm": self._norm, "count": self.count}
+
+    def load_state(self, state: dict) -> None:
+        self._raw = float(state["raw"])
+        self._norm = float(state["norm"])
+        self.count = int(state["count"])
+
 
 class EwmaRateEstimator:
     """Arrival rate as the reciprocal of an EWMA over inter-arrival gaps.
@@ -249,6 +267,14 @@ class EwmaRateEstimator:
         if not math.isfinite(gap) or gap <= 0.0:
             return 0.0
         return 1.0 / gap
+
+    def state_dict(self) -> dict:
+        return {"gaps": self._gaps.state_dict(), "last": self._last}
+
+    def load_state(self, state: dict) -> None:
+        self._gaps.load_state(state["gaps"])
+        last = state["last"]
+        self._last = None if last is None else float(last)
 
 
 class WindowedRateEstimator:
@@ -295,6 +321,12 @@ class WindowedRateEstimator:
             return 0.0
         return len(self._times) / span
 
+    def state_dict(self) -> dict:
+        return {"times": list(self._times)}
+
+    def load_state(self, state: dict) -> None:
+        self._times = deque(float(t) for t in state["times"])
+
 
 class ServerSpeedEstimator:
     """Per-server effective speed from observed (size, service-time) pairs.
@@ -333,26 +365,176 @@ class ServerSpeedEstimator:
                 out[i] = e.value
         return out
 
+    def state_dict(self) -> dict:
+        return {"ewmas": [e.state_dict() for e in self._ewmas]}
+
+    def load_state(self, state: dict) -> None:
+        states = state["ewmas"]
+        if len(states) != len(self._ewmas):
+            raise ValueError(
+                f"speed state has {len(states)} servers, expected {len(self._ewmas)}"
+            )
+        for e, s in zip(self._ewmas, states):
+            e.load_state(s)
+
+
+class P2Quantile:
+    """Streaming quantile estimation by the P² algorithm.
+
+    Jain & Chlamtac (CACM 1985): five markers track the running
+    estimate of the *p*-quantile plus the extremes and two midpoints,
+    adjusted per observation by a piecewise-parabolic interpolation —
+    O(1) memory and time, no stored samples.  Until five observations
+    have arrived the estimate is the exact (linearly interpolated)
+    sample quantile of what has been seen.
+
+    The update is a deterministic function of the observation sequence,
+    so a service run's p50/p99 replay bit-identically, and the five
+    markers serialize losslessly for crash-safe checkpoints.
+    """
+
+    __slots__ = ("p", "count", "_init", "_q", "_n", "_np", "_dn")
+
+    def __init__(self, p: float):
+        if not 0.0 < p < 1.0:
+            raise ValueError(f"quantile must lie in (0, 1), got {p}")
+        self.p = float(p)
+        self.reset()
+
+    def reset(self) -> None:
+        self.count = 0
+        self._init: list[float] = []
+        self._q: list[float] | None = None  # marker heights
+        self._n: list[float] | None = None  # actual marker positions
+        self._np: list[float] | None = None  # desired marker positions
+        self._dn: tuple[float, ...] = ()
+
+    def _start(self) -> None:
+        self._init.sort()
+        self._q = list(self._init)
+        self._n = [0.0, 1.0, 2.0, 3.0, 4.0]
+        p = self.p
+        self._np = [0.0, 2.0 * p, 4.0 * p, 2.0 + 2.0 * p, 4.0]
+        self._dn = (0.0, p / 2.0, p, (1.0 + p) / 2.0, 1.0)
+        self._init = []
+
+    def update(self, x: float) -> None:
+        x = float(x)
+        self.count += 1
+        if self._q is None:
+            self._init.append(x)
+            if len(self._init) == 5:
+                self._start()
+            return
+        q, n, np_ = self._q, self._n, self._np
+        # Locate the cell k with q[k] <= x < q[k+1], extremes absorbed.
+        if x < q[0]:
+            q[0] = x
+            k = 0
+        elif x >= q[4]:
+            if x > q[4]:
+                q[4] = x
+            k = 3
+        else:
+            k = 0
+            while k < 3 and x >= q[k + 1]:
+                k += 1
+        for i in range(k + 1, 5):
+            n[i] += 1.0
+        for i in range(5):
+            np_[i] += self._dn[i]
+        # Adjust the three interior markers toward their desired spots.
+        for i in (1, 2, 3):
+            d = np_[i] - n[i]
+            if (d >= 1.0 and n[i + 1] - n[i] > 1.0) or (
+                d <= -1.0 and n[i - 1] - n[i] < -1.0
+            ):
+                d = 1.0 if d >= 1.0 else -1.0
+                cand = self._parabolic(i, d)
+                if not q[i - 1] < cand < q[i + 1]:
+                    cand = self._linear(i, d)
+                q[i] = cand
+                n[i] += d
+
+    def _parabolic(self, i: int, d: float) -> float:
+        q, n = self._q, self._n
+        return q[i] + d / (n[i + 1] - n[i - 1]) * (
+            (n[i] - n[i - 1] + d) * (q[i + 1] - q[i]) / (n[i + 1] - n[i])
+            + (n[i + 1] - n[i] - d) * (q[i] - q[i - 1]) / (n[i] - n[i - 1])
+        )
+
+    def _linear(self, i: int, d: float) -> float:
+        q, n = self._q, self._n
+        j = i + int(d)
+        return q[i] + d * (q[j] - q[i]) / (n[j] - n[i])
+
+    @property
+    def value(self) -> float:
+        """Current quantile estimate (NaN before any observation)."""
+        if self._q is not None:
+            return self._q[2]
+        if not self._init:
+            return math.nan
+        s = sorted(self._init)
+        h = (len(s) - 1) * self.p
+        lo = math.floor(h)
+        hi = min(lo + 1, len(s) - 1)
+        return s[lo] + (h - lo) * (s[hi] - s[lo])
+
+    def state_dict(self) -> dict:
+        return {
+            "p": self.p,
+            "count": self.count,
+            "init": list(self._init),
+            "q": None if self._q is None else list(self._q),
+            "n": None if self._n is None else list(self._n),
+            "np": None if self._np is None else list(self._np),
+        }
+
+    def load_state(self, state: dict) -> None:
+        if float(state["p"]) != self.p:
+            raise ValueError(
+                f"checkpointed quantile {state['p']} does not match {self.p}"
+            )
+        self.reset()
+        self.count = int(state["count"])
+        self._init = [float(x) for x in state["init"]]
+        if state["q"] is not None:
+            p = self.p
+            self._q = [float(x) for x in state["q"]]
+            self._n = [float(x) for x in state["n"]]
+            self._np = [float(x) for x in state["np"]]
+            self._dn = (0.0, p / 2.0, p, (1.0 + p) / 2.0, 1.0)
+
 
 @dataclass(frozen=True)
 class WorkloadEstimate:
-    """One control-loop snapshot of the estimated workload parameters."""
+    """One control-loop snapshot of the estimated workload parameters.
+
+    ``up`` is the membership mask the failure detector reported —
+    ``None`` means every server is believed up.  ``utilization`` is the
+    offered load over the *surviving* capacity, which is the quantity a
+    failure-aware re-solve needs.
+    """
 
     arrival_rate: float
     mean_size: float
     speeds: np.ndarray
     utilization: float
+    up: np.ndarray | None = None
 
     @property
     def usable(self) -> bool:
         """True when every field is finite and positive enough to solve."""
+        speeds = self.speeds if self.up is None else self.speeds[self.up]
         return (
             math.isfinite(self.arrival_rate)
             and self.arrival_rate > 0.0
             and math.isfinite(self.mean_size)
             and self.mean_size > 0.0
-            and bool(np.all(np.isfinite(self.speeds)))
-            and bool(np.all(self.speeds > 0.0))
+            and speeds.size > 0
+            and bool(np.all(np.isfinite(speeds)))
+            and bool(np.all(speeds > 0.0))
         )
 
 
@@ -363,7 +545,10 @@ class OnlineWorkloadEstimator:
     admitted or shed, since the *offered* load is what sizing must
     track — and :meth:`observe_service` for every completed job; ρ̂
     follows as λ̂·m̂ / Σŝᵢ, estimated offered load over estimated
-    capacity.
+    capacity.  The failure detector narrows the capacity sum to the
+    surviving servers via :meth:`set_membership`, so a snapshot taken
+    while machines are down reports the utilization the survivors
+    actually face.
     """
 
     def __init__(
@@ -378,6 +563,7 @@ class OnlineWorkloadEstimator:
         self.mean_size = EwmaEstimator(ewma_weight)
         self.speed = ServerSpeedEstimator(nominal_speeds, ewma_weight)
         self.arrivals_seen = 0
+        self._up: np.ndarray | None = None  # None = everything up
 
     def observe_arrival(self, t: float, size: float) -> None:
         self.windowed_rate.observe(t)
@@ -387,6 +573,19 @@ class OnlineWorkloadEstimator:
 
     def observe_service(self, server: int, size: float, service_time: float) -> None:
         self.speed.observe(server, size, service_time)
+
+    def set_membership(self, up) -> None:
+        """Record which servers are up (failure-detector health signal).
+
+        An all-up mask restores the fault-free snapshot path exactly.
+        """
+        up = np.asarray(up, dtype=bool)
+        if up.shape != self.speed.nominal.shape:
+            raise ValueError(
+                f"membership mask has {up.size} entries for "
+                f"{self.speed.nominal.size} servers"
+            )
+        self._up = None if bool(up.all()) else up.copy()
 
     def arrival_rate(self, now: float) -> float:
         """Windowed estimate, EWMA fallback before the window has data."""
@@ -399,7 +598,10 @@ class OnlineWorkloadEstimator:
         lam = self.arrival_rate(now)
         mean_size = self.mean_size.value
         speeds = self.speed.speeds()
-        capacity = float(speeds.sum())
+        if self._up is None:
+            capacity = float(speeds.sum())
+        else:
+            capacity = float(speeds[self._up].sum())
         if (
             lam > 0.0
             and math.isfinite(mean_size)
@@ -410,5 +612,28 @@ class OnlineWorkloadEstimator:
         else:
             rho = math.nan
         return WorkloadEstimate(
-            arrival_rate=lam, mean_size=mean_size, speeds=speeds, utilization=rho
+            arrival_rate=lam,
+            mean_size=mean_size,
+            speeds=speeds,
+            utilization=rho,
+            up=None if self._up is None else self._up.copy(),
         )
+
+    def state_dict(self) -> dict:
+        return {
+            "windowed_rate": self.windowed_rate.state_dict(),
+            "ewma_rate": self.ewma_rate.state_dict(),
+            "mean_size": self.mean_size.state_dict(),
+            "speed": self.speed.state_dict(),
+            "arrivals_seen": self.arrivals_seen,
+            "up": None if self._up is None else [bool(u) for u in self._up],
+        }
+
+    def load_state(self, state: dict) -> None:
+        self.windowed_rate.load_state(state["windowed_rate"])
+        self.ewma_rate.load_state(state["ewma_rate"])
+        self.mean_size.load_state(state["mean_size"])
+        self.speed.load_state(state["speed"])
+        self.arrivals_seen = int(state["arrivals_seen"])
+        up = state["up"]
+        self._up = None if up is None else np.asarray(up, dtype=bool)

@@ -10,8 +10,15 @@ saturation.  See DESIGN.md §10 for the architecture and
 ``repro serve`` for the CLI driver.
 """
 
+from .checkpoint import STATE_VERSION, ServiceCheckpoint
 from .controller import AdmissionGate, ControlDecision, QuasiStaticController
-from .loop import SchedulerService, ServiceConfig, ServiceReport, WindowRecord
+from .loop import (
+    SchedulerService,
+    ServiceConfig,
+    ServiceCrash,
+    ServiceReport,
+    WindowRecord,
+)
 from .replay import ServerBank
 from .sources import JobSource, SyntheticJobSource, TraceJobSource
 
@@ -21,9 +28,12 @@ __all__ = [
     "QuasiStaticController",
     "SchedulerService",
     "ServiceConfig",
+    "ServiceCrash",
     "ServiceReport",
     "WindowRecord",
     "ServerBank",
+    "ServiceCheckpoint",
+    "STATE_VERSION",
     "JobSource",
     "SyntheticJobSource",
     "TraceJobSource",

@@ -1,0 +1,86 @@
+"""Crash-safe service checkpoints: fsynced JSONL state snapshots.
+
+Same durability pattern as :class:`~repro.core.checkpoint.SweepCheckpoint`
+(append one JSON line per snapshot, flush + fsync before returning, skip
+torn lines on load), different payload: where the sweep checkpoint
+records *finished cells*, a service checkpoint records the **entire
+control-loop state** — controller (allocation, estimators, quantile
+markers, membership), admission gate accumulator, server bank
+(free-up points, membership, in-flight jobs), pending retries, and the
+report accumulated so far — everything `serve --resume` needs to
+continue the run as if the crash never happened.
+
+Restoration is exact: every float round-trips bit-identically through
+JSON (``repr``-based encoding), and the job source is deterministic, so
+a resumed run's final :class:`~repro.service.loop.ServiceReport` equals
+the uninterrupted run's report field for field.  The CI ``chaos-smoke``
+job asserts exactly that.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from pathlib import Path
+
+__all__ = ["ServiceCheckpoint", "STATE_VERSION"]
+
+#: Bump when the state payload layout changes incompatibly.
+STATE_VERSION = 1
+
+
+class ServiceCheckpoint:
+    """Append-only JSONL store of full service-state snapshots."""
+
+    def __init__(self, path: str | Path):
+        self.path = Path(path)
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+
+    def append(self, state: dict) -> None:
+        """Durably append one snapshot (flush + fsync, like the sweep
+        checkpoint — a crash mid-append tears at most this line, which
+        the loader then skips in favour of the previous one)."""
+        payload = dict(state)
+        payload["version"] = STATE_VERSION
+        line = json.dumps(payload, separators=(",", ":"))
+        with open(self.path, "a", encoding="utf-8") as fh:
+            fh.write(line + "\n")
+            fh.flush()
+            os.fsync(fh.fileno())
+
+    def load_last(self) -> dict | None:
+        """Most recent parseable snapshot, or ``None`` if there is none.
+
+        Torn or corrupt lines (crash mid-append) are skipped; a snapshot
+        from an incompatible state version is rejected loudly rather
+        than half-restored.
+        """
+        try:
+            text = self.path.read_text(encoding="utf-8")
+        except OSError:
+            return None
+        last: dict | None = None
+        for line in text.splitlines():
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                entry = json.loads(line)
+            except ValueError:
+                continue  # torn append
+            if not isinstance(entry, dict) or "next_window" not in entry:
+                continue
+            last = entry
+        if last is not None and last.get("version") != STATE_VERSION:
+            raise ValueError(
+                f"checkpoint {self.path} has state version "
+                f"{last.get('version')!r}, this build expects {STATE_VERSION}"
+            )
+        return last
+
+    def __len__(self) -> int:
+        try:
+            text = self.path.read_text(encoding="utf-8")
+        except OSError:
+            return 0
+        return sum(1 for line in text.splitlines() if line.strip())

@@ -16,9 +16,36 @@ boundary (drain-and-switch).  Admission thinning decided at the last
 re-solve applies to the *next* window's arrivals, mirroring how a real
 controller can only act on what it has already measured.
 
+**Fault tolerance.**  With a :class:`~repro.faults.models.FaultConfig`
+(or a scripted event list — the chaos harness) the loop runs a
+job-level variant of the window: the pre-generated fault timeline
+splits each window into segments, jobs dispatch one at a time through
+:meth:`ServerBank.dispatch`, and each fault event is applied after the
+jobs at or before its timestamp.  A job aimed at a down server — and
+every resident of a server that fails — bounces through the
+:class:`~repro.faults.models.RetryPolicy`: it re-enters the stream at
+``bounce_time + delay`` with its original arrival as response-time
+origin, or counts as lost once ``max_attempts`` placements failed (or
+immediately under ``on_failure="lose"``).  The dispatch sequence stays
+immutable within the window even when a failure lands mid-window; the
+controller learns of the membership change (failure detector) and the
+*next boundary* re-solve runs out-of-band over the survivors.  The
+fault-free path is a separate, untouched code branch, so fault-free
+runs stay bit-identical.
+
+**Crash safety.**  A :class:`~repro.service.checkpoint.ServiceCheckpoint`
+snapshots the full loop state (controller, gate, bank, dispatcher
+mid-sequence position, pending retries, report-so-far) every
+``checkpoint_every`` windows; :meth:`SchedulerService.restore` plus the
+source fast-forward in :meth:`run` continue a crashed run to a report
+field-for-field equal to the uninterrupted one.  ``crash_after``
+simulates the crash (raising :class:`ServiceCrash`) so the CI
+``chaos-smoke`` job can assert exactly that round trip.
+
 The run is fully deterministic given the seed: estimator updates,
-thinning, dispatch, and replay all avoid hidden randomness, so a
-service run is a reproducible experiment, not just a demo.
+thinning, dispatch, replay, fault timelines, and retry backoff all
+avoid hidden randomness, so a service run is a reproducible
+experiment, not just a demo.
 """
 
 from __future__ import annotations
@@ -28,13 +55,39 @@ from dataclasses import dataclass, field
 import numpy as np
 
 from ..dispatch.round_robin import RoundRobinDispatcher
+from ..faults.models import (
+    DEGRADE_END,
+    DEGRADE_START,
+    DOWN,
+    UP,
+    FaultConfig,
+    FaultEvent,
+    RetryPolicy,
+    build_timeline,
+)
 from ..obs import counters
 from ..obs.spans import span
+from .checkpoint import ServiceCheckpoint
 from .controller import AdmissionGate, ControlDecision, QuasiStaticController
 from .replay import ServerBank
 from .sources import JobSource
 
-__all__ = ["ServiceConfig", "WindowRecord", "ServiceReport", "SchedulerService"]
+__all__ = [
+    "ServiceConfig",
+    "WindowRecord",
+    "ServiceReport",
+    "SchedulerService",
+    "ServiceCrash",
+]
+
+
+class ServiceCrash(RuntimeError):
+    """Simulated hard crash (``crash_after``): the loop stops mid-run,
+    leaving recovery to ``serve --resume`` from the last checkpoint."""
+
+    def __init__(self, windows_completed: int):
+        super().__init__(f"simulated crash after window {windows_completed}")
+        self.windows_completed = windows_completed
 
 
 @dataclass(frozen=True)
@@ -54,6 +107,14 @@ class ServiceConfig:
     rho_cap: float = 0.98
     swap_tolerance: float = 0.01
     min_arrivals_to_shed: int = 200
+    # SLO-targeted shedding (None keeps the legacy ρ̂-threshold rule).
+    slo_target: float | None = None
+    min_responses_to_shed: int = 50
+    max_shed_fraction: float = 0.9
+    # Fault injection: a FaultConfig drives a pre-generated failure
+    # timeline from its own RNG substreams (never the arrival streams).
+    faults: FaultConfig | None = None
+    fault_seed: int = 0
 
     def __post_init__(self):
         if len(self.speeds) == 0 or any(s <= 0 for s in self.speeds):
@@ -64,6 +125,8 @@ class ServiceConfig:
             raise ValueError(
                 f"control_period must lie in (0, duration], got {self.control_period}"
             )
+        if self.slo_target is not None and self.slo_target <= 0:
+            raise ValueError(f"slo_target must be positive, got {self.slo_target}")
 
     @property
     def window(self) -> float:
@@ -83,12 +146,25 @@ class WindowRecord:
     offered: int
     admitted: int
     shed: int
-    mean_response_time: float  # NaN when the window dispatched nothing
+    mean_response_time: float  # NaN when the window completed nothing
     mean_response_ratio: float
     lambda_hat: float
     rho_hat: float
     swapped: bool
     alphas: np.ndarray
+    # Tail telemetry (per-window P² estimates; NaN when nothing completed).
+    p50: float = float("nan")
+    p99: float = float("nan")
+    # Fault accounting.  In fault mode response-time stats cover jobs
+    # *completed* in the window (jobs still in flight at the boundary
+    # count in the window their departure lands in); the fault-free path
+    # keeps its dispatch-window attribution.
+    completed: int = 0
+    lost: int = 0
+    retried: int = 0
+    bounced: int = 0
+    servers_up: int = 0
+    reason: str = "periodic"
 
 
 @dataclass
@@ -103,12 +179,28 @@ class ServiceReport:
     swaps: int = 0
     resolves: int = 0
     clean_shutdown: bool = False
+    # Fault accounting (all zero on a fault-free run).
+    jobs_lost: int = 0
+    jobs_retried: int = 0
+    jobs_pending_retry: int = 0
+    jobs_in_flight: int = 0
+    membership_changes: int = 0
+    # Lifetime response-time quantiles (streaming P²).
+    p50: float = float("nan")
+    p99: float = float("nan")
 
     @property
     def final_alphas(self) -> np.ndarray:
         if not self.windows:
             raise ValueError("no windows recorded")
         return self.windows[-1].alphas
+
+    @property
+    def loss_rate(self) -> float:
+        """Fraction of offered jobs lost to failures (0 when none offered)."""
+        if self.jobs_offered == 0:
+            return 0.0
+        return self.jobs_lost / self.jobs_offered
 
     @property
     def time_averaged_mrt(self) -> float:
@@ -139,10 +231,18 @@ class ServiceReport:
             "jobs_offered": self.jobs_offered,
             "jobs_dispatched": self.jobs_dispatched,
             "jobs_shed": self.jobs_shed,
+            "jobs_lost": self.jobs_lost,
+            "jobs_retried": self.jobs_retried,
+            "jobs_pending_retry": self.jobs_pending_retry,
+            "jobs_in_flight": self.jobs_in_flight,
+            "loss_rate": self.loss_rate,
+            "membership_changes": self.membership_changes,
             "swaps": self.swaps,
             "resolves": self.resolves,
             "clean_shutdown": self.clean_shutdown,
             "time_averaged_mrt": self.time_averaged_mrt,
+            "p50": self.p50,
+            "p99": self.p99,
             "final_alphas": [float(a) for a in self.final_alphas]
             if self.windows
             else [],
@@ -158,20 +258,105 @@ class ServiceReport:
                     "lambda_hat": w.lambda_hat,
                     "rho_hat": w.rho_hat,
                     "swapped": w.swapped,
+                    "p50": w.p50,
+                    "p99": w.p99,
+                    "completed": w.completed,
+                    "lost": w.lost,
+                    "retried": w.retried,
+                    "bounced": w.bounced,
+                    "servers_up": w.servers_up,
+                    "reason": w.reason,
                 }
                 for w in self.windows
             ],
         }
 
 
+# ----------------------------------------------------------------------
+# Checkpoint (de)serialization of report state
+# ----------------------------------------------------------------------
+
+_REPORT_SCALARS = (
+    "jobs_offered", "jobs_dispatched", "jobs_shed", "swaps", "resolves",
+    "jobs_lost", "jobs_retried", "jobs_pending_retry", "jobs_in_flight",
+    "membership_changes", "p50", "p99",
+)
+
+
+def _window_state(w: WindowRecord) -> dict:
+    return {
+        "start": w.start,
+        "end": w.end,
+        "offered": w.offered,
+        "admitted": w.admitted,
+        "shed": w.shed,
+        "mean_response_time": w.mean_response_time,
+        "mean_response_ratio": w.mean_response_ratio,
+        "lambda_hat": w.lambda_hat,
+        "rho_hat": w.rho_hat,
+        "swapped": w.swapped,
+        "alphas": [float(a) for a in w.alphas],
+        "p50": w.p50,
+        "p99": w.p99,
+        "completed": w.completed,
+        "lost": w.lost,
+        "retried": w.retried,
+        "bounced": w.bounced,
+        "servers_up": w.servers_up,
+        "reason": w.reason,
+    }
+
+
+def _window_from_state(state: dict) -> WindowRecord:
+    kwargs = dict(state)
+    kwargs["alphas"] = np.asarray(kwargs["alphas"], dtype=float)
+    return WindowRecord(**kwargs)
+
+
+def _report_state(report: ServiceReport) -> dict:
+    out = {name: getattr(report, name) for name in _REPORT_SCALARS}
+    out["windows"] = [_window_state(w) for w in report.windows]
+    return out
+
+
+def _report_from_state(config: ServiceConfig, state: dict) -> ServiceReport:
+    report = ServiceReport(config=config)
+    for name in _REPORT_SCALARS:
+        setattr(report, name, state[name])
+    report.windows = [_window_from_state(w) for w in state["windows"]]
+    return report
+
+
 class SchedulerService:
-    """Run the quasi-static loop over a job source until the horizon."""
+    """Run the quasi-static loop over a job source until the horizon.
+
+    Parameters
+    ----------
+    fault_events:
+        Optional scripted fault timeline (the chaos harness passes one).
+        When omitted and ``config.faults`` is enabled, the timeline is
+        pre-generated via :func:`~repro.faults.models.build_timeline`.
+        Passing a list — even an empty one — selects the job-level
+        fault-mode window; otherwise fault mode engages only for an
+        enabled ``config.faults``.
+    checkpoint:
+        A :class:`~repro.service.checkpoint.ServiceCheckpoint` to
+        snapshot into every ``checkpoint_every`` completed windows.
+    crash_after:
+        Simulate a crash (raise :class:`ServiceCrash`) once this many
+        windows completed in *this* run — test/CI hook for resume.
+    """
 
     def __init__(
         self,
         config: ServiceConfig,
         source: JobSource,
         controller: QuasiStaticController | None = None,
+        *,
+        fault_events: list[FaultEvent] | None = None,
+        checkpoint: ServiceCheckpoint | None = None,
+        checkpoint_every: int = 10,
+        crash_after: int | None = None,
     ):
         self.config = config
         self.source = source
@@ -183,26 +368,101 @@ class SchedulerService:
             rho_cap=config.rho_cap,
             swap_tolerance=config.swap_tolerance,
             min_arrivals_to_shed=config.min_arrivals_to_shed,
+            slo_target=config.slo_target,
+            min_responses_to_shed=config.min_responses_to_shed,
+            max_shed_fraction=config.max_shed_fraction,
         )
         self.bank = ServerBank(config.speeds)
         self.gate = AdmissionGate()
         self.dispatcher = RoundRobinDispatcher()
         self.dispatcher.reset(self.controller.alphas)
 
+        timeline = fault_events
+        if timeline is None and config.faults is not None and config.faults.enabled:
+            timeline = build_timeline(
+                config.faults, len(config.speeds), config.duration, config.fault_seed
+            )
+        self._faulted = timeline is not None
+        self.fault_events: list[FaultEvent] = sorted(
+            timeline or [], key=lambda e: (e.time, e.server, e.kind)
+        )
+        fc = config.faults
+        self._retry: RetryPolicy = fc.retry if fc is not None else RetryPolicy()
+        self._on_failure = fc.on_failure if fc is not None else "retry"
+        self._degrade_factor = fc.degrade_factor if fc is not None else 0.5
+        self._event_pos = 0
+        # Pending retries: [due time, origin arrival, size, failed placements].
+        self._pending: list[list] = []
+        self._degrade_level = [0] * len(config.speeds)
+
+        if checkpoint_every < 1:
+            raise ValueError(f"checkpoint_every must be >= 1, got {checkpoint_every}")
+        self.checkpoint = checkpoint
+        self.checkpoint_every = int(checkpoint_every)
+        self.crash_after = None if crash_after is None else int(crash_after)
+        self._start_window = 0
+        self._restored_report: ServiceReport | None = None
+
+    # ------------------------------------------------------------------
+    # The run loop
+    # ------------------------------------------------------------------
+
     def run(self) -> ServiceReport:
         config = self.config
-        report = ServiceReport(config=config)
-        n_windows = int(np.ceil(config.duration / config.control_period))
+        report = (
+            self._restored_report
+            if self._restored_report is not None
+            else ServiceReport(config=config)
+        )
+        self._restored_report = None
+        cp = config.control_period
+        n_windows = int(np.ceil(config.duration / cp))
         with span("service.run", windows=n_windows,
-                  servers=len(config.speeds)):
+                  servers=len(config.speeds), faulted=self._faulted):
             for k in range(n_windows):
-                start = k * config.control_period
-                end = min((k + 1) * config.control_period, config.duration)
-                self._run_window(start, end, report)
-        report.swaps = self.controller.swaps
-        report.resolves = self.controller.resolves
+                end = min((k + 1) * cp, config.duration)
+                if k < self._start_window:
+                    # Resume fast-forward: replay the job source with the
+                    # original call pattern so its stream state matches
+                    # the crashed run exactly; everything else came from
+                    # the checkpoint.
+                    self.source.jobs_until(end)
+                    continue
+                start = k * cp
+                if self._faulted:
+                    self._run_window_faulted(start, end, report)
+                else:
+                    self._run_window(start, end, report)
+                done = k + 1
+                self._refresh_totals(report)
+                if (
+                    self.checkpoint is not None
+                    and done < n_windows
+                    and done % self.checkpoint_every == 0
+                ):
+                    self.checkpoint.append(self.state_dict(done, report))
+                if (
+                    self.crash_after is not None
+                    and done < n_windows
+                    and done - self._start_window >= self.crash_after
+                ):
+                    raise ServiceCrash(done)
+        self._refresh_totals(report)
         report.clean_shutdown = True
         return report
+
+    def _refresh_totals(self, report: ServiceReport) -> None:
+        report.swaps = self.controller.swaps
+        report.resolves = self.controller.resolves
+        report.membership_changes = self.controller.membership_events
+        report.jobs_pending_retry = len(self._pending)
+        report.jobs_in_flight = self.bank.inflight_count()
+        report.p50 = self.controller.p50.value
+        report.p99 = self.controller.p99.value
+
+    # ------------------------------------------------------------------
+    # Fault-free window (bit-identical to the pre-fault service)
+    # ------------------------------------------------------------------
 
     def _run_window(self, start: float, end: float, report: ServiceReport) -> None:
         controller = self.controller
@@ -235,6 +495,8 @@ class SchedulerService:
             response = departures - adm_times
             mrt = float(response.mean())
             ratio = float((response / adm_sizes).mean())
+            for r in response:
+                controller.observe_response(float(r))
         else:
             mrt = float("nan")
             ratio = float("nan")
@@ -260,8 +522,259 @@ class SchedulerService:
                 rho_hat=(estimate.utilization if estimate else float("nan")),
                 swapped=decision.swapped,
                 alphas=decision.alphas,
+                p50=decision.window_p50,
+                p99=decision.window_p99,
+                completed=int(adm_times.size),
+                servers_up=len(self.config.speeds),
+                reason=decision.reason,
             )
         )
         report.jobs_offered += int(times.size)
         report.jobs_dispatched += int(adm_times.size)
         report.jobs_shed += shed
+
+    # ------------------------------------------------------------------
+    # Fault-mode window (job-level dispatch, segmented by fault events)
+    # ------------------------------------------------------------------
+
+    def _bounce(self, now: float, origin: float, size: float, attempts: int) -> str:
+        """A placement just failed; retry or lose the job.
+
+        *attempts* counts failed placements *before* this one.  Returns
+        ``"lost"`` or ``"retried"``.
+        """
+        failed = attempts + 1
+        if self._on_failure == "lose" or failed >= self._retry.max_attempts:
+            counters.inc("service.jobs_lost")
+            return "lost"
+        counters.inc("service.jobs_retried")
+        due = now + self._retry.delay(attempts)
+        self._pending.append([float(due), float(origin), float(size), int(failed)])
+        return "retried"
+
+    def _apply_degrade(self, server: int, now: float) -> None:
+        level = self._degrade_level[server]
+        self.bank.set_speed_factor(server, now, self._degrade_factor**level)
+
+    def _run_window_faulted(
+        self, start: float, end: float, report: ServiceReport
+    ) -> None:
+        controller = self.controller
+        times, sizes = self.source.jobs_until(end)
+        for t, x in zip(times, sizes):
+            controller.observe_arrival(t, x)
+        keep = 1.0 - controller.shed_fraction
+        mask = self.gate.admit_mask(times.size, keep)
+        adm_times = times[mask]
+        adm_sizes = sizes[mask]
+        shed = int(times.size - adm_times.size)
+
+        # Fold due retries into the window's stream: a retry scheduled
+        # for time d re-enters the sequence as an arrival at max(d,
+        # start) — bounces become eligible at the *next* window, never
+        # inside the one that bounced them.  Ties go to fresh arrivals
+        # (stable sort, arrivals listed first).
+        due = [r for r in self._pending if r[0] <= end]
+        if due:
+            self._pending = [r for r in self._pending if r[0] > end]
+            due.sort(key=lambda r: r[0])  # stable: schedule order breaks ties
+            job_times = np.concatenate(
+                [adm_times, [max(r[0], start) for r in due]]
+            )
+            job_sizes = np.concatenate([adm_sizes, [r[2] for r in due]])
+            job_origins = np.concatenate([adm_times, [r[1] for r in due]])
+            job_attempts = np.concatenate(
+                [np.zeros(adm_times.size, dtype=np.int64),
+                 np.asarray([r[3] for r in due], dtype=np.int64)]
+            )
+            order = np.argsort(job_times, kind="stable")
+            job_times = job_times[order]
+            job_sizes = job_sizes[order]
+            job_origins = job_origins[order]
+            job_attempts = job_attempts[order]
+        else:
+            job_times = adm_times
+            job_sizes = adm_sizes
+            job_origins = adm_times
+            job_attempts = np.zeros(adm_times.size, dtype=np.int64)
+
+        # The window's dispatch sequence is fixed up front — a failure
+        # mid-window never rewrites it (Algorithm 2's invariant); the
+        # re-plan waits for the boundary resolve below.
+        targets = self.dispatcher.select_batch(job_sizes)
+
+        events: list[FaultEvent] = []
+        while (
+            self._event_pos < len(self.fault_events)
+            and self.fault_events[self._event_pos].time <= end
+        ):
+            events.append(self.fault_events[self._event_pos])
+            self._event_pos += 1
+
+        completed: list[tuple] = []
+        lost = retried = bounced = 0
+        pos = 0
+        n_jobs = int(job_times.size)
+        for ev in [*events, None]:
+            seg_end = end if ev is None else ev.time
+            # Jobs at exactly an event's timestamp dispatch before the
+            # event applies (arrival-then-event tie-break, documented).
+            while pos < n_jobs and job_times[pos] <= seg_end:
+                srv = int(targets[pos])
+                dep = self.bank.dispatch(
+                    srv,
+                    float(job_times[pos]),
+                    float(job_sizes[pos]),
+                    float(job_origins[pos]),
+                    int(job_attempts[pos]),
+                )
+                if dep is None:
+                    bounced += 1
+                    outcome = self._bounce(
+                        float(job_times[pos]),
+                        float(job_origins[pos]),
+                        float(job_sizes[pos]),
+                        int(job_attempts[pos]),
+                    )
+                    if outcome == "lost":
+                        lost += 1
+                    else:
+                        retried += 1
+                pos += 1
+            # Finalize everything that departed before the event — a
+            # failure must not bounce jobs that already finished.
+            completed.extend(self.bank.collect_completions(seg_end))
+            if ev is None:
+                continue
+            if ev.kind == DOWN:
+                if self.bank.up[ev.server]:
+                    residents = self.bank.fail(ev.server, ev.time)
+                    controller.mark_server_down(ev.server, ev.time)
+                    for origin, size, att in residents:
+                        bounced += 1
+                        outcome = self._bounce(ev.time, origin, size, int(att))
+                        if outcome == "lost":
+                            lost += 1
+                        else:
+                            retried += 1
+            elif ev.kind == UP:
+                if not self.bank.up[ev.server]:
+                    self.bank.repair(ev.server, ev.time)
+                    controller.mark_server_up(ev.server, ev.time)
+            elif ev.kind == DEGRADE_START:
+                self._degrade_level[ev.server] += 1
+                self._apply_degrade(ev.server, ev.time)
+            elif ev.kind == DEGRADE_END:
+                self._degrade_level[ev.server] = max(
+                    0, self._degrade_level[ev.server] - 1
+                )
+                self._apply_degrade(ev.server, ev.time)
+
+        counters.inc("service.jobs_dispatched", value=int(adm_times.size))
+        if shed:
+            counters.inc("service.jobs_shed", value=shed)
+
+        # Completion-based accounting: response times span retries
+        # (departure minus *original* arrival) and land in the window
+        # the job actually finished in.
+        resp_sum = 0.0
+        ratio_sum = 0.0
+        n_completed = len(completed)
+        for srv, origin, size, svc, dep in completed:
+            controller.observe_service(int(srv), float(size), float(svc))
+            r = float(dep) - float(origin)
+            controller.observe_response(r)
+            resp_sum += r
+            ratio_sum += r / float(size)
+        mrt = resp_sum / n_completed if n_completed else float("nan")
+        ratio = ratio_sum / n_completed if n_completed else float("nan")
+
+        decision: ControlDecision = controller.resolve(end)
+        if decision.swapped:
+            self.dispatcher = RoundRobinDispatcher()
+            self.dispatcher.reset(decision.alphas)
+
+        estimate = decision.estimate
+        report.windows.append(
+            WindowRecord(
+                start=start,
+                end=end,
+                offered=int(times.size),
+                admitted=int(adm_times.size),
+                shed=shed,
+                mean_response_time=mrt,
+                mean_response_ratio=ratio,
+                lambda_hat=(estimate.arrival_rate if estimate else float("nan")),
+                rho_hat=(estimate.utilization if estimate else float("nan")),
+                swapped=decision.swapped,
+                alphas=decision.alphas,
+                p50=decision.window_p50,
+                p99=decision.window_p99,
+                completed=n_completed,
+                lost=lost,
+                retried=retried,
+                bounced=bounced,
+                servers_up=int(np.count_nonzero(self.bank.up)),
+                reason=decision.reason,
+            )
+        )
+        report.jobs_offered += int(times.size)
+        report.jobs_dispatched += int(adm_times.size)
+        report.jobs_shed += shed
+        report.jobs_lost += lost
+        report.jobs_retried += retried
+
+    # ------------------------------------------------------------------
+    # Crash-safe checkpointing
+    # ------------------------------------------------------------------
+
+    def state_dict(self, next_window: int, report: ServiceReport) -> dict:
+        """Full loop state after ``next_window`` windows completed."""
+        return {
+            "next_window": int(next_window),
+            "config": self._config_fingerprint(),
+            "controller": self.controller.state_dict(),
+            "gate": self.gate.state_dict(),
+            "bank": self.bank.state_dict(),
+            "dispatcher": self.dispatcher.state_dict(),
+            "pending": [list(r) for r in self._pending],
+            "degrade_level": [int(x) for x in self._degrade_level],
+            "event_pos": int(self._event_pos),
+            "report": _report_state(report),
+        }
+
+    def _config_fingerprint(self) -> dict:
+        return {
+            "speeds": [float(s) for s in self.config.speeds],
+            "duration": float(self.config.duration),
+            "control_period": float(self.config.control_period),
+            "faulted": bool(self._faulted),
+        }
+
+    def restore(self, state: dict) -> None:
+        """Adopt a checkpointed state; :meth:`run` then continues it.
+
+        The service must be constructed with the same config and an
+        equivalent job source (same seed / trace) as the crashed run —
+        the fingerprint check catches mismatched geometry, but stream
+        identity is the caller's contract.
+        """
+        fingerprint = self._config_fingerprint()
+        if state["config"] != fingerprint:
+            raise ValueError(
+                "checkpoint belongs to a different run configuration: "
+                f"{state['config']} != {fingerprint}"
+            )
+        self.controller.load_state(state["controller"])
+        self.gate.load_state(state["gate"])
+        self.bank.load_state(state["bank"])
+        self.dispatcher = RoundRobinDispatcher()
+        self.dispatcher.load_state(state["dispatcher"])
+        self._pending = [
+            [float(r[0]), float(r[1]), float(r[2]), int(r[3])]
+            for r in state["pending"]
+        ]
+        self._degrade_level = [int(x) for x in state["degrade_level"]]
+        self._event_pos = int(state["event_pos"])
+        self._start_window = int(state["next_window"])
+        self._restored_report = _report_from_state(self.config, state["report"])

@@ -15,13 +15,36 @@ one stream in windows agrees with replaying it whole to float-rounding
 accuracy (the window split re-bases the cumulative sums), which lets
 the oracle comparison in the online experiments attribute MRT
 differences to the *allocation*, not the replay.
+
+**Failure support.**  The fault-tolerant serving path needs more than
+``free_at``: a down server must reject dispatches and bounce its
+resident jobs, and a degraded server stretches everything still in
+flight.  In fault mode the bank therefore tracks each in-flight job
+(origin arrival, size, service time, projected departure, failed
+placements) in a per-server FIFO whose departure projections stay valid
+until a fault event rewrites them:
+
+* :meth:`dispatch` queues one job (or refuses, if the server is down),
+* :meth:`collect_completions` finalizes jobs whose departure has passed,
+* :meth:`fail` / :meth:`repair` flip membership, bouncing residents,
+* :meth:`set_speed_factor` rescales in-flight work for degradation —
+  for FCFS everything after *now* on one server is service work at the
+  new speed, so ``dep' = now + (dep − now)·(s_old/s_new)`` is exact.
+
+The fault-free :meth:`replay_window` path is untouched, keeping
+fault-free service runs bit-identical.
 """
 
 from __future__ import annotations
 
+from collections import deque
+
 import numpy as np
 
 __all__ = ["ServerBank"]
+
+#: In-flight record layout: [origin, size, svc, dep, attempts].
+_ORIGIN, _SIZE, _SVC, _DEP, _ATTEMPTS = range(5)
 
 
 class ServerBank:
@@ -35,6 +58,9 @@ class ServerBank:
             raise ValueError(f"speeds must be positive, got {s}")
         self.speeds = s.copy()
         self.free_at = np.zeros(s.size)
+        self.up = np.ones(s.size, dtype=bool)
+        self.speed_factor = np.ones(s.size)
+        self._inflight: list[deque] = [deque() for _ in range(s.size)]
 
     @property
     def n(self) -> int:
@@ -79,3 +105,119 @@ class ServerBank:
     def backlog_at(self, now: float) -> np.ndarray:
         """Remaining busy time per server as of *now* (≥ 0)."""
         return np.maximum(self.free_at - float(now), 0.0)
+
+    # ------------------------------------------------------------------
+    # Fault-mode API (job-level tracking; replay_window stays untouched)
+    # ------------------------------------------------------------------
+
+    def effective_speed(self, server: int) -> float:
+        return float(self.speeds[server] * self.speed_factor[server])
+
+    def dispatch(
+        self, server: int, t: float, size: float, origin: float, attempts: int
+    ) -> float | None:
+        """Queue one job on *server* at time *t*; ``None`` if it is down.
+
+        ``origin`` is the job's first arrival time (response times span
+        retries); ``attempts`` counts its failed placements so far.
+        Returns the projected departure.
+        """
+        if not self.up[server]:
+            return None
+        svc = float(size) / self.effective_speed(server)
+        dep = max(float(self.free_at[server]), float(t)) + svc
+        self.free_at[server] = dep
+        self._inflight[server].append([float(origin), float(size), svc, dep,
+                                       int(attempts)])
+        return dep
+
+    def collect_completions(self, now: float) -> list[tuple]:
+        """Finalize jobs whose departure is ≤ *now*.
+
+        Returns ``(server, origin, size, svc, dep)`` tuples in
+        server-major, per-server FIFO order — a fixed, documented order
+        so downstream streaming estimators stay deterministic.
+        """
+        now = float(now)
+        done: list[tuple] = []
+        for i in range(self.n):
+            q = self._inflight[i]
+            # FCFS departures are non-decreasing within one server, so
+            # the FIFO prefix is exactly the finished set.
+            while q and q[0][_DEP] <= now:
+                origin, size, svc, dep, _ = q.popleft()
+                done.append((i, origin, size, svc, dep))
+        return done
+
+    def fail(self, server: int, now: float) -> list[tuple]:
+        """Take *server* down at *now*; bounce its unfinished residents.
+
+        Jobs already past their projected departure are finalized by the
+        caller via :meth:`collect_completions` *before* applying the
+        failure; everything still resident is returned as
+        ``(origin, size, attempts)`` for the retry policy to re-place.
+        The server rejoins empty on :meth:`repair`.
+        """
+        self.up[server] = False
+        q = self._inflight[server]
+        bounced = [(job[_ORIGIN], job[_SIZE], job[_ATTEMPTS]) for job in q]
+        q.clear()
+        self.free_at[server] = float(now)
+        return bounced
+
+    def repair(self, server: int, now: float) -> None:
+        """Bring *server* back at *now*, empty (its backlog was bounced)."""
+        self.up[server] = True
+        self.free_at[server] = float(now)
+
+    def set_speed_factor(self, server: int, now: float, factor: float) -> None:
+        """Change *server*'s speed multiplier; rescale in-flight work.
+
+        All work on one FCFS server after *now* is service time at the
+        (old) effective speed, so departures and the free-up point shift
+        affinely: ``x' = now + (x − now)·(s_old/s_new)``.  Recorded
+        service times rescale by the same factor, so the speed
+        estimator's witnesses reflect the degraded speed.
+        """
+        if factor <= 0.0:
+            raise ValueError(f"speed factor must be positive, got {factor}")
+        now = float(now)
+        old = self.effective_speed(server)
+        self.speed_factor[server] = float(factor)
+        scale = old / self.effective_speed(server)
+        if scale == 1.0:
+            return
+        for job in self._inflight[server]:
+            if job[_DEP] > now:
+                job[_DEP] = now + (job[_DEP] - now) * scale
+                job[_SVC] *= scale
+        if self.free_at[server] > now:
+            self.free_at[server] = now + (self.free_at[server] - now) * scale
+
+    def inflight_count(self) -> int:
+        return sum(len(q) for q in self._inflight)
+
+    def state_dict(self) -> dict:
+        return {
+            "free_at": [float(x) for x in self.free_at],
+            "up": [bool(u) for u in self.up],
+            "speed_factor": [float(x) for x in self.speed_factor],
+            "inflight": [[list(job) for job in q] for q in self._inflight],
+        }
+
+    def load_state(self, state: dict) -> None:
+        free_at = np.asarray(state["free_at"], dtype=float)
+        if free_at.shape != self.free_at.shape:
+            raise ValueError(
+                f"bank state has {free_at.size} servers, expected {self.n}"
+            )
+        self.free_at = free_at
+        self.up = np.asarray(state["up"], dtype=bool)
+        self.speed_factor = np.asarray(state["speed_factor"], dtype=float)
+        self._inflight = [
+            deque(
+                [float(j[0]), float(j[1]), float(j[2]), float(j[3]), int(j[4])]
+                for j in q
+            )
+            for q in state["inflight"]
+        ]

@@ -43,9 +43,18 @@ class TestFaultConfig:
         assert fc.on_failure == "lose"
         assert fc.retry.max_attempts == 3
 
-    def test_parse_rejects_unknown_key(self):
-        with pytest.raises(ValueError, match="unknown"):
+    def test_parse_rejects_unknown_key_listing_valid_ones(self):
+        with pytest.raises(ValueError, match="unknown") as excinfo:
             FaultConfig.parse("mtbf=500,bogus=1")
+        message = str(excinfo.value)
+        assert "bogus" in message
+        for valid in FaultConfig.PARSE_KEYS:
+            assert valid in message
+
+    def test_parse_missing_equals_lists_valid_keys(self):
+        with pytest.raises(ValueError, match="key=value") as excinfo:
+            FaultConfig.parse("mtbf")
+        assert "mttr" in str(excinfo.value)
 
     def test_retry_delay_is_bounded(self):
         rp = RetryPolicy(base_delay=1.0, backoff=2.0, max_delay=5.0)

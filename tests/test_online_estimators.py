@@ -16,6 +16,7 @@ from repro.metrics.online import (
     EwmaEstimator,
     EwmaRateEstimator,
     OnlineWorkloadEstimator,
+    P2Quantile,
     ServerSpeedEstimator,
     WindowedRateEstimator,
 )
@@ -219,3 +220,131 @@ def test_drift_profile_ramps_monotonically():
     assert all(b >= a for a, b in zip(samples, samples[1:]))
     assert samples[0] == pytest.approx(1.0, abs=0.05)
     assert samples[-1] == pytest.approx(3.0, abs=0.05)
+
+
+# ----------------------------------------------------------------------
+# P2Quantile (streaming p-quantile, Jain & Chlamtac 1985)
+# ----------------------------------------------------------------------
+
+
+def test_p2_small_sample_is_exact_quantile():
+    q = P2Quantile(0.5)
+    assert math.isnan(q.value)
+    for x in (5.0, 1.0, 3.0):
+        q.update(x)
+    data = np.array([5.0, 1.0, 3.0])
+    assert q.value == pytest.approx(
+        float(np.quantile(data, 0.5, method="linear"))
+    )
+
+
+def test_p2_median_converges_on_exponential_stream():
+    rng = np.random.default_rng(7)
+    data = rng.exponential(10.0, size=20_000)
+    q = P2Quantile(0.5)
+    for x in data:
+        q.update(float(x))
+    true = 10.0 * math.log(2.0)
+    assert q.value == pytest.approx(true, rel=0.05)
+
+
+def test_p2_p99_tracks_tail():
+    rng = np.random.default_rng(11)
+    data = rng.exponential(1.0, size=50_000)
+    q = P2Quantile(0.99)
+    for x in data:
+        q.update(float(x))
+    assert q.value == pytest.approx(float(np.quantile(data, 0.99)), rel=0.1)
+
+
+def test_p2_state_round_trip_continues_identically():
+    rng = np.random.default_rng(3)
+    data = [float(x) for x in rng.exponential(2.0, size=500)]
+    a = P2Quantile(0.9)
+    for x in data[:200]:
+        a.update(x)
+    b = P2Quantile(0.9)
+    b.load_state(a.state_dict())
+    for x in data[200:]:
+        a.update(x)
+        b.update(x)
+    assert a.value == b.value
+    assert a.count == b.count
+
+
+def test_p2_state_rejects_probability_mismatch():
+    a = P2Quantile(0.5)
+    b = P2Quantile(0.99)
+    with pytest.raises(ValueError, match="0.5"):
+        b.load_state(a.state_dict())
+
+
+def test_p2_rejects_bad_probability():
+    with pytest.raises(ValueError):
+        P2Quantile(0.0)
+    with pytest.raises(ValueError):
+        P2Quantile(1.0)
+
+
+# ----------------------------------------------------------------------
+# Membership-aware workload estimation
+# ----------------------------------------------------------------------
+
+
+def _feed(est, rate=1.0, horizon=400.0, size=2.0, seed=0):
+    rng = np.random.default_rng(seed)
+    t = 0.0
+    while True:
+        t += rng.exponential(1.0 / rate)
+        if t > horizon:
+            break
+        est.observe_arrival(t, size)
+    return horizon
+
+
+def test_membership_mask_shrinks_capacity():
+    speeds = np.array([1.0, 2.0, 3.0])
+    est = OnlineWorkloadEstimator(speeds, window=100.0)
+    now = _feed(est, rate=1.0, size=2.0)
+    full = est.snapshot(now)
+    est.set_membership(np.array([True, True, False]))
+    masked = est.snapshot(now)
+    # Same offered load over half the capacity: utilization doubles.
+    assert masked.utilization == pytest.approx(2.0 * full.utilization, rel=1e-9)
+    assert masked.up is not None and not masked.up[2]
+    # Speeds over survivors only must still be present for the solver.
+    assert masked.usable
+
+
+def test_membership_all_up_restores_full_capacity():
+    speeds = np.array([1.0, 2.0, 3.0])
+    est = OnlineWorkloadEstimator(speeds, window=100.0)
+    now = _feed(est)
+    full = est.snapshot(now)
+    est.set_membership(np.array([True, False, True]))
+    est.set_membership(np.array([True, True, True]))
+    again = est.snapshot(now)
+    assert again.utilization == full.utilization
+    assert again.up is None
+
+
+def test_membership_mask_shape_is_validated():
+    est = OnlineWorkloadEstimator(np.array([1.0, 2.0]), window=50.0)
+    with pytest.raises(ValueError):
+        est.set_membership(np.array([True, True, False]))
+
+
+def test_estimator_state_round_trip_continues_identically():
+    speeds = np.array([1.0, 2.0, 3.0])
+    a = OnlineWorkloadEstimator(speeds, window=100.0)
+    _feed(a, horizon=200.0)
+    a.observe_service(1, 2.0, 1.1)
+    b = OnlineWorkloadEstimator(speeds, window=100.0)
+    b.load_state(a.state_dict())
+    for est in (a, b):
+        est.observe_arrival(201.0, 2.0)
+        est.observe_service(2, 3.0, 1.2)
+    sa, sb = a.snapshot(210.0), b.snapshot(210.0)
+    assert sa.arrival_rate == sb.arrival_rate
+    assert sa.utilization == sb.utilization
+    assert np.array_equal(sa.speeds, sb.speeds)
