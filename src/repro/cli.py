@@ -341,6 +341,13 @@ def build_parser() -> argparse.ArgumentParser:
              "(default: a temporary directory)",
     )
     bench_p.add_argument(
+        "--serve",
+        action="store_true",
+        help="also benchmark the serving hot path: vectorized window "
+             "loop vs the per-job reference (report bit-identity "
+             "enforced), recording jobs/sec and dispatch ns/job",
+    )
+    bench_p.add_argument(
         "--gate",
         action="store_true",
         help="compare this record against the most recent same-scale "
@@ -994,7 +1001,12 @@ def _cmd_bench(args) -> int:
       small-task path;
     * telemetry — the disabled-telemetry overhead guard (<2% of one
       replication, priced from the no-op span path) and a trace-on vs
-      trace-off bit-identity check over the emitted JSONL.
+      trace-off bit-identity check over the emitted JSONL;
+    * serve (with ``--serve``) — the serving hot path: one fault-free
+      service run through the vectorized window loop vs the per-job
+      reference loop on the same stream, asserting the two reports are
+      field-for-field identical and recording end-to-end jobs/sec plus
+      the dispatch plane's ns/job (memoized Algorithm 2 slices).
 
     Every agreement gate (kernels vs loops, fast path vs engine, grid
     and cell sweeps vs serial, trace on vs off) must hold or the command
@@ -1451,6 +1463,90 @@ def _cmd_bench(args) -> int:
               f"the 2% budget", file=sys.stderr)
         return 1
 
+    # --- serve: vectorized window loop vs the per-job reference -------
+    if args.serve:
+        from .dispatch.round_robin import dispatch_sequence_slice
+        from .distributions.fitting import distribution_from_mean_cv
+        from .service.loop import SchedulerService, ServiceConfig
+        from .service.sources import SyntheticJobSource, Workload
+
+        serve_speeds = (1.0, 2.0, 3.0, 4.0)
+        serve_util = 0.85
+        serve_jobs = {
+            "smoke": 60_000, "quick": 240_000, "paper": 1_000_000,
+        }[scale.name]
+        # Mean-1 job sizes make the arrival rate util * total_speed, so
+        # the horizon below offers ~serve_jobs arrivals over 50 windows.
+        serve_rate = serve_util * sum(serve_speeds)
+        serve_duration = serve_jobs / serve_rate
+        serve_cp = serve_duration / 50.0
+
+        def _serve_run(reference):
+            cfg = ServiceConfig(
+                speeds=serve_speeds, duration=serve_duration,
+                control_period=serve_cp,
+            )
+            wl = Workload(
+                total_speed=sum(serve_speeds), utilization=serve_util,
+                size_distribution=distribution_from_mean_cv(1.0, 1.0),
+            )
+            svc = SchedulerService(
+                cfg, SyntheticJobSource(wl, 7), reference=reference
+            )
+            return svc.run()
+
+        ref_report, serve_ref_s, fast_report, serve_fast_s = _best_pair(
+            lambda: _serve_run(True), lambda: _serve_run(False), repeats=3
+        )
+        # The acceptance criterion: the hot path must reproduce the
+        # reference serve report bit-for-bit (JSON text equality keeps
+        # NaN fields comparable), not merely approximately.
+        serve_identical = (
+            json.dumps(ref_report.as_dict(), sort_keys=True)
+            == json.dumps(fast_report.as_dict(), sort_keys=True)
+        )
+        if not serve_identical:
+            print("error: vectorized serve loop diverged from the "
+                  "per-job reference report", file=sys.stderr)
+            return 1
+        serve_dispatched = int(fast_report.jobs_dispatched)
+
+        # Dispatch-plane cost alone: memoized Algorithm 2 slices pulled
+        # at window granularity, the way the service loop consumes them.
+        serve_alphas = np.asarray(serve_speeds) / sum(serve_speeds)
+        window_jobs = max(1, serve_jobs // 50)
+        dispatch_sequence_slice(serve_alphas, 0, serve_jobs)  # warm memo
+        t0 = time.perf_counter()
+        for lo in range(0, serve_jobs, window_jobs):
+            dispatch_sequence_slice(
+                serve_alphas, lo, min(lo + window_jobs, serve_jobs)
+            )
+        dispatch_s = time.perf_counter() - t0
+
+        record["serve"] = {
+            "servers": len(serve_speeds),
+            "utilization": serve_util,
+            "jobs": serve_dispatched,
+            "windows": len(fast_report.windows),
+            "reference_s": serve_ref_s,
+            "fast_s": serve_fast_s,
+            "serve_speedup": (
+                serve_ref_s / serve_fast_s if serve_fast_s > 0
+                else float("inf")
+            ),
+            "jobs_per_sec": (
+                serve_dispatched / serve_fast_s if serve_fast_s > 0
+                else float("inf")
+            ),
+            "reference_jobs_per_sec": (
+                serve_dispatched / serve_ref_s if serve_ref_s > 0
+                else float("inf")
+            ),
+            "dispatch_ns_per_job": dispatch_s / serve_jobs * 1e9,
+            "report_identical": serve_identical,
+            "backend": "c" if ckernel.kernel_available() else "python",
+        }
+
     # --- gate, then append to the trajectory and summarize ------------
     trajectory: list = []
     try:
@@ -1535,6 +1631,14 @@ def _cmd_bench(args) -> int:
           f"{t['events_per_replication']} events/rep, disabled overhead "
           f"{t['overhead_fraction']:.3%} (<2%), "
           f"trace identical={t['trace_identical']}")
+    if "serve" in record:
+        sv = record["serve"]
+        print(f"  serve       : ref {sv['reference_s']:.3f}s -> fast "
+              f"{sv['fast_s']:.3f}s ({sv['serve_speedup']:.1f}x, "
+              f"{sv['jobs_per_sec']:,.0f} jobs/s, dispatch "
+              f"{sv['dispatch_ns_per_job']:.0f}ns/job, "
+              f"identical={sv['report_identical']}, "
+              f"backend={sv['backend']})")
     if gate_summary is not None:
         print(gate_summary)
     print(f"trajectory point #{len(trajectory)} appended to {args.output}")

@@ -22,7 +22,9 @@ from .least_work import LeastWorkDispatcher
 from .random_dispatch import RandomDispatcher
 from .round_robin import (
     RoundRobinDispatcher,
+    SequenceRoundRobin,
     build_dispatch_sequence,
+    dispatch_sequence_slice,
     sequence_memo_key,
 )
 from .sita import SitaDispatcher, sita_cutoffs
@@ -32,7 +34,9 @@ __all__ = [
     "StaticDispatcher",
     "RandomDispatcher",
     "RoundRobinDispatcher",
+    "SequenceRoundRobin",
     "build_dispatch_sequence",
+    "dispatch_sequence_slice",
     "sequence_memo_key",
     "CyclicDispatcher",
     "BurstWeightedRoundRobinDispatcher",

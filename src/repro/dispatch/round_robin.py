@@ -43,7 +43,9 @@ from .base import StaticDispatcher
 
 __all__ = [
     "RoundRobinDispatcher",
+    "SequenceRoundRobin",
     "build_dispatch_sequence",
+    "dispatch_sequence_slice",
     "sequence_memo_key",
 ]
 
@@ -168,9 +170,16 @@ class RoundRobinDispatcher(StaticDispatcher):
             self.alphas = None
             return
         self.reset(np.asarray(state["alphas"], dtype=float))
-        self._assign = [int(a) for a in state["assign"]]
-        self._next = [float(x) for x in state["next"]]
-        self._started = [int(i) for i in state["started"]]
+        if "assign" in state:
+            self._assign = [int(a) for a in state["assign"]]
+            self._next = [float(x) for x in state["next"]]
+            self._started = [int(i) for i in state["started"]]
+        else:
+            # A SequenceRoundRobin checkpoint stores only the sequence
+            # position; Algorithm 2 is a pure function of the arrival
+            # count, so replaying `pos` selections reconstructs the
+            # exact (assign, next, started) state.
+            self.select_batch(np.zeros(int(state["pos"])))
 
 
 # ----------------------------------------------------------------------
@@ -192,6 +201,43 @@ class RoundRobinDispatcher(StaticDispatcher):
 
 _SEQUENCE_MEMO_ENTRIES = 4
 _sequence_memo: dict[tuple, tuple[np.ndarray, "RoundRobinDispatcher"]] = {}
+
+
+def _extend_targets(private: "RoundRobinDispatcher", count: int) -> np.ndarray:
+    """The next ``count`` Algorithm 2 targets from a live dispatcher.
+
+    Advances ``private``'s state exactly as ``count`` ``select`` calls
+    would, through the compiled ``rr_sequence_extend`` loop when the
+    kernel is available (the tie-break products use the identical
+    ``_inv_alpha`` doubles, so the sequence and the post-call state are
+    bit-identical to the Python loop).  Falls back to ``select_batch``
+    otherwise.  Returns int16 (the memo's storage dtype).
+    """
+    if count <= 0:
+        return np.empty(0, dtype=np.int16)
+    from ..sim import ckernel  # local: repro.sim.fastpath imports us
+
+    fn = ckernel.rr_fn()
+    if fn is None:
+        return private.select_batch(np.zeros(count)).astype(np.int16)
+    inv = np.asarray(private._inv_alpha, dtype=float)
+    active = np.asarray(private._active, dtype=np.int64)
+    assign = np.asarray(private._assign, dtype=np.int64)
+    nxt = np.asarray(private._next, dtype=float)
+    out = np.empty(count, dtype=np.int64)
+    was_started = [a > 0 for a in private._assign]
+    ckernel.rr_extend_c(fn, inv, active, assign, nxt, out)
+    private._assign = [int(a) for a in assign]
+    private._next = [float(x) for x in nxt]
+    # `_started` keeps first-win append order (it only drives the
+    # order-insensitive step 2.h decrement, but checkpoints serialize
+    # it, so the Python loop's ordering is reproduced exactly).
+    newly = [int(i) for i in active if not was_started[i] and assign[i] > 0]
+    if newly:
+        first_pos = {s: int(np.argmax(out == s)) for s in newly}
+        newly.sort(key=first_pos.__getitem__)
+        private._started.extend(newly)
+    return out.astype(np.int16)
 
 
 def sequence_memo_key(alphas: np.ndarray, guard_init: float = 1.0) -> tuple:
@@ -226,15 +272,13 @@ def build_dispatch_sequence(
         status = "miss"
         private = RoundRobinDispatcher(guard_init=guard_init)
         private.reset(np.array(alphas, dtype=float, copy=True))
-        targets = private.select_batch(np.zeros(count)).astype(np.int16)
+        targets = _extend_targets(private, count)
         entry = (targets, private)
     else:
         targets, private = entry
         if count > targets.size:
             status = "extend"
-            extra = private.select_batch(
-                np.zeros(count - targets.size)
-            ).astype(np.int16)
+            extra = _extend_targets(private, count - targets.size)
             targets = np.concatenate([targets, extra])
             entry = (targets, private)
         else:
@@ -243,3 +287,101 @@ def build_dispatch_sequence(
     while len(_sequence_memo) > _SEQUENCE_MEMO_ENTRIES:
         _sequence_memo.pop(next(iter(_sequence_memo)))
     return entry[0][:count].astype(np.int64), status
+
+
+def dispatch_sequence_slice(
+    alphas: np.ndarray, start: int, stop: int, *, guard_init: float = 1.0
+) -> np.ndarray:
+    """Targets ``[start, stop)`` of Algorithm 2's sequence, memoized.
+
+    The window-serving counterpart of :func:`build_dispatch_sequence`:
+    where that returns (and copies) the whole prefix, this copies only
+    the requested slice, so a service dispatching window after window
+    pays O(window) per call instead of O(total dispatched so far).
+    Extension is geometric (to ``max(stop, 2 × cached)``), keeping the
+    amortized per-job cost constant across a long run; over-extension
+    is harmless because the sequence for N jobs is a prefix of the
+    sequence for M > N jobs.
+    """
+    if not 0 <= start <= stop:
+        raise ValueError(f"invalid sequence slice [{start}, {stop})")
+    key = sequence_memo_key(alphas, guard_init)
+    entry = _sequence_memo.pop(key, None)
+    if entry is None:
+        private = RoundRobinDispatcher(guard_init=guard_init)
+        private.reset(np.array(alphas, dtype=float, copy=True))
+        entry = (_extend_targets(private, stop), private)
+    else:
+        targets, private = entry
+        if stop > targets.size:
+            grow_to = max(stop, 2 * targets.size)
+            extra = _extend_targets(private, grow_to - targets.size)
+            entry = (np.concatenate([targets, extra]), private)
+    _sequence_memo[key] = entry  # re-insert: dict preserves LRU order
+    while len(_sequence_memo) > _SEQUENCE_MEMO_ENTRIES:
+        _sequence_memo.pop(next(iter(_sequence_memo)))
+    return entry[0][start:stop].astype(np.int64)
+
+
+class SequenceRoundRobin(StaticDispatcher):
+    """Algorithm 2 served as slices of the memoized target sequence.
+
+    Dispatch-wise indistinguishable from :class:`RoundRobinDispatcher`
+    — the sequence is the same bits — but O(window) per batch with no
+    per-job Python scan: the serving loop's fast path.  Carries only a
+    position into the sequence; checkpoints interoperate both ways
+    (either class restores the other's ``state_dict``, see
+    ``load_state``).
+    """
+
+    name = "round_robin"
+    sequence_deterministic = True
+
+    def __init__(self, guard_init: float = 1.0):
+        super().__init__()
+        if guard_init < 0:
+            raise ValueError(f"guard_init must be non-negative, got {guard_init}")
+        self.guard_init = float(guard_init)
+        self._pos = 0
+
+    def _setup(self) -> None:
+        if not np.any(self.alphas > 0):
+            raise ValueError("round robin needs at least one positive fraction")
+        self._pos = 0
+
+    def select(self, size: float) -> int:
+        self._require_reset()
+        target = dispatch_sequence_slice(
+            self.alphas, self._pos, self._pos + 1, guard_init=self.guard_init
+        )
+        self._pos += 1
+        return int(target[0])
+
+    def select_batch(self, sizes: np.ndarray) -> np.ndarray:
+        self._require_reset()
+        count = int(np.asarray(sizes).size)
+        targets = dispatch_sequence_slice(
+            self.alphas, self._pos, self._pos + count, guard_init=self.guard_init
+        )
+        self._pos += count
+        return targets
+
+    def state_dict(self) -> dict:
+        return {
+            "guard_init": self.guard_init,
+            "alphas": None if self.alphas is None else [float(a) for a in self.alphas],
+            "pos": int(self._pos),
+        }
+
+    def load_state(self, state: dict) -> None:
+        self.guard_init = float(state["guard_init"])
+        if state["alphas"] is None:
+            self.alphas = None
+            return
+        self.reset(np.asarray(state["alphas"], dtype=float))
+        if "pos" in state:
+            self._pos = int(state["pos"])
+        else:
+            # Legacy RoundRobinDispatcher checkpoint: the sequence
+            # position is the total number of jobs dispatched.
+            self._pos = int(sum(int(a) for a in state["assign"]))

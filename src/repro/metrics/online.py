@@ -46,6 +46,19 @@ from dataclasses import dataclass
 
 import numpy as np
 
+def _ckernel():
+    """The compiled-kernel module, imported lazily.
+
+    :mod:`repro.sim` imports this module (fastpath uses
+    :class:`RunningStats`), so the dependency must not exist at import
+    time.  The batch folds below call this once per window — a
+    ``sys.modules`` lookup, not a re-import.
+    """
+    from ..sim import ckernel
+
+    return ckernel
+
+
 __all__ = [
     "RunningStats",
     "EwmaEstimator",
@@ -214,6 +227,30 @@ class EwmaEstimator:
         self.count += 1
         return self.value
 
+    def update_batch(self, xs) -> None:
+        """Fold a batch of observations, oldest first.
+
+        Bit-identical to calling :meth:`update` per element: the
+        compiled fold runs the same ``keep·state + w·x`` recursion with
+        the same doubles, and the fallback *is* the per-element loop.
+        """
+        xs = np.ascontiguousarray(xs, dtype=float)
+        if xs.size == 0:
+            return
+        ck = _ckernel()
+        fn = ck.ewma_fn()
+        if fn is None:
+            for x in xs:
+                self.update(float(x))
+            return
+        state = ck.arena().f64("ewma.state", 2)
+        state[0] = self._raw
+        state[1] = self._norm
+        ck.ewma_fold_c(fn, state, self.weight, xs)
+        self._raw = float(state[0])
+        self._norm = float(state[1])
+        self.count += int(xs.size)
+
     @property
     def value(self) -> float:
         """Current estimate (NaN before the first observation)."""
@@ -261,6 +298,26 @@ class EwmaRateEstimator:
                 self._gaps.update(gap)
         self._last = t
 
+    def observe_batch(self, times) -> None:
+        """Fold a batch of non-decreasing timestamps in at once.
+
+        Same final state as per-element :meth:`observe` calls: the gaps
+        are the identical ``t_i − t_{i−1}`` differences (the first one
+        against the carried last timestamp) and the zero-gap filter
+        matches the scalar path's ``gap > 0`` guard.
+        """
+        times = np.ascontiguousarray(times, dtype=float)
+        if times.size == 0:
+            return
+        if self._last is not None:
+            gaps = np.diff(times, prepend=self._last)
+        else:
+            gaps = np.diff(times)
+        if gaps.size and float(gaps.min()) < 0.0:
+            raise ValueError("timestamps must be non-decreasing")
+        self._gaps.update_batch(gaps[gaps > 0.0])
+        self._last = float(times[-1])
+
     def rate(self, now: float | None = None) -> float:
         """Events per unit time (0.0 until two distinct timestamps)."""
         gap = self._gaps.value
@@ -306,6 +363,29 @@ class WindowedRateEstimator:
             )
         self._times.append(t)
         self._evict(t)
+
+    def observe_batch(self, times) -> None:
+        """Append a batch of non-decreasing timestamps at once.
+
+        Identical final deque to per-element :meth:`observe` calls:
+        evictions only ever pop the front against the *latest*
+        timestamp's cutoff, so one eviction pass at the end removes
+        exactly the union of what the per-element passes would.
+        ``tolist()`` keeps the deque holding builtin floats — the
+        checkpoint ``state_dict`` serializes it straight to JSON.
+        """
+        times = np.asarray(times, dtype=float)
+        if times.size == 0:
+            return
+        if self._times and float(times[0]) < self._times[-1]:
+            raise ValueError(
+                f"timestamps must be non-decreasing "
+                f"({float(times[0])} after {self._times[-1]})"
+            )
+        if times.size > 1 and float(np.diff(times).min()) < 0.0:
+            raise ValueError("timestamps must be non-decreasing")
+        self._times.extend(times.tolist())
+        self._evict(float(times[-1]))
 
     def _evict(self, now: float) -> None:
         cutoff = now - self.window
@@ -356,6 +436,23 @@ class ServerSpeedEstimator:
         if service_time <= 0.0:
             raise ValueError(f"service_time must be positive, got {service_time}")
         self._ewmas[server].update(float(size) / float(service_time))
+
+    def observe_grouped(self, witnesses: np.ndarray, offsets) -> None:
+        """Fold server-grouped speed witnesses (``size/service_time``).
+
+        ``witnesses`` holds every completion's witnessed speed with
+        server ``s`` owning the slice ``[offsets[s], offsets[s+1])`` in
+        within-server completion order.  Identical final state to
+        per-job :meth:`observe` calls in arrival order: per-server
+        EWMAs are independent and a stable grouping preserves each
+        server's observation order.  Witness positivity is the caller's
+        contract (the replay path guarantees ``service_time > 0``).
+        """
+        for s, e in enumerate(self._ewmas):
+            lo = int(offsets[s])
+            hi = int(offsets[s + 1])
+            if hi > lo:
+                e.update_batch(witnesses[lo:hi])
 
     def speeds(self) -> np.ndarray:
         """Current estimate per server (nominal where no data yet)."""
@@ -455,6 +552,44 @@ class P2Quantile:
                     cand = self._linear(i, d)
                 q[i] = cand
                 n[i] += d
+
+    def update_batch(self, xs) -> None:
+        """Fold a batch of observations, oldest first.
+
+        Bit-identical to per-element :meth:`update` calls: elements are
+        fed through Python until the five-sample warm-up completes,
+        then the rest goes through the compiled marker fold (the exact
+        locate/shift/parabolic/linear operation order) — or the same
+        Python loop when the kernel is absent.
+        """
+        xs = np.ascontiguousarray(xs, dtype=float)
+        total = int(xs.size)
+        i = 0
+        while self._q is None and i < total:
+            self.update(float(xs[i]))
+            i += 1
+        if i == total:
+            return
+        ck = _ckernel()
+        fn = ck.p2_fn()
+        if fn is None:
+            for j in range(i, total):
+                self.update(float(xs[j]))
+            return
+        a = ck.arena()
+        q = a.f64("p2.q", 5)
+        n = a.f64("p2.n", 5)
+        np_ = a.f64("p2.np", 5)
+        dn = a.f64("p2.dn", 5)
+        q[:] = self._q
+        n[:] = self._n
+        np_[:] = self._np
+        dn[:] = self._dn
+        ck.p2_fold_c(fn, q, n, np_, dn, xs[i:])
+        self._q = [float(x) for x in q]
+        self._n = [float(x) for x in n]
+        self._np = [float(x) for x in np_]
+        self.count += total - i
 
     def _parabolic(self, i: int, d: float) -> float:
         q, n = self._q, self._n
@@ -571,8 +706,30 @@ class OnlineWorkloadEstimator:
         self.mean_size.update(size)
         self.arrivals_seen += 1
 
+    def observe_arrivals(self, times: np.ndarray, sizes: np.ndarray) -> None:
+        """Batch form of :meth:`observe_arrival` (one window at once).
+
+        Same final estimator state as the per-job loop — each
+        constituent batch fold is bit-identical to its scalar
+        recursion.
+        """
+        if times.size == 0:
+            return
+        self.windowed_rate.observe_batch(times)
+        self.ewma_rate.observe_batch(times)
+        self.mean_size.update_batch(sizes)
+        self.arrivals_seen += int(times.size)
+
     def observe_service(self, server: int, size: float, service_time: float) -> None:
         self.speed.observe(server, size, service_time)
+
+    def observe_services_grouped(self, witnesses: np.ndarray, offsets) -> None:
+        """Batch form of :meth:`observe_service` over one window.
+
+        ``witnesses`` are the server-grouped ``size/service_time``
+        values (see :meth:`ServerSpeedEstimator.observe_grouped`).
+        """
+        self.speed.observe_grouped(witnesses, offsets)
 
     def set_membership(self, up) -> None:
         """Record which servers are up (failure-detector health signal).

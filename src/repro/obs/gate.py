@@ -40,6 +40,7 @@ _RATIOS = (
     ("replication.fcfs.speedup", "FCFS fast path vs engine"),
     ("sweep.cache_speedup", "warm cache vs cold sweep"),
     ("cell.cell_speedup", "cell-batched vs flat sweep"),
+    ("serve.serve_speedup", "vectorized serve loop vs reference"),
 )
 
 #: Bit-identity flags that must be true whenever present.
@@ -50,14 +51,21 @@ _IDENTITY_FLAGS = (
     "cell.cell_identical",
     "telemetry.trace_identical",
     "kernels.fcfs_bit_identical",
+    "serve.report_identical",
 )
 
 #: Absolute ratio floors enforced per scale, independent of any baseline:
-#: (dotted path, scale name, minimum value, description).  Floors pin the
-#: acceptance criteria that motivated an optimization so a later change
-#: cannot erode them 19% at a time under the relative threshold.
+#: (dotted path, scale name, minimum value, description, guard).  Floors
+#: pin the acceptance criteria that motivated an optimization so a later
+#: change cannot erode them 19% at a time under the relative threshold.
+#: The guard — ``None`` or a (dotted path, value) pair — limits a floor
+#: to records where that field matches (the serve floor assumes the
+#: compiled kernel; the pure-python fallback is correct but slower).
 _FLOORS = (
-    ("cell.cell_speedup", "quick", 2.0, "cell-batched vs flat sweep (fcfs)"),
+    ("cell.cell_speedup", "quick", 2.0, "cell-batched vs flat sweep (fcfs)",
+     None),
+    ("serve.serve_speedup", "quick", 5.0, "vectorized serve loop vs reference",
+     ("serve.backend", "c")),
 )
 
 
@@ -118,8 +126,10 @@ def check_gate(
             result.failures.append(f"bit-identity divergence: {flag} is false")
 
     # Absolute floors apply even with no baseline to compare against.
-    for path, scale, minimum, label in _FLOORS:
+    for path, scale, minimum, label, guard in _FLOORS:
         if record.get("scale") != scale:
+            continue
+        if guard is not None and _lookup(record, guard[0]) != guard[1]:
             continue
         value = _lookup(record, path)
         if isinstance(value, (int, float)) and value < minimum:

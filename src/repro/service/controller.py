@@ -75,12 +75,40 @@ class AdmissionGate:
     maximally even pattern — the load-shedding analog of the dispatch
     sequence itself.  Carrying the accumulator across windows keeps the
     admitted fraction exact in the long run.
+
+    :meth:`admit_mask` computes the pattern as a cumulative-sum keep
+    mask in one vectorized pass: job *j* is admitted when the ideal
+    admitted count ``⌊acc₀ + j·f⌋`` steps up at *j*.  This is the exact
+    closed form of the scalar accumulator loop (kept as
+    :meth:`admit_mask_scalar` for the reference path); the two can
+    differ only when an accumulated value lands within ~1e−9 of an
+    integer boundary, which the pinned-fraction tests show never
+    happens for the rational shed fractions the controller produces —
+    and the fault-free default (``keep = 1``) short-circuits before
+    either formulation runs.
     """
 
     def __init__(self) -> None:
         self._acc = 0.0
 
     def admit_mask(self, count: int, keep_fraction: float) -> np.ndarray:
+        if not 0.0 <= keep_fraction <= 1.0:
+            raise ValueError(f"keep_fraction must lie in [0, 1], got {keep_fraction}")
+        if keep_fraction >= 1.0:
+            return np.ones(count, dtype=bool)
+        if count == 0:
+            return np.zeros(0, dtype=bool)
+        # Ideal admitted-so-far counts; the epsilon absorbs the ~k·ulp
+        # accumulation error of k·fl(f) so exact-fraction patterns (the
+        # long-run exactness guarantee) survive large windows.
+        cum = self._acc + np.arange(1, count + 1, dtype=float) * keep_fraction
+        admitted = np.floor(cum + 1e-9)
+        mask = np.diff(admitted, prepend=math.floor(self._acc + 1e-9)) > 0.5
+        self._acc = float(cum[-1] - admitted[-1])
+        return mask
+
+    def admit_mask_scalar(self, count: int, keep_fraction: float) -> np.ndarray:
+        """The original per-job accumulator loop (reference path)."""
         if not 0.0 <= keep_fraction <= 1.0:
             raise ValueError(f"keep_fraction must lie in [0, 1], got {keep_fraction}")
         if keep_fraction >= 1.0:
@@ -205,8 +233,16 @@ class QuasiStaticController:
     def observe_arrival(self, t: float, size: float) -> None:
         self.estimator.observe_arrival(t, size)
 
+    def observe_arrivals(self, times: np.ndarray, sizes: np.ndarray) -> None:
+        """Batch form of :meth:`observe_arrival` (one window at once)."""
+        self.estimator.observe_arrivals(times, sizes)
+
     def observe_service(self, server: int, size: float, service_time: float) -> None:
         self.estimator.observe_service(server, size, service_time)
+
+    def observe_services_grouped(self, witnesses: np.ndarray, offsets) -> None:
+        """Batch form of :meth:`observe_service` (server-grouped)."""
+        self.estimator.observe_services_grouped(witnesses, offsets)
 
     def observe_response(self, response_time: float) -> None:
         """Fold one completed job's response time into the quantiles."""
@@ -215,6 +251,16 @@ class QuasiStaticController:
         self._win_p50.update(response_time)
         self._win_p99.update(response_time)
         self.responses_seen += 1
+
+    def observe_responses(self, response_times: np.ndarray) -> None:
+        """Batch form of :meth:`observe_response` (one window at once)."""
+        if response_times.size == 0:
+            return
+        self.p50.update_batch(response_times)
+        self.p99.update_batch(response_times)
+        self._win_p50.update_batch(response_times)
+        self._win_p99.update_batch(response_times)
+        self.responses_seen += int(response_times.size)
 
     # -- failure detector ----------------------------------------------
 

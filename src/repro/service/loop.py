@@ -50,11 +50,12 @@ experiment, not just a demo.
 
 from __future__ import annotations
 
+import heapq
 from dataclasses import dataclass, field
 
 import numpy as np
 
-from ..dispatch.round_robin import RoundRobinDispatcher
+from ..dispatch.round_robin import RoundRobinDispatcher, SequenceRoundRobin
 from ..faults.models import (
     DEGRADE_END,
     DEGRADE_START,
@@ -67,6 +68,7 @@ from ..faults.models import (
 )
 from ..obs import counters
 from ..obs.spans import span
+from ..sim import ckernel
 from .checkpoint import ServiceCheckpoint
 from .controller import AdmissionGate, ControlDecision, QuasiStaticController
 from .replay import ServerBank
@@ -345,6 +347,13 @@ class SchedulerService:
     crash_after:
         Simulate a crash (raise :class:`ServiceCrash`) once this many
         windows completed in *this* run — test/CI hook for resume.
+    reference:
+        Run the fault-free window through the original per-job loop
+        (scalar gate, per-job estimator updates, live Algorithm 2
+        scans) instead of the vectorized hot path.  The two produce
+        field-for-field identical reports — the reference branch exists
+        as the oracle the bit-identity tests and the ``bench --serve``
+        speedup measure against.
     """
 
     def __init__(
@@ -357,6 +366,7 @@ class SchedulerService:
         checkpoint: ServiceCheckpoint | None = None,
         checkpoint_every: int = 10,
         crash_after: int | None = None,
+        reference: bool = False,
     ):
         self.config = config
         self.source = source
@@ -372,9 +382,10 @@ class SchedulerService:
             min_responses_to_shed=config.min_responses_to_shed,
             max_shed_fraction=config.max_shed_fraction,
         )
+        self.reference = bool(reference)
         self.bank = ServerBank(config.speeds)
         self.gate = AdmissionGate()
-        self.dispatcher = RoundRobinDispatcher()
+        self.dispatcher = self._make_dispatcher()
         self.dispatcher.reset(self.controller.alphas)
 
         timeline = fault_events
@@ -391,8 +402,13 @@ class SchedulerService:
         self._on_failure = fc.on_failure if fc is not None else "retry"
         self._degrade_factor = fc.degrade_factor if fc is not None else 0.5
         self._event_pos = 0
-        # Pending retries: [due time, origin arrival, size, failed placements].
-        self._pending: list[list] = []
+        # Pending retries, heap-ordered by (due time, insertion seq):
+        # (due, seq, origin arrival, size, failed placements).  The seq
+        # tie-break reproduces the schedule order a stable sort by due
+        # time would give, while due-time re-entry pops the heap front
+        # instead of scanning the whole list every window.
+        self._pending: list[tuple] = []
+        self._pending_seq = 0
         self._degrade_level = [0] * len(config.speeds)
 
         if checkpoint_every < 1:
@@ -402,6 +418,17 @@ class SchedulerService:
         self.crash_after = None if crash_after is None else int(crash_after)
         self._start_window = 0
         self._restored_report: ServiceReport | None = None
+
+    def _make_dispatcher(self):
+        """A fresh dispatcher for the configured execution mode.
+
+        Both classes walk the identical Algorithm 2 sequence; the fast
+        path serves it as memoized slices (O(window) per batch), the
+        reference path runs the live per-job scan.
+        """
+        if self.reference:
+            return RoundRobinDispatcher()
+        return SequenceRoundRobin()
 
     # ------------------------------------------------------------------
     # The run loop
@@ -431,6 +458,8 @@ class SchedulerService:
                 start = k * cp
                 if self._faulted:
                     self._run_window_faulted(start, end, report)
+                elif self.reference:
+                    self._run_window_reference(start, end, report)
                 else:
                     self._run_window(start, end, report)
                 done = k + 1
@@ -465,20 +494,117 @@ class SchedulerService:
     # ------------------------------------------------------------------
 
     def _run_window(self, start: float, end: float, report: ServiceReport) -> None:
+        """The vectorized serve hot path (default fault-free window).
+
+        One compiled carry-state replay call plus batched estimator
+        folds per window — no per-job Python.  Field-for-field
+        identical report to :meth:`_run_window_reference`: every batch
+        operation either runs the identical float recursion (compiled
+        folds, grouped replay) or a formulation proven equal on the
+        values the loop produces (the gate's cumulative-sum mask).
+        """
         controller = self.controller
         times, sizes = self.source.jobs_until(end)
         # The estimator sees the *offered* stream — shed jobs included —
         # because sizing decisions must track demand, not what survived
         # the previous shedding decision.
-        for t, x in zip(times, sizes):
-            controller.observe_arrival(t, x)
+        controller.observe_arrivals(times, sizes)
         keep = 1.0 - controller.shed_fraction
         mask = self.gate.admit_mask(times.size, keep)
-        adm_times = times[mask]
-        adm_sizes = sizes[mask]
+        if mask.all():
+            # The fault-free default: nothing shed, no fancy-index copy.
+            adm_times = times
+            adm_sizes = sizes
+        else:
+            adm_times = times[mask]
+            adm_sizes = sizes[mask]
 
         # Dispatch under the window's (immutable) sequence, replay with
         # carried backlog, and feed completions back to the estimator.
+        targets = self.dispatcher.select_batch(adm_sizes)
+        departures, service_times, order, offsets = self.bank.replay_window_grouped(
+            targets, adm_times, adm_sizes
+        )
+
+        shed = int(times.size - adm_times.size)
+        counters.inc("service.jobs_dispatched", value=int(adm_times.size))
+        if shed:
+            counters.inc("service.jobs_shed", value=shed)
+
+        n_adm = int(adm_times.size)
+        if n_adm:
+            a = ckernel.arena()
+            # Per-server speed witnesses, folded in server-grouped order
+            # (identical EWMA state: per-server estimators are
+            # independent and the stable grouping preserves each
+            # server's observation order).
+            wit = a.f64("loop.wit", n_adm)
+            np.divide(adm_sizes, service_times, out=wit)
+            witg = a.f64("loop.witg", n_adm)
+            np.take(wit, order, out=witg)
+            controller.observe_services_grouped(witg, offsets)
+            response = a.f64("loop.resp", n_adm)
+            np.subtract(departures, adm_times, out=response)
+            mrt = float(response.mean())
+            ratio_buf = a.f64("loop.ratio", n_adm)
+            np.divide(response, adm_sizes, out=ratio_buf)
+            ratio = float(ratio_buf.mean())
+            controller.observe_responses(response)
+        else:
+            mrt = float("nan")
+            ratio = float("nan")
+
+        # Drain-and-switch: the controller may change the allocation
+        # only here, between windows; a swap restarts the sequence.
+        decision: ControlDecision = controller.resolve(end)
+        if decision.swapped:
+            self.dispatcher = self._make_dispatcher()
+            self.dispatcher.reset(decision.alphas)
+
+        estimate = decision.estimate
+        report.windows.append(
+            WindowRecord(
+                start=start,
+                end=end,
+                offered=int(times.size),
+                admitted=int(adm_times.size),
+                shed=shed,
+                mean_response_time=mrt,
+                mean_response_ratio=ratio,
+                lambda_hat=(estimate.arrival_rate if estimate else float("nan")),
+                rho_hat=(estimate.utilization if estimate else float("nan")),
+                swapped=decision.swapped,
+                alphas=decision.alphas,
+                p50=decision.window_p50,
+                p99=decision.window_p99,
+                completed=int(adm_times.size),
+                servers_up=len(self.config.speeds),
+                reason=decision.reason,
+            )
+        )
+        report.jobs_offered += int(times.size)
+        report.jobs_dispatched += int(adm_times.size)
+        report.jobs_shed += shed
+
+    def _run_window_reference(
+        self, start: float, end: float, report: ServiceReport
+    ) -> None:
+        """The original per-job fault-free window (oracle path).
+
+        Kept verbatim — scalar admission accumulator, per-job estimator
+        updates, live Algorithm 2 scans, fresh replay outputs — so the
+        property tests and ``bench --serve`` can pin the vectorized
+        path against it, report for report.
+        """
+        controller = self.controller
+        times, sizes = self.source.jobs_until(end)
+        for t, x in zip(times, sizes):
+            controller.observe_arrival(t, x)
+        keep = 1.0 - controller.shed_fraction
+        mask = self.gate.admit_mask_scalar(times.size, keep)
+        adm_times = times[mask]
+        adm_sizes = sizes[mask]
+
         targets = self.dispatcher.select_batch(adm_sizes)
         departures, service_times = self.bank.replay_window(
             targets, adm_times, adm_sizes
@@ -501,11 +627,9 @@ class SchedulerService:
             mrt = float("nan")
             ratio = float("nan")
 
-        # Drain-and-switch: the controller may change the allocation
-        # only here, between windows; a swap restarts the sequence.
         decision: ControlDecision = controller.resolve(end)
         if decision.swapped:
-            self.dispatcher = RoundRobinDispatcher()
+            self.dispatcher = self._make_dispatcher()
             self.dispatcher.reset(decision.alphas)
 
         estimate = decision.estimate
@@ -549,7 +673,11 @@ class SchedulerService:
             return "lost"
         counters.inc("service.jobs_retried")
         due = now + self._retry.delay(attempts)
-        self._pending.append([float(due), float(origin), float(size), int(failed)])
+        heapq.heappush(
+            self._pending,
+            (float(due), self._pending_seq, float(origin), float(size), int(failed)),
+        )
+        self._pending_seq += 1
         return "retried"
 
     def _apply_degrade(self, server: int, now: float) -> None:
@@ -574,18 +702,21 @@ class SchedulerService:
         # start) — bounces become eligible at the *next* window, never
         # inside the one that bounced them.  Ties go to fresh arrivals
         # (stable sort, arrivals listed first).
-        due = [r for r in self._pending if r[0] <= end]
+        # Heap pops come out ordered by (due, insertion seq) — exactly
+        # the stable sort by due time the list scan used to do, at
+        # O(due · log pending) instead of two full-list passes.
+        due: list[tuple] = []
+        while self._pending and self._pending[0][0] <= end:
+            due.append(heapq.heappop(self._pending))
         if due:
-            self._pending = [r for r in self._pending if r[0] > end]
-            due.sort(key=lambda r: r[0])  # stable: schedule order breaks ties
             job_times = np.concatenate(
                 [adm_times, [max(r[0], start) for r in due]]
             )
-            job_sizes = np.concatenate([adm_sizes, [r[2] for r in due]])
-            job_origins = np.concatenate([adm_times, [r[1] for r in due]])
+            job_sizes = np.concatenate([adm_sizes, [r[3] for r in due]])
+            job_origins = np.concatenate([adm_times, [r[2] for r in due]])
             job_attempts = np.concatenate(
                 [np.zeros(adm_times.size, dtype=np.int64),
-                 np.asarray([r[3] for r in due], dtype=np.int64)]
+                 np.asarray([r[4] for r in due], dtype=np.int64)]
             )
             order = np.argsort(job_times, kind="stable")
             job_times = job_times[order]
@@ -691,7 +822,7 @@ class SchedulerService:
 
         decision: ControlDecision = controller.resolve(end)
         if decision.swapped:
-            self.dispatcher = RoundRobinDispatcher()
+            self.dispatcher = self._make_dispatcher()
             self.dispatcher.reset(decision.alphas)
 
         estimate = decision.estimate
@@ -737,7 +868,11 @@ class SchedulerService:
             "gate": self.gate.state_dict(),
             "bank": self.bank.state_dict(),
             "dispatcher": self.dispatcher.state_dict(),
-            "pending": [list(r) for r in self._pending],
+            # External format unchanged from the list era: 4-field
+            # records in (due, schedule) order, no heap internals.
+            "pending": [
+                [r[0], r[2], r[3], r[4]] for r in sorted(self._pending)
+            ],
             "degrade_level": [int(x) for x in self._degrade_level],
             "event_pos": int(self._event_pos),
             "report": _report_state(report),
@@ -768,12 +903,17 @@ class SchedulerService:
         self.controller.load_state(state["controller"])
         self.gate.load_state(state["gate"])
         self.bank.load_state(state["bank"])
-        self.dispatcher = RoundRobinDispatcher()
+        self.dispatcher = self._make_dispatcher()
         self.dispatcher.load_state(state["dispatcher"])
+        # Re-number insertion seqs in checkpointed (due, schedule)
+        # order: future pops keep breaking due-time ties exactly as the
+        # uninterrupted run would.
         self._pending = [
-            [float(r[0]), float(r[1]), float(r[2]), int(r[3])]
-            for r in state["pending"]
+            (float(r[0]), seq, float(r[1]), float(r[2]), int(r[3]))
+            for seq, r in enumerate(state["pending"])
         ]
+        self._pending_seq = len(self._pending)
+        heapq.heapify(self._pending)
         self._degrade_level = [int(x) for x in state["degrade_level"]]
         self._event_pos = int(state["event_pos"])
         self._start_window = int(state["next_window"])

@@ -41,6 +41,8 @@ from collections import deque
 
 import numpy as np
 
+from ..sim import ckernel
+
 __all__ = ["ServerBank"]
 
 #: In-flight record layout: [origin, size, svc, dep, attempts].
@@ -74,16 +76,82 @@ class ServerBank:
         Returns ``(departures, service_times)`` aligned with the input
         arrival order.  ``times`` must be non-decreasing and must not
         precede any earlier window.
+
+        Validating compatibility wrapper around
+        :meth:`replay_window_grouped`; the returned arrays are fresh
+        copies the caller may keep across windows.
         """
-        targets = np.asarray(targets)
-        times = np.asarray(times, dtype=float)
-        sizes = np.asarray(sizes, dtype=float)
+        targets = np.ascontiguousarray(targets, dtype=np.int64)
+        times = np.ascontiguousarray(times, dtype=float)
+        sizes = np.ascontiguousarray(sizes, dtype=float)
         if not (targets.shape == times.shape == sizes.shape):
             raise ValueError("targets, times, and sizes must align")
-        departures = np.empty(times.size)
-        service_times = np.empty(times.size)
-        if times.size == 0:
-            return departures, service_times
+        departures, service_times, _, _ = self.replay_window_grouped(
+            targets, times, sizes
+        )
+        return departures.copy(), service_times.copy()
+
+    def replay_window_grouped(
+        self, targets: np.ndarray, times: np.ndarray, sizes: np.ndarray
+    ) -> tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
+        """The serve hot path: one window in one compiled call.
+
+        Inputs must be contiguous, shape-aligned arrays (int64 targets,
+        float64 times/sizes) — the service loop guarantees this, so the
+        per-window cost carries no re-validation or conversion.  Returns
+        ``(departures, service_times, order, offsets)``: the first two
+        in arrival order, ``order`` the stable group-by-server
+        permutation and ``offsets`` the per-server group bounds
+        (length ``n + 1``), which callers reuse to fold per-server
+        speed witnesses without a second argsort.
+
+        All four arrays are views of per-process arena buffers —
+        consume them before the next replay call, never store them
+        (:meth:`replay_window` copies for callers that accumulate).
+        The compiled carry-state sweep (``fcfs_window_sweep``) and the
+        numpy fallback compute identical bits; either updates
+        ``free_at`` in place.
+        """
+        n = times.size
+        a = ckernel.arena()
+        if n == 0:
+            offsets = a.i64("window.offsets", self.n + 1)
+            offsets[:] = 0
+            return (
+                a.f64("window.dep", 0),
+                a.f64("window.svc", 0),
+                a.i64("window.order", 0),
+                offsets,
+            )
+        fn = ckernel.window_fn()
+        if fn is not None:
+            dep, svc, order, offsets, ok = ckernel.replay_window_c(
+                fn, times, sizes, self.speeds, targets, self.free_at
+            )
+            if not ok:
+                # The kernel validates every target before touching any
+                # state, so free_at is intact here.
+                raise ValueError("dispatch target out of range")
+            return dep, svc, order, offsets
+        return self._replay_grouped_python(targets, times, sizes)
+
+    def _replay_grouped_python(
+        self, targets: np.ndarray, times: np.ndarray, sizes: np.ndarray
+    ) -> tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
+        """Numpy fallback of :meth:`replay_window_grouped` (same bits).
+
+        The per-server Lindley recursion in its vectorized form; the
+        compiled sweep folds ``free_at`` into the running max instead of
+        taking the elementwise maximum afterwards, which is exact
+        because max never rounds.  Kept separate so the bit-identity
+        property tests can pin the two paths against each other.
+        """
+        n = times.size
+        a = ckernel.arena()
+        departures = a.f64("window.dep", n)
+        service_times = a.f64("window.svc", n)
+        if np.any(targets < 0) or np.any(targets >= self.n):
+            raise ValueError("dispatch target out of range")
         # Stable argsort groups jobs by server while preserving arrival
         # order within each group (same trick as the fast path).
         order = np.argsort(targets, kind="stable")
@@ -100,7 +168,11 @@ class ServerBank:
             departures[idx] = dep
             service_times[idx] = svc
             self.free_at[i] = dep[-1]
-        return departures, service_times
+        order_out = a.i64("window.order", n)
+        np.copyto(order_out, order)
+        offsets = a.i64("window.offsets", self.n + 1)
+        np.copyto(offsets, bounds)
+        return departures, service_times, order_out, offsets
 
     def backlog_at(self, now: float) -> np.ndarray:
         """Remaining busy time per server as of *now* (≥ 0)."""

@@ -250,6 +250,174 @@ i64 pk_openmp_enabled(void) {
 #endif
 }
 
+/* ------------------------------------------------------------------
+ * Serve hot path (quasi-static service loop)
+ * ------------------------------------------------------------------ */
+
+/* Carry-state FCFS window sweep: one control window of dispatched jobs
+ * through the per-server Lindley recursion, with the servers' free-up
+ * instants carried in from the previous window and written back out.
+ *
+ * Mirrors ServerBank.replay_window's numpy formulation bit for bit:
+ * grouping jobs by server with a stable counting sort (the same
+ * permutation as numpy's stable argsort on the targets), then per
+ * server
+ *     svc_j = size_j / speed
+ *     cum_j = cum_{j-1} + svc_j
+ *     dep_j = cum_j + max(free_at, max_{k<=j}(t_k - cum_{k-1}))
+ * Seeding the running max with free_at instead of taking the
+ * elementwise maximum afterwards is exact — max never rounds — so the
+ * fused sweep needs no per-server arrays of starts at all: one
+ * arrival-order pass with per-server (acc, m) registers in the state
+ * scratch.
+ *
+ * Outputs: departures/service_times in arrival order, plus the stable
+ * grouping permutation (order) and per-server group bounds (offsets,
+ * nservers+1), which the service loop reuses to fold per-server speed
+ * witnesses without a second argsort.  free_at (nservers) is updated
+ * in place; servers with no jobs in the window keep their value.
+ * cursor (nservers) and state (2*nservers) are caller scratch.
+ *
+ * Returns 0 on success, 1 if any target lies outside [0, nservers)
+ * (the caller falls back to the numpy path, which raises cleanly).
+ */
+i64 fcfs_window_sweep(const double *times, const double *work, i64 n,
+                      const double *speeds, i64 nservers,
+                      const i64 *targets, double *free_at,
+                      double *departures, double *service_times,
+                      i64 *order, i64 *offsets, i64 *cursor,
+                      double *state) {
+    for (i64 s = 0; s <= nservers; s++) offsets[s] = 0;
+    for (i64 j = 0; j < n; j++) {
+        i64 t = targets[j];
+        if (t < 0 || t >= nservers) return 1;
+        offsets[t + 1]++;
+    }
+    for (i64 s = 0; s < nservers; s++) offsets[s + 1] += offsets[s];
+    double *acc = state;
+    double *m = state + nservers;
+    for (i64 s = 0; s < nservers; s++) {
+        cursor[s] = offsets[s];
+        acc[s] = 0.0;
+        m[s] = free_at[s];
+    }
+    for (i64 j = 0; j < n; j++) {
+        i64 s = targets[j];
+        double svc = work[j] / speeds[s];
+        double a = acc[s] + svc;
+        acc[s] = a;
+        double d = times[j] - (a - svc);
+        if (d > m[s]) m[s] = d;
+        double dep = a + m[s];
+        departures[j] = dep;
+        service_times[j] = svc;
+        free_at[s] = dep;
+        order[cursor[s]++] = j;
+    }
+    return 0;
+}
+
+/* Algorithm 2 sequence extension: `count` further dispatch targets from
+ * live (assign, next) state — the compiled mirror of
+ * RoundRobinDispatcher.select, float op for float op (see
+ * repro/dispatch/round_robin.py for the step-by-step commentary).
+ * active/inv are the alpha > 0 participant indices and their
+ * precomputed 1/alpha (the Python _setup values, so the tie-break
+ * products use the identical doubles).  assign/nxt are updated in
+ * place, exactly as `count` Python select() calls would leave them.
+ */
+void rr_sequence_extend(const double *inv, const i64 *active, i64 nactive,
+                        i64 *assign, double *nxt, i64 count, i64 *out) {
+    for (i64 k = 0; k < count; k++) {
+        i64 sel = -1;
+        double minnext = 0.0, norassign = 0.0;
+        for (i64 a = 0; a < nactive; a++) {
+            i64 i = active[a];
+            double ni = nxt[i];
+            if (sel == -1 || ni < minnext) {
+                minnext = ni;
+                norassign = (double)(assign[i] + 1) * inv[i];
+                sel = i;
+            } else if (ni == minnext) {
+                double cand = (double)(assign[i] + 1) * inv[i];
+                if (cand < norassign) { norassign = cand; sel = i; }
+            }
+        }
+        if (assign[sel] == 0) nxt[sel] = 0.0;
+        nxt[sel] += inv[sel];
+        assign[sel] += 1;
+        for (i64 a = 0; a < nactive; a++) {
+            i64 i = active[a];
+            if (assign[i] > 0) nxt[i] -= 1.0;
+        }
+        out[k] = sel;
+    }
+}
+
+/* Bias-corrected EWMA fold: the sequential recursion of
+ * EwmaEstimator.update over a batch of observations.
+ *     raw  = (1-w)*raw  + w*x
+ *     norm = (1-w)*norm + w
+ * state = [raw, norm], updated in place.  The Python update computes
+ * keep = 1.0 - weight per call with the same doubles, so the fold is
+ * bit-identical to the per-observation loop.
+ */
+void ewma_fold(double *state, double weight, const double *xs, i64 n) {
+    double raw = state[0], norm = state[1];
+    double keep = 1.0 - weight;
+    for (i64 j = 0; j < n; j++) {
+        raw = keep * raw + weight * xs[j];
+        norm = keep * norm + weight;
+    }
+    state[0] = raw;
+    state[1] = norm;
+}
+
+/* P² (Jain–Chlamtac) streaming-quantile batch fold: the post-warmup
+ * marker update of P2Quantile.update applied to m observations, with
+ * the locate / position-shift / parabolic-else-linear adjustment
+ * copied operation for operation from the Python method.  q/n/np_ are
+ * the five marker heights, actual positions, and desired positions
+ * (updated in place); dn the fixed desired-position increments.
+ */
+void p2_fold(double *q, double *n, double *np_, const double *dn,
+             const double *xs, i64 m) {
+    for (i64 t = 0; t < m; t++) {
+        double x = xs[t];
+        i64 k;
+        if (x < q[0]) {
+            q[0] = x;
+            k = 0;
+        } else if (x >= q[4]) {
+            if (x > q[4]) q[4] = x;
+            k = 3;
+        } else {
+            k = 0;
+            while (k < 3 && x >= q[k + 1]) k++;
+        }
+        for (i64 i = k + 1; i < 5; i++) n[i] += 1.0;
+        for (i64 i = 0; i < 5; i++) np_[i] += dn[i];
+        for (i64 i = 1; i <= 3; i++) {
+            double d = np_[i] - n[i];
+            if ((d >= 1.0 && n[i + 1] - n[i] > 1.0) ||
+                (d <= -1.0 && n[i - 1] - n[i] < -1.0)) {
+                d = d >= 1.0 ? 1.0 : -1.0;
+                double cand = q[i] + d / (n[i + 1] - n[i - 1]) *
+                    ((n[i] - n[i - 1] + d) * (q[i + 1] - q[i]) /
+                         (n[i + 1] - n[i]) +
+                     (n[i + 1] - n[i] - d) * (q[i] - q[i - 1]) /
+                         (n[i] - n[i - 1]));
+                if (!(q[i - 1] < cand && cand < q[i + 1])) {
+                    i64 j = i + (i64)d;
+                    cand = q[i] + d * (q[j] - q[i]) / (n[j] - n[i]);
+                }
+                q[i] = cand;
+                n[i] += d;
+            }
+        }
+    }
+}
+
 /* Whole-cell fused replay: every unique dispatch plan of one
  * replication in a single call.
  *

@@ -59,6 +59,10 @@ __all__ = [
     "fcfs_servers_fn",
     "cell_fn",
     "map_fn",
+    "window_fn",
+    "rr_fn",
+    "ewma_fn",
+    "p2_fn",
     "kernel_available",
     "compiled_library_path",
     "compile_flags",
@@ -71,6 +75,10 @@ __all__ = [
     "replay_servers_c",
     "replay_cell_c",
     "map_uniform_c",
+    "replay_window_c",
+    "rr_extend_c",
+    "ewma_fold_c",
+    "p2_fold_c",
 ]
 
 _SOURCE = Path(__file__).with_name("_pskernel.c")
@@ -95,6 +103,10 @@ class _Lib:
     fcfs_servers: object
     cell: object
     map_uniform: object
+    window: object
+    rr_extend: object
+    ewma: object
+    p2: object
     max_threads: object
     set_threads: object
     openmp: bool
@@ -260,6 +272,52 @@ def _load(path: Path, openmp: bool) -> _Lib:
         _c_i64_p,  # out
     ]
     map_uniform.restype = None
+    window = lib.fcfs_window_sweep
+    window.argtypes = [
+        _c_double_p,  # times (arrival order)
+        _c_double_p,  # work (arrival order)
+        ctypes.c_longlong,  # n
+        _c_double_p,  # speeds
+        ctypes.c_longlong,  # nservers
+        _c_i64_p,  # targets
+        _c_double_p,  # free_at (in/out)
+        _c_double_p,  # departures (out)
+        _c_double_p,  # service_times (out)
+        _c_i64_p,  # order (out, stable grouping permutation)
+        _c_i64_p,  # offsets (out, nservers + 1)
+        _c_i64_p,  # cursor scratch (nservers)
+        _c_double_p,  # state scratch (2 * nservers)
+    ]
+    window.restype = ctypes.c_longlong
+    rr_extend = lib.rr_sequence_extend
+    rr_extend.argtypes = [
+        _c_double_p,  # inv (1/alpha per server)
+        _c_i64_p,  # active indices
+        ctypes.c_longlong,  # nactive
+        _c_i64_p,  # assign (in/out)
+        _c_double_p,  # next credits (in/out)
+        ctypes.c_longlong,  # count
+        _c_i64_p,  # out targets
+    ]
+    rr_extend.restype = None
+    ewma = lib.ewma_fold
+    ewma.argtypes = [
+        _c_double_p,  # state [raw, norm] (in/out)
+        ctypes.c_double,  # weight
+        _c_double_p,  # xs
+        ctypes.c_longlong,  # n
+    ]
+    ewma.restype = None
+    p2 = lib.p2_fold
+    p2.argtypes = [
+        _c_double_p,  # q markers (in/out)
+        _c_double_p,  # n positions (in/out)
+        _c_double_p,  # np desired positions (in/out)
+        _c_double_p,  # dn increments
+        _c_double_p,  # xs
+        ctypes.c_longlong,  # m
+    ]
+    p2.restype = None
     max_threads = lib.pk_max_threads
     max_threads.argtypes = []
     max_threads.restype = ctypes.c_longlong
@@ -273,6 +331,10 @@ def _load(path: Path, openmp: bool) -> _Lib:
         fcfs_servers=fcfs_servers,
         cell=cell,
         map_uniform=map_uniform,
+        window=window,
+        rr_extend=rr_extend,
+        ewma=ewma,
+        p2=p2,
         max_threads=max_threads,
         set_threads=set_threads,
         openmp=openmp,
@@ -362,6 +424,37 @@ def map_fn():
     """The compiled searchsorted-right uniform→bucket mapper, or None."""
     lib = _ensure_fns()
     return lib.map_uniform if lib else None
+
+
+def window_fn():
+    """The carry-state FCFS window sweep entry point, or None.
+
+    One call replays a control window of dispatched jobs through the
+    per-server Lindley recursion with the servers' ``free_at`` instants
+    carried across windows — the serve-path counterpart of
+    :func:`cell_fn`.  Same availability/fallback contract as
+    :func:`ps_periods_fn`.
+    """
+    lib = _ensure_fns()
+    return lib.window if lib else None
+
+
+def rr_fn():
+    """The Algorithm 2 sequence-extension entry point, or None."""
+    lib = _ensure_fns()
+    return lib.rr_extend if lib else None
+
+
+def ewma_fn():
+    """The bias-corrected EWMA batch-fold entry point, or None."""
+    lib = _ensure_fns()
+    return lib.ewma if lib else None
+
+
+def p2_fn():
+    """The P² streaming-quantile batch-fold entry point, or None."""
+    lib = _ensure_fns()
+    return lib.p2 if lib else None
 
 
 def kernel_available() -> bool:
@@ -647,6 +740,113 @@ def replay_cell_c(
         offsets.reshape(nplans, nservers + 1),
         tail,
         status == 0,
+    )
+
+
+def replay_window_c(
+    fn,
+    times: np.ndarray,
+    work: np.ndarray,
+    speeds: np.ndarray,
+    targets: np.ndarray,
+    free_at: np.ndarray,
+):
+    """Replay one serving window through the carry-state compiled core.
+
+    ``times``/``work`` are the window's admitted jobs in arrival order
+    (contiguous float64), ``targets`` the dispatch decisions (contiguous
+    int64), ``free_at`` the per-server free-up instants carried from
+    the previous window — updated **in place** with the post-window
+    state.  Returns ``(departures, service_times, order, offsets, ok)``
+    where ``departures``/``service_times`` are in arrival order,
+    ``order`` is the stable group-by-server permutation and ``offsets``
+    the per-server group bounds (``nservers + 1``), and ``ok`` is False
+    when a target was out of range (``free_at`` untouched in that case
+    up to the offending job's server — callers must fall back to the
+    validating numpy path and not trust the partial state).
+
+    All returned arrays are arena-backed views: consume them before the
+    next replay call, never store them.
+    """
+    n = int(times.size)
+    nservers = int(speeds.size)
+    a = arena()
+    departures = a.f64("window.dep", n)
+    service_times = a.f64("window.svc", n)
+    order = a.i64("window.order", n)
+    offsets = a.i64("window.offsets", nservers + 1)
+    cursor = a.i64("window.cursor", nservers)
+    state = a.f64("window.state", 2 * nservers)
+    status = fn(
+        times.ctypes.data_as(_c_double_p),
+        work.ctypes.data_as(_c_double_p),
+        ctypes.c_longlong(n),
+        speeds.ctypes.data_as(_c_double_p),
+        ctypes.c_longlong(nservers),
+        targets.ctypes.data_as(_c_i64_p),
+        free_at.ctypes.data_as(_c_double_p),
+        departures.ctypes.data_as(_c_double_p),
+        service_times.ctypes.data_as(_c_double_p),
+        order.ctypes.data_as(_c_i64_p),
+        offsets.ctypes.data_as(_c_i64_p),
+        cursor.ctypes.data_as(_c_i64_p),
+        state.ctypes.data_as(_c_double_p),
+    )
+    return departures, service_times, order, offsets, status == 0
+
+
+def rr_extend_c(
+    fn,
+    inv: np.ndarray,
+    active: np.ndarray,
+    assign: np.ndarray,
+    nxt: np.ndarray,
+    out: np.ndarray,
+) -> None:
+    """Extend an Algorithm 2 sequence through the compiled select loop.
+
+    ``inv`` (1/alpha per server, the exact doubles of the Python
+    dispatcher's ``_inv_alpha``), ``active`` (int64 participant
+    indices), ``assign``/``nxt`` live dispatcher state updated in
+    place, ``out`` int64 receiving ``out.size`` further targets.
+    """
+    fn(
+        inv.ctypes.data_as(_c_double_p),
+        active.ctypes.data_as(_c_i64_p),
+        ctypes.c_longlong(active.size),
+        assign.ctypes.data_as(_c_i64_p),
+        nxt.ctypes.data_as(_c_double_p),
+        ctypes.c_longlong(out.size),
+        out.ctypes.data_as(_c_i64_p),
+    )
+
+
+def ewma_fold_c(fn, state: np.ndarray, weight: float, xs: np.ndarray) -> None:
+    """Fold a batch of observations into EWMA state [raw, norm]."""
+    fn(
+        state.ctypes.data_as(_c_double_p),
+        ctypes.c_double(weight),
+        xs.ctypes.data_as(_c_double_p),
+        ctypes.c_longlong(xs.size),
+    )
+
+
+def p2_fold_c(
+    fn,
+    q: np.ndarray,
+    n: np.ndarray,
+    np_: np.ndarray,
+    dn: np.ndarray,
+    xs: np.ndarray,
+) -> None:
+    """Fold a batch of observations into P² marker state (in place)."""
+    fn(
+        q.ctypes.data_as(_c_double_p),
+        n.ctypes.data_as(_c_double_p),
+        np_.ctypes.data_as(_c_double_p),
+        dn.ctypes.data_as(_c_double_p),
+        xs.ctypes.data_as(_c_double_p),
+        ctypes.c_longlong(xs.size),
     )
 
 

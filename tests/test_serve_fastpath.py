@@ -1,0 +1,434 @@
+"""Bit-identity of the vectorized serve hot path.
+
+The serving loop's throughput work (compiled carry-state window sweep,
+memoized dispatch slices, cumulative-sum admission, batched estimator
+folds) is only admissible because every piece reproduces the per-job
+reference computation *exactly* — same bits, not same-to-tolerance.
+These tests pin each piece against its reference and then the whole
+window pipeline against the untouched per-job loop, on whichever kernel
+path (compiled or numpy fallback) the environment provides; the CI
+matrix runs the file on both.
+"""
+
+import heapq
+import json
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.dispatch import (
+    RoundRobinDispatcher,
+    SequenceRoundRobin,
+    dispatch_sequence_slice,
+)
+from repro.distributions.fitting import distribution_from_mean_cv
+from repro.metrics.online import (
+    EwmaEstimator,
+    EwmaRateEstimator,
+    P2Quantile,
+    WindowedRateEstimator,
+)
+from repro.obs.gate import check_gate
+from repro.service.checkpoint import ServiceCheckpoint
+from repro.service.controller import AdmissionGate
+from repro.service.loop import (
+    SchedulerService,
+    ServiceConfig,
+    ServiceCrash,
+    ServiceReport,
+)
+from repro.service.replay import ServerBank
+from repro.service.sources import SyntheticJobSource, Workload
+from repro.sim import ckernel
+
+# ---------------------------------------------------------------------------
+# Strategies: job streams are generated from a drawn seed so hypothesis
+# shrinks over geometry (counts, splits) while the floats stay realistic.
+# ---------------------------------------------------------------------------
+
+seed_strategy = st.integers(min_value=0, max_value=2**31 - 1)
+nservers_strategy = st.integers(min_value=1, max_value=6)
+njobs_strategy = st.integers(min_value=0, max_value=300)
+
+
+def _stream(seed: int, n: int, nservers: int):
+    rng = np.random.default_rng(seed)
+    times = np.cumsum(rng.exponential(0.5, n))
+    sizes = rng.lognormal(mean=0.0, sigma=1.2, size=n)
+    targets = rng.integers(0, nservers, n)
+    speeds = rng.uniform(0.2, 5.0, nservers)
+    return times, sizes, targets.astype(np.int64), speeds
+
+
+def _chunks(n: int, seed: int):
+    """A random partition of range(n) into contiguous windows."""
+    rng = np.random.default_rng(seed ^ 0x5EED)
+    cuts = np.sort(rng.integers(0, n + 1, rng.integers(0, 6)))
+    return np.concatenate([[0], cuts, [n]]).astype(int)
+
+
+# ---------------------------------------------------------------------------
+# Carry-state window sweep
+# ---------------------------------------------------------------------------
+
+
+class TestWindowSweepBitIdentity:
+    @given(seed=seed_strategy, n=njobs_strategy, nservers=nservers_strategy)
+    @settings(max_examples=120, deadline=None)
+    def test_window_split_agrees_with_whole(self, seed, n, nservers):
+        """Replaying one stream in control-period chunks agrees with
+        replaying it whole to float-rounding accuracy (the split
+        re-bases the cumulative sums, so exact bit equality is between
+        *implementations* under one chunking, not between chunkings)."""
+        times, sizes, targets, speeds = _stream(seed, n, nservers)
+        whole = ServerBank(speeds)
+        dep_whole, svc_whole = whole.replay_window(targets, times, sizes)
+
+        split = ServerBank(speeds)
+        deps, svcs = [], []
+        bounds = _chunks(n, seed)
+        for lo, hi in zip(bounds[:-1], bounds[1:]):
+            d, s = split.replay_window(
+                targets[lo:hi], times[lo:hi], sizes[lo:hi]
+            )
+            deps.append(d)
+            svcs.append(s)
+        dep_split = np.concatenate(deps) if deps else np.empty(0)
+        svc_split = np.concatenate(svcs) if svcs else np.empty(0)
+
+        assert np.allclose(dep_whole, dep_split, rtol=1e-12, atol=0.0)
+        # Service demands never re-base: exactly equal.
+        assert np.array_equal(svc_whole, svc_split)
+        assert np.allclose(whole.free_at, split.free_at, rtol=1e-12, atol=0.0)
+
+    @pytest.mark.skipif(
+        ckernel.window_fn() is None, reason="compiled kernel unavailable"
+    )
+    @given(seed=seed_strategy, n=njobs_strategy, nservers=nservers_strategy)
+    @settings(max_examples=120, deadline=None)
+    def test_compiled_matches_python_across_window_splits(
+        self, seed, n, nservers
+    ):
+        """The C carry-state sweep and the numpy Lindley recursion emit
+        identical bits — departures, grouping, carried free_at — for
+        every control-period chunking of the same stream.  This is the
+        invariant that lets the serve loop pick either backend without
+        perturbing a single report field."""
+        times, sizes, targets, speeds = _stream(seed, n, nservers)
+        bank_c = ServerBank(speeds)
+        bank_py = ServerBank(speeds)
+        bounds = _chunks(n, seed)
+        for lo, hi in zip(bounds[:-1], bounds[1:]):
+            ct, cs, cg = times[lo:hi], sizes[lo:hi], targets[lo:hi]
+            out_c = bank_c.replay_window_grouped(cg, ct, cs)
+            # Arena views: copy before the python path reuses them.
+            out_c = tuple(a.copy() for a in out_c)
+            out_py = bank_py._replay_grouped_python(cg, ct, cs)
+            for got, want in zip(out_c, out_py):
+                assert np.array_equal(got, want)
+            assert np.array_equal(bank_c.free_at, bank_py.free_at)
+
+    def test_grouped_offsets_partition_jobs(self):
+        times, sizes, targets, speeds = _stream(7, 64, 4)
+        bank = ServerBank(speeds)
+        dep, svc, order, offsets = bank.replay_window_grouped(
+            targets, times, sizes
+        )
+        assert offsets[0] == 0 and offsets[-1] == times.size
+        for s in range(speeds.size):
+            group = order[offsets[s]:offsets[s + 1]]
+            assert np.all(targets[group] == s)
+            # Stable grouping: arrival order preserved within a server.
+            assert np.all(np.diff(group) > 0)
+
+    def test_out_of_range_target_rejected_without_state_damage(self):
+        times, sizes, targets, speeds = _stream(11, 32, 3)
+        bank = ServerBank(speeds)
+        bad = targets.copy()
+        bad[17] = 3
+        before = bank.free_at.copy()
+        with pytest.raises(ValueError, match="target out of range"):
+            bank.replay_window_grouped(bad, times, sizes)
+        assert np.array_equal(bank.free_at, before)
+
+
+# ---------------------------------------------------------------------------
+# Memoized dispatch slices
+# ---------------------------------------------------------------------------
+
+
+class TestSequenceRoundRobin:
+    @given(
+        seed=seed_strategy,
+        nservers=st.integers(min_value=1, max_value=5),
+        total=st.integers(min_value=0, max_value=400),
+    )
+    @settings(max_examples=100, deadline=None)
+    def test_chunked_slices_match_live_scan(self, seed, nservers, total):
+        rng = np.random.default_rng(seed)
+        alphas = rng.uniform(0.05, 1.0, nservers)
+        alphas = alphas / alphas.sum()
+
+        live = RoundRobinDispatcher()
+        live.reset(alphas)
+        want = live.select_batch(np.zeros(total))
+
+        fast = SequenceRoundRobin()
+        fast.reset(alphas)
+        got = []
+        bounds = _chunks(total, seed)
+        for lo, hi in zip(bounds[:-1], bounds[1:]):
+            got.append(fast.select_batch(np.zeros(hi - lo)))
+        got = np.concatenate(got) if got else np.empty(0, dtype=np.int64)
+        assert np.array_equal(want, got)
+
+    def test_state_round_trips_across_dispatcher_kinds(self):
+        alphas = np.array([0.5, 0.3, 0.2])
+        fast = SequenceRoundRobin()
+        fast.reset(alphas)
+        fast.select_batch(np.zeros(17))
+
+        # Sequence state adopted by the live dispatcher (checkpoint
+        # written by the fast path, resumed on the reference path) ...
+        live = RoundRobinDispatcher()
+        live.reset(alphas)
+        live.load_state(fast.state_dict())
+        # ... and live state adopted by the fast path.
+        fast2 = SequenceRoundRobin()
+        fast2.reset(alphas)
+        fast2.load_state(live.state_dict())
+
+        a = live.select_batch(np.zeros(23))
+        b = fast2.select_batch(np.zeros(23))
+        fast3 = SequenceRoundRobin()
+        fast3.reset(alphas)
+        fast3.select_batch(np.zeros(17))
+        want = fast3.select_batch(np.zeros(23))
+        assert np.array_equal(want, a)
+        assert np.array_equal(want, b)
+
+    def test_slice_prefix_property(self):
+        alphas = np.array([0.6, 0.25, 0.15])
+        whole = dispatch_sequence_slice(alphas, 0, 500)
+        again = np.concatenate([
+            dispatch_sequence_slice(alphas, 0, 123),
+            dispatch_sequence_slice(alphas, 123, 500),
+        ])
+        assert np.array_equal(whole, again)
+
+
+# ---------------------------------------------------------------------------
+# Vectorized admission gate
+# ---------------------------------------------------------------------------
+
+
+class TestAdmissionGateVectorized:
+    @given(
+        keep=st.floats(min_value=0.0, max_value=1.0),
+        counts=st.lists(
+            st.integers(min_value=0, max_value=200), min_size=1, max_size=12
+        ),
+    )
+    @settings(max_examples=200, deadline=None)
+    def test_matches_scalar_accumulator(self, keep, counts):
+        """Identical masks window after window; the carried accumulators
+        may differ in their last bits (closed form vs running sum — the
+        class docstring scopes the guarantee) but stay within the 1e-9
+        epsilon that keeps future masks aligned."""
+        vec = AdmissionGate()
+        ref = AdmissionGate()
+        for count in counts:
+            got = vec.admit_mask(count, keep)
+            want = ref.admit_mask_scalar(count, keep)
+            assert np.array_equal(want, got)
+            assert abs(vec._acc - ref._acc) < 1e-9
+
+    def test_exact_keep_fraction_over_many_windows(self):
+        gate = AdmissionGate()
+        admitted = sum(
+            int(gate.admit_mask(100, 0.7).sum()) for _ in range(10)
+        )
+        assert admitted == 700
+
+
+# ---------------------------------------------------------------------------
+# Batched estimator folds
+# ---------------------------------------------------------------------------
+
+
+class TestBatchedEstimators:
+    @given(seed=seed_strategy, n=st.integers(min_value=0, max_value=400))
+    @settings(max_examples=100, deadline=None)
+    def test_p2_batch_equals_sequential(self, seed, n):
+        xs = np.random.default_rng(seed).lognormal(0.0, 1.0, n)
+        for p in (0.5, 0.99):
+            batch, seq = P2Quantile(p), P2Quantile(p)
+            bounds = _chunks(n, seed)
+            for lo, hi in zip(bounds[:-1], bounds[1:]):
+                batch.update_batch(xs[lo:hi])
+            for x in xs:
+                seq.update(float(x))
+            assert batch.state_dict() == seq.state_dict()
+
+    @given(seed=seed_strategy, n=st.integers(min_value=0, max_value=300))
+    @settings(max_examples=100, deadline=None)
+    def test_ewma_batch_equals_sequential(self, seed, n):
+        xs = np.random.default_rng(seed).exponential(1.0, n)
+        batch, seq = EwmaEstimator(0.05), EwmaEstimator(0.05)
+        batch.update_batch(xs)
+        for x in xs:
+            seq.update(float(x))
+        assert batch.state_dict() == seq.state_dict()
+
+    @given(seed=seed_strategy, n=st.integers(min_value=0, max_value=300))
+    @settings(max_examples=100, deadline=None)
+    def test_rate_estimators_batch_equals_sequential(self, seed, n):
+        times = np.cumsum(np.random.default_rng(seed).exponential(0.3, n))
+        b1, s1 = EwmaRateEstimator(0.05), EwmaRateEstimator(0.05)
+        b2, s2 = WindowedRateEstimator(5.0), WindowedRateEstimator(5.0)
+        bounds = _chunks(n, seed)
+        for lo, hi in zip(bounds[:-1], bounds[1:]):
+            b1.observe_batch(times[lo:hi])
+            b2.observe_batch(times[lo:hi])
+        for t in times:
+            s1.observe(float(t))
+            s2.observe(float(t))
+        assert b1.state_dict() == s1.state_dict()
+        assert b2.state_dict() == s2.state_dict()
+
+
+# ---------------------------------------------------------------------------
+# The whole pipeline: vectorized window vs the per-job reference loop
+# ---------------------------------------------------------------------------
+
+
+def _service(reference: bool, *, seed=3, utilization=0.9, slo=None,
+             checkpoint=None, checkpoint_every=10, crash_after=None):
+    speeds = (1.0, 2.0, 3.0)
+    cfg = ServiceConfig(
+        speeds=speeds, duration=400.0, control_period=10.0,
+        slo_target=slo, min_responses_to_shed=30,
+    )
+    wl = Workload(
+        total_speed=sum(speeds), utilization=utilization,
+        size_distribution=distribution_from_mean_cv(1.0, 1.0),
+    )
+    return SchedulerService(
+        cfg, SyntheticJobSource(wl, seed), reference=reference,
+        checkpoint=checkpoint, checkpoint_every=checkpoint_every,
+        crash_after=crash_after,
+    )
+
+
+def _report_text(report) -> str:
+    # JSON text keeps NaN fields comparable (nan != nan under ==).
+    return json.dumps(report.as_dict(), sort_keys=True)
+
+
+class TestReferenceVsFast:
+    @pytest.mark.parametrize(
+        "utilization,slo",
+        [(0.5, None), (0.85, None), (0.9, 0.8)],
+        ids=["light", "loaded", "slo-shedding"],
+    )
+    def test_reports_field_for_field_identical(self, utilization, slo):
+        ref = _service(True, utilization=utilization, slo=slo).run()
+        fast = _service(False, utilization=utilization, slo=slo).run()
+        assert _report_text(ref) == _report_text(fast)
+        if slo is not None:
+            # The scenario must actually exercise the thinning branch.
+            assert fast.jobs_shed > 0
+
+    def test_resume_round_trip_on_fast_path(self, tmp_path):
+        """serve --resume on the vectorized path: crash mid-run, restore
+        from the checkpoint, and finish to a report identical to the
+        uninterrupted run's."""
+        full = _service(False).run()
+
+        ck = ServiceCheckpoint(tmp_path / "state.jsonl")
+        crashed = _service(
+            False, checkpoint=ck, checkpoint_every=5, crash_after=17
+        )
+        with pytest.raises(ServiceCrash):
+            crashed.run()
+
+        resumed_service = _service(False)
+        resumed_service.restore(ck.load_last())
+        resumed = resumed_service.run()
+        assert _report_text(full) == _report_text(resumed)
+
+
+# ---------------------------------------------------------------------------
+# Pending-retry heap
+# ---------------------------------------------------------------------------
+
+
+class TestPendingRetryHeap:
+    def test_bounce_orders_by_due_then_schedule(self):
+        svc = _service(False)
+        # Two distinct due times plus a tie: pops must come back sorted
+        # by due time with the tie broken by bounce order.
+        svc._bounce(10.0, 1.0, 5.0, 0)   # due 10 + delay
+        svc._bounce(2.0, 2.0, 6.0, 0)
+        svc._bounce(10.0, 3.0, 7.0, 0)   # same due as the first
+        popped = [heapq.heappop(svc._pending) for _ in range(3)]
+        assert [r[2] for r in popped] == [2.0, 1.0, 3.0]
+        assert popped[0][0] < popped[1][0] == popped[2][0]
+
+    def test_checkpoint_format_stays_four_field(self):
+        """The external checkpoint format predates the heap: 4-field
+        [due, origin, size, attempts] records in due order, no heap
+        internals — old checkpoints restore into the heap unchanged."""
+        svc = _service(False)
+        svc._bounce(10.0, 1.0, 5.0, 0)
+        svc._bounce(2.0, 2.0, 6.0, 0)
+        state = svc.state_dict(1, ServiceReport(config=svc.config))
+        pending = state["pending"]
+        assert all(len(r) == 4 for r in pending)
+        assert pending == sorted(pending)
+
+        other = _service(False)
+        other.restore(state)
+        assert sorted(other._pending) == sorted(
+            (r[0], i, r[1], r[2], r[3]) for i, r in enumerate(pending)
+        )
+        # Restored pops continue in the same order as the original heap.
+        a = [heapq.heappop(svc._pending)[2:] for _ in range(2)]
+        b = [heapq.heappop(other._pending)[2:] for _ in range(2)]
+        assert a == b
+
+
+# ---------------------------------------------------------------------------
+# Gate floor for the serve benchmark
+# ---------------------------------------------------------------------------
+
+
+class TestServeGateFloor:
+    def _record(self, speedup, backend):
+        return {
+            "scale": "quick",
+            "serve": {
+                "serve_speedup": speedup,
+                "report_identical": True,
+                "backend": backend,
+            },
+        }
+
+    def test_floor_fails_slow_compiled_serve(self):
+        result = check_gate(self._record(3.0, "c"), [])
+        assert not result.passed
+        assert any("serve" in f for f in result.failures)
+
+    def test_floor_passes_fast_compiled_serve(self):
+        assert check_gate(self._record(25.0, "c"), []).passed
+
+    def test_floor_skipped_on_python_fallback(self):
+        assert check_gate(self._record(1.1, "python"), []).passed
+
+    def test_identity_divergence_fails_any_backend(self):
+        record = self._record(25.0, "python")
+        record["serve"]["report_identical"] = False
+        result = check_gate(record, [])
+        assert not result.passed
