@@ -348,6 +348,15 @@ def build_parser() -> argparse.ArgumentParser:
              "enforced), recording jobs/sec and dispatch ns/job",
     )
     bench_p.add_argument(
+        "--net",
+        action="store_true",
+        help="also benchmark the networked dispatcher: in-process "
+             "transport vs SchedulerService (report bit-identity "
+             "enforced), then a socket-mode overload drill recording "
+             "sustained jobs/sec under backpressure and the dispatch "
+             "decision latency (ns/job, absolute ceiling enforced)",
+    )
+    bench_p.add_argument(
         "--gate",
         action="store_true",
         help="compare this record against the most recent same-scale "
@@ -1006,7 +1015,13 @@ def _cmd_bench(args) -> int:
       service run through the vectorized window loop vs the per-job
       reference loop on the same stream, asserting the two reports are
       field-for-field identical and recording end-to-end jobs/sec plus
-      the dispatch plane's ns/job (memoized Algorithm 2 slices).
+      the dispatch plane's ns/job (memoized Algorithm 2 slices);
+    * net (with ``--net``) — the networked dispatcher split: the
+      in-process transport must reproduce the SchedulerService report
+      byte-for-byte, a socket-mode overload drill must hold its
+      backpressure bounds while staying byte-identical, and the
+      dispatch decision latency must sit under an absolute ceiling —
+      all enforced before anything is appended.
 
     Every agreement gate (kernels vs loops, fast path vs engine, grid
     and cell sweeps vs serial, trace on vs off) must hold or the command
@@ -1547,6 +1562,97 @@ def _cmd_bench(args) -> int:
             "backend": "c" if ckernel.kernel_available() else "python",
         }
 
+    # --- net: client / orchestrator / server split --------------------
+    if args.net:
+        import asyncio
+
+        from .distributions.fitting import distribution_from_mean_cv
+        from .net.runtime import run_in_process, run_sockets
+        from .obs.gate import NET_DISPATCH_CEILING_NS
+        from .service.loop import SchedulerService, ServiceConfig
+        from .service.sources import SyntheticJobSource, Workload
+
+        net_speeds = (1.0, 2.0, 3.0, 4.0)
+        net_util = 0.85
+        net_jobs = {
+            "smoke": 20_000, "quick": 100_000, "paper": 400_000,
+        }[scale.name]
+        net_rate = net_util * sum(net_speeds)
+        net_duration = net_jobs / net_rate
+        net_cp = net_duration / 50.0
+        net_cfg = ServiceConfig(
+            speeds=net_speeds, duration=net_duration, control_period=net_cp,
+        )
+
+        def _net_source():
+            wl = Workload(
+                total_speed=sum(net_speeds), utilization=net_util,
+                size_distribution=distribution_from_mean_cv(1.0, 1.0),
+            )
+            return SyntheticJobSource(wl, 7)
+
+        # Simulation-vs-service equivalence: the in-process transport
+        # must reproduce the SchedulerService report byte for byte.
+        svc_report = SchedulerService(net_cfg, _net_source()).run()
+        inproc = run_in_process(net_cfg, _net_source())
+        net_identical = (
+            json.dumps(svc_report.as_dict(), sort_keys=True)
+            == json.dumps(inproc.report.as_dict(), sort_keys=True)
+        )
+        if not net_identical:
+            print("error: networked in-process run diverged from the "
+                  "SchedulerService report", file=sys.stderr)
+            return 1
+
+        # The overload drill: live sockets, client pushed 8 windows
+        # ahead of a 2-window orchestrator buffer — backpressure must
+        # hold the bounds and the report must still be byte-identical.
+        overload = asyncio.run(run_sockets(
+            net_cfg, _net_source(), max_inflight=8, queue_limit=2,
+        ))
+        overload_identical = (
+            json.dumps(svc_report.as_dict(), sort_keys=True)
+            == json.dumps(overload.report.as_dict(), sort_keys=True)
+        )
+        if not overload_identical:
+            print("error: socket-mode overload run diverged from the "
+                  "SchedulerService report", file=sys.stderr)
+            return 1
+        if overload.metrics.peak_submit_queue > 2:
+            print("error: orchestrator buffered "
+                  f"{overload.metrics.peak_submit_queue} windows past the "
+                  "2-window bound", file=sys.stderr)
+            return 1
+
+        net_dispatch_ns = inproc.metrics.dispatch_ns_per_job
+        record["net"] = {
+            "servers": len(net_speeds),
+            "utilization": net_util,
+            "jobs": inproc.metrics.jobs_dispatched,
+            "windows": inproc.metrics.windows,
+            "report_identical": net_identical,
+            "overload_report_identical": overload_identical,
+            "dispatch_ns_per_job": net_dispatch_ns,
+            "dispatch_ceiling_ns": NET_DISPATCH_CEILING_NS,
+            "inproc_s": inproc.metrics.wall_seconds,
+            "inproc_jobs_per_sec": inproc.metrics.jobs_per_sec,
+            "socket_s": overload.metrics.wall_seconds,
+            "jobs_per_sec": overload.metrics.jobs_per_sec,
+            "max_inflight": overload.metrics.max_inflight,
+            "peak_inflight": overload.metrics.peak_inflight,
+            "queue_limit": overload.metrics.queue_limit,
+            "peak_submit_queue": overload.metrics.peak_submit_queue,
+            "backend": "c" if ckernel.kernel_available() else "python",
+        }
+        # The latency gate: enforced before anything is appended, like
+        # every other agreement gate in this command.
+        if net_dispatch_ns > NET_DISPATCH_CEILING_NS:
+            print(f"error: dispatch decision latency "
+                  f"{net_dispatch_ns:.0f}ns/job exceeds the "
+                  f"{NET_DISPATCH_CEILING_NS:.0f}ns ceiling",
+                  file=sys.stderr)
+            return 1
+
     # --- gate, then append to the trajectory and summarize ------------
     trajectory: list = []
     try:
@@ -1639,6 +1745,18 @@ def _cmd_bench(args) -> int:
               f"{sv['dispatch_ns_per_job']:.0f}ns/job, "
               f"identical={sv['report_identical']}, "
               f"backend={sv['backend']})")
+    if "net" in record:
+        nv = record["net"]
+        print(f"  net         : inproc {nv['inproc_s']:.3f}s "
+              f"({nv['inproc_jobs_per_sec']:,.0f} jobs/s) -> sockets "
+              f"{nv['socket_s']:.3f}s ({nv['jobs_per_sec']:,.0f} jobs/s "
+              f"under overload), dispatch "
+              f"{nv['dispatch_ns_per_job']:.0f}ns/job "
+              f"(ceiling {nv['dispatch_ceiling_ns']:.0f}), "
+              f"identical={nv['report_identical']}/"
+              f"{nv['overload_report_identical']}, "
+              f"inflight {nv['peak_inflight']}/{nv['max_inflight']}, "
+              f"queue {nv['peak_submit_queue']}/{nv['queue_limit']}")
     if gate_summary is not None:
         print(gate_summary)
     print(f"trajectory point #{len(trajectory)} appended to {args.output}")

@@ -23,7 +23,11 @@ and the bounds to assert:
 * SLO scenarios: shedding engages *only* in windows whose predecessor
   closed with p99 above target (and does engage at least once);
 * crash/resume scenario: the resumed report equals the uninterrupted
-  run field for field.
+  run field for field;
+* net-kill scenario: a networked server stub is killed over real
+  sockets mid-run; the live report must equal the in-process
+  simulation byte for byte, and the forced membership resolve must
+  hand survivors exactly the failure-aware optimal fractions.
 
 The harness also cross-checks the ``service.jobs_lost`` /
 ``service.jobs_retried`` counters against the report's accounting, so
@@ -32,6 +36,7 @@ the observability layer is under the same gate as the control loop.
 
 from __future__ import annotations
 
+import asyncio
 import json
 import math
 import os
@@ -40,7 +45,9 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
+from ..faults.aware import survivor_fractions
 from ..faults.models import FaultConfig, FaultEvent, RetryPolicy
+from ..net import run_in_process, run_sockets
 from ..obs import counters
 from ..service import (
     SchedulerService,
@@ -82,6 +89,9 @@ class ChaosScenario:
     max_loss_rate: float = 0.0
     #: Assert the resume round trip instead of running once.
     crash_resume: bool = False
+    #: Run over the networked stack (real sockets vs in-process), with
+    #: the ``down`` events scripted as server-stub connection drops.
+    net_kill: bool = False
 
     def fault_events(self) -> list[FaultEvent]:
         return [FaultEvent(t, kind, srv) for t, kind, srv in self.events]
@@ -188,6 +198,16 @@ SCENARIOS: tuple[ChaosScenario, ...] = (
         faults=FaultConfig(mtbf=None, retry=RetryPolicy(base_delay=5.0)),
         max_loss_rate=0.02,
         crash_resume=True,
+    ),
+    ChaosScenario(
+        name="net-kill",
+        description="kill a socket server stub mid-run; live must match sim",
+        duration=2000.0,
+        utilization=0.6,
+        seed=21,
+        events=((1050.0, "down", 2),),
+        max_loss_rate=0.05,
+        net_kill=True,
     ),
 )
 
@@ -319,6 +339,73 @@ def _check_crash_resume(scenario: ChaosScenario, outcome: ChaosOutcome):
         os.unlink(path)
 
 
+def _check_net_kill(scenario: ChaosScenario, outcome: ChaosOutcome):
+    """Kill a server stub over real sockets; live must match simulation.
+
+    The scripted ``down`` events become stub crash scripts: a stub dies
+    at its first dispatch *after* the window preceding the event, so the
+    connection drop — and hence membership detection — lands inside the
+    window containing the event time on both transports.
+    """
+    cp = CONTROL_PERIOD
+    kill = {
+        srv: int(t // cp) - 1
+        for t, kind, srv in scenario.events
+        if kind == "down"
+    }
+    config = scenario.config()
+    sim = run_in_process(config, scenario.source(), kill=kill)
+    before = counters.snapshot()
+    live = asyncio.run(run_sockets(config, scenario.source(), kill=kill))
+    delta = counters.diff_since(before)
+    report = live.report
+    a = json.dumps(sim.report.as_dict(), sort_keys=True)
+    b = json.dumps(report.as_dict(), sort_keys=True)
+    if a != b:
+        outcome.violations.append(
+            "live socket report differs from the in-process run"
+        )
+    # Counter hygiene for the socket leg only (the sim leg above would
+    # double every ledger entry in the generic cross-check).
+    got = delta.get("service.jobs_lost", 0)
+    if int(got) != int(report.jobs_lost):
+        outcome.violations.append(
+            f"counter service.jobs_lost={got:g} disagrees with "
+            f"report value {report.jobs_lost}"
+        )
+    # The forced membership resolve must hand survivors exactly the
+    # failure-aware optimal fractions for the estimate it acted on.
+    up = np.ones(len(SPEEDS), dtype=bool)
+    for _, kind, srv in scenario.events:
+        if kind == "down":
+            up[srv] = False
+    decision = next(
+        (
+            d
+            for shard in live.decisions
+            for d in shard
+            if d.reason == "membership" and d.resolved
+        ),
+        None,
+    )
+    if decision is None or decision.estimate is None:
+        outcome.violations.append(
+            "no membership resolve with a usable estimate"
+        )
+    else:
+        expected = survivor_fractions(
+            decision.estimate.speeds,
+            up,
+            min(decision.estimate.utilization, config.rho_cap),
+        )
+        if expected is None or not np.array_equal(decision.alphas, expected):
+            outcome.violations.append(
+                "membership resolve alphas are not the failure-aware "
+                "optimal survivor fractions"
+            )
+    return report
+
+
 def run_chaos_extension(scale: Scale | str | None = None) -> ChaosResult:
     """Run every scenario; raise ``RuntimeError`` on any violated bound.
 
@@ -331,6 +418,8 @@ def run_chaos_extension(scale: Scale | str | None = None) -> ChaosResult:
         before = counters.snapshot()
         if scenario.crash_resume:
             report = _check_crash_resume(scenario, outcome)
+        elif scenario.net_kill:
+            report = _check_net_kill(scenario, outcome)
         else:
             report = _run_once(scenario).run()
         delta = counters.diff_since(before)
@@ -351,9 +440,10 @@ def run_chaos_extension(scale: Scale | str | None = None) -> ChaosResult:
         if scenario.slo_target is not None:
             _check_slo(scenario, report, outcome)
         # Counter hygiene: the observability ledger must agree with the
-        # report's own accounting (crash-resume runs several services,
-        # so only the single-run scenarios are cross-checked).
-        if not scenario.crash_resume:
+        # report's own accounting (crash-resume and net-kill run several
+        # services, so only the single-run scenarios are cross-checked
+        # here; net-kill checks its own socket leg).
+        if not (scenario.crash_resume or scenario.net_kill):
             for counter, expected in (
                 ("service.jobs_lost", report.jobs_lost),
                 ("service.jobs_retried", report.jobs_retried),

@@ -188,6 +188,7 @@ class FaultConfig:
         """
         kwargs: dict = {}
         retry_kwargs: dict = {}
+        seen: set[str] = set()
         for part in spec.split(","):
             part = part.strip()
             if not part:
@@ -198,6 +199,15 @@ class FaultConfig:
                     f"(valid keys: {', '.join(cls.PARSE_KEYS)})"
                 )
             key, value = (s.strip() for s in part.split("=", 1))
+            # A repeated key is almost always an editing mistake; taking
+            # the last occurrence silently would hide which of the two
+            # values the run actually used.
+            if key in seen:
+                raise ValueError(
+                    f"duplicate fault spec key {key!r} in {spec!r}; "
+                    "each key may appear once"
+                )
+            seen.add(key)
             if key in ("mtbf", "mttr", "degrade_rate", "degrade_duration",
                        "degrade_factor"):
                 kwargs[key] = float(value)

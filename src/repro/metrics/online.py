@@ -68,6 +68,7 @@ __all__ = [
     "P2Quantile",
     "WorkloadEstimate",
     "OnlineWorkloadEstimator",
+    "LatencyStats",
 ]
 
 
@@ -794,3 +795,53 @@ class OnlineWorkloadEstimator:
         self.arrivals_seen = int(state["arrivals_seen"])
         up = state["up"]
         self._up = None if up is None else np.asarray(up, dtype=bool)
+
+
+class LatencyStats:
+    """Streaming wall-clock latency accounting for the dispatch plane.
+
+    The networked orchestrator times each window's decision work
+    (estimator folds, admission mask, Algorithm 2 batch, partition) and
+    folds the measurement here: running mean/extremes over per-window
+    latencies plus streaming P² tail quantiles, and the job count the
+    time was spent on, so ``bench --net`` can report an amortized
+    ``dispatch_ns_per_job`` without keeping per-window samples.
+    """
+
+    __slots__ = ("windows", "jobs", "p50", "p99")
+
+    def __init__(self):
+        self.windows = RunningStats()
+        self.jobs = 0
+        self.p50 = P2Quantile(0.5)
+        self.p99 = P2Quantile(0.99)
+
+    def observe(self, seconds: float, jobs: int = 0) -> None:
+        """Fold one window's decision latency covering *jobs* jobs."""
+        if seconds < 0:
+            raise ValueError(f"latency must be >= 0, got {seconds}")
+        self.windows.add(float(seconds))
+        self.jobs += int(jobs)
+        self.p50.update(float(seconds))
+        self.p99.update(float(seconds))
+
+    @property
+    def total_seconds(self) -> float:
+        return self.windows.total
+
+    @property
+    def ns_per_job(self) -> float:
+        """Amortized decision cost; NaN before any jobs were decided."""
+        if self.jobs == 0:
+            return math.nan
+        return self.windows.total * 1e9 / self.jobs
+
+    def as_dict(self) -> dict:
+        return {
+            "windows": self.windows.count,
+            "jobs": self.jobs,
+            "total_seconds": self.total_seconds,
+            "ns_per_job": self.ns_per_job,
+            "window_p50_s": self.p50.value,
+            "window_p99_s": self.p99.value,
+        }

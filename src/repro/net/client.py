@@ -1,0 +1,110 @@
+"""Load-generator client: windows of arrivals, credit-based rate control.
+
+The client walks a :class:`~repro.service.sources.JobSource` one
+control window at a time with the exact call pattern of the in-process
+loop (``jobs_until(min((k+1)·cp, duration))``), so the source's RNG
+stream state — and therefore the offered stream — is identical between
+a networked run and a :class:`SchedulerService` run of the same seed.
+
+Rate control is a credit window: at most ``max_inflight`` submitted
+windows may be unacknowledged per shard; a RESOLVE returns the credit.
+``max_inflight = 1`` is the strict barrier mode the equivalence tests
+pin; the overload drill raises it to prove the orchestrator's bounded
+queue holds under a client pushing far ahead of the dispatch plane.
+
+With ``n_shards > 1`` each window's jobs are split by job-index
+interleave (job ``j`` goes to shard ``j mod S``) — deterministic, and
+load-balanced for any arrival pattern.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..service.sources import JobSource
+from .protocol import Resolve, Submit
+
+__all__ = ["LoadClient"]
+
+
+class LoadClient:
+    """Sans-IO window submitter over a job source."""
+
+    def __init__(
+        self,
+        source: JobSource,
+        duration: float,
+        control_period: float,
+        *,
+        n_shards: int = 1,
+        max_inflight: int = 1,
+    ):
+        if n_shards < 1:
+            raise ValueError(f"n_shards must be >= 1, got {n_shards}")
+        if max_inflight < 1:
+            raise ValueError(f"max_inflight must be >= 1, got {max_inflight}")
+        self.source = source
+        self.duration = float(duration)
+        self.control_period = float(control_period)
+        self.n_shards = int(n_shards)
+        self.max_inflight = int(max_inflight)
+        self.n_windows = int(np.ceil(self.duration / self.control_period))
+        self.next_window = 0
+        self.inflight = 0  # unacknowledged (window, shard) submits
+        self.peak_inflight = 0  # in windows, max over the run
+        self.acked_windows = 0
+        self.resolves: list[Resolve] = []
+        self._acks_pending: dict[int, int] = {}
+
+    @property
+    def done(self) -> bool:
+        return self.acked_windows >= self.n_windows
+
+    def can_submit(self) -> bool:
+        """Whether the credit window admits another submit right now."""
+        return (
+            self.next_window < self.n_windows
+            and len(self._acks_pending) < self.max_inflight
+        )
+
+    def next_submits(self) -> list[Submit] | None:
+        """Produce window ``next_window``'s SUBMIT per shard, or None.
+
+        Call only when :meth:`can_submit`; the transport awaits credit
+        otherwise.  Consumes the job source — call exactly once per
+        window, in order.
+        """
+        if self.next_window >= self.n_windows:
+            return None
+        k = self.next_window
+        end = min((k + 1) * self.control_period, self.duration)
+        times, sizes = self.source.jobs_until(end)
+        final = k == self.n_windows - 1
+        submits = []
+        for s in range(self.n_shards):
+            submits.append(
+                Submit(
+                    window=k,
+                    times=tuple(times[s::self.n_shards].tolist()),
+                    sizes=tuple(sizes[s::self.n_shards].tolist()),
+                    final=final,
+                )
+            )
+        self.next_window += 1
+        self._acks_pending[k] = self.n_shards
+        self.inflight = len(self._acks_pending)
+        self.peak_inflight = max(self.peak_inflight, self.inflight)
+        return submits
+
+    def handle_resolve(self, msg: Resolve) -> None:
+        """Bank one shard's RESOLVE; release the credit on the last."""
+        remaining = self._acks_pending.get(msg.window)
+        if remaining is None:
+            raise RuntimeError(f"RESOLVE for unsubmitted window {msg.window}")
+        self.resolves.append(msg)
+        if remaining == 1:
+            del self._acks_pending[msg.window]
+            self.acked_windows += 1
+        else:
+            self._acks_pending[msg.window] = remaining - 1
+        self.inflight = len(self._acks_pending)

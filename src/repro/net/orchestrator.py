@@ -1,0 +1,396 @@
+"""Orchestrator shard: Algorithm 2 dispatch over a message boundary.
+
+One shard owns a subset of the server pool and runs exactly the brain
+of :class:`~repro.service.loop.SchedulerService` — online estimators,
+admission gate, memoized Algorithm 2 sequence, quasi-static re-solve —
+with the window *replay* moved behind DISPATCH/COMPLETE messages to
+server stubs.  The shard is sans-IO: handlers map one inbound message
+to outbound messages, and both transports (deterministic in-process
+loop, asyncio sockets) drive the same code.
+
+**Equivalence contract.**  For a fault-free run the shard reproduces
+``SchedulerService._run_window`` float-op for float-op:
+
+* SUBMIT processing runs ``observe_arrivals → admit_mask →
+  select_batch`` and partitions admitted jobs with the same stable
+  argsort + searchsorted the grouped replay uses;
+* each stub replays its slice with the identical per-server Lindley
+  recursion (:func:`~repro.service.replay.lindley_window`);
+* COMPLETE replies are folded in server-index order behind a per-window
+  barrier: per-server witness slices concatenated in server order equal
+  the in-process ``wit[order]`` bit-for-bit (elementwise division
+  commutes with the permutation), and departures are scattered back to
+  arrival order before the response means — numpy's pairwise summation
+  makes the reduction order part of the contract;
+* ``resolve(end)`` runs only after the barrier, exactly once per
+  window, so estimator state at every boundary matches the serial loop.
+
+Windows are processed strictly in order, one at a time — SUBMITs queue
+in the transport while a window is in flight (that queue, plus the
+client's credit window, is the backpressure story).  The dispatch
+*decision* stays O(jobs) vectorized work per window; its wall-clock
+cost is tracked per window in ``decision_latency`` and surfaced by
+``repro bench --net`` as ``dispatch_ns_per_job``.
+
+**Membership.**  A dead stub is detected by connection EOF (primary)
+or heartbeat staleness (fallback); its pending slice is counted lost
+(``on_failure="lose"`` semantics — the networked layer has no retry
+path yet), the controller's failure detector is informed, and the next
+boundary re-solve redistributes over the survivors via FA_ORR.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..dispatch.round_robin import SequenceRoundRobin
+from ..metrics.online import LatencyStats
+from ..obs import counters
+from ..service.controller import AdmissionGate, ControlDecision
+from ..service.loop import ServiceConfig, ServiceReport, WindowRecord, build_controller
+from .protocol import (
+    Complete,
+    Dispatch,
+    Heartbeat,
+    Resolve,
+    Submit,
+)
+
+__all__ = ["OrchestratorShard", "shard_config"]
+
+
+def shard_config(config: ServiceConfig, shard: int, n_shards: int) -> ServiceConfig:
+    """The per-shard config: servers partitioned round-robin.
+
+    Shard ``s`` of ``S`` owns global servers ``s, s+S, s+2S, ...`` —
+    local index ``i`` is global ``s + i*S``.  Every other knob is
+    inherited unchanged.
+    """
+    import dataclasses
+
+    if not 0 <= shard < n_shards:
+        raise ValueError(f"shard {shard} out of range for {n_shards} shards")
+    speeds = tuple(config.speeds[shard::n_shards])
+    if not speeds:
+        raise ValueError(
+            f"shard {shard} of {n_shards} owns no servers "
+            f"(pool has {len(config.speeds)})"
+        )
+    return dataclasses.replace(config, speeds=speeds)
+
+
+@dataclass
+class _WindowState:
+    """One in-flight window awaiting its COMPLETE barrier."""
+
+    window: int
+    start: float
+    end: float
+    offered: int
+    shed: int
+    adm_times: np.ndarray
+    adm_sizes: np.ndarray
+    order: np.ndarray
+    bounds: np.ndarray
+    final: bool
+    expected: set[int] = field(default_factory=set)
+    replies: dict[int, Complete] = field(default_factory=dict)
+    lost: int = 0
+
+
+class OrchestratorShard:
+    """Sans-IO dispatch brain for one shard of the pool."""
+
+    def __init__(self, config: ServiceConfig, *, shard_id: int = 0):
+        self.config = config
+        self.shard_id = int(shard_id)
+        self.n = len(config.speeds)
+        self.controller = build_controller(config)
+        self.gate = AdmissionGate()
+        self.dispatcher = SequenceRoundRobin()
+        self.dispatcher.reset(self.controller.alphas)
+        self.report = ServiceReport(config=config)
+        self.up = np.ones(self.n, dtype=bool)
+        self.decisions: list[ControlDecision] = []
+        self.decision_latency = LatencyStats()
+        self.last_heartbeat: dict[int, float] = {}
+        self.windows_done = 0
+        self.finished = False
+        self._pending: _WindowState | None = None
+
+    @property
+    def busy(self) -> bool:
+        """Whether a window is in flight (awaiting its barrier)."""
+        return self._pending is not None
+
+    @property
+    def awaiting(self) -> set[int]:
+        """Servers whose COMPLETE the in-flight window still awaits."""
+        return set(self._pending.expected) if self._pending else set()
+
+    # ------------------------------------------------------------------
+    # Inbound handlers
+    # ------------------------------------------------------------------
+
+    def handle_submit(
+        self, msg: Submit
+    ) -> tuple[list[Dispatch], Resolve | None]:
+        """Open window *msg.window*: decide placements, cut dispatches.
+
+        Returns the per-server DISPATCH fan-out and — for a window with
+        no live targets — the immediate RESOLVE.  Exactly the decision
+        plane of ``SchedulerService._run_window`` up to the replay call.
+        """
+        if self._pending is not None:
+            raise RuntimeError(
+                f"window {self._pending.window} still in flight; the "
+                "transport must serialize submits"
+            )
+        if self.finished:
+            raise RuntimeError("shard already finalized")
+        k = msg.window
+        cp = self.config.control_period
+        start = k * cp
+        end = min((k + 1) * cp, self.config.duration)
+        times = np.asarray(msg.times, dtype=float)
+        sizes = np.asarray(msg.sizes, dtype=float)
+
+        t0 = time.perf_counter()
+        controller = self.controller
+        controller.observe_arrivals(times, sizes)
+        keep = 1.0 - controller.shed_fraction
+        mask = self.gate.admit_mask(times.size, keep)
+        if mask.all():
+            adm_times = times
+            adm_sizes = sizes
+        else:
+            adm_times = times[mask]
+            adm_sizes = sizes[mask]
+        targets = self.dispatcher.select_batch(adm_sizes)
+        # Same stable group-by-server partition as the grouped replay.
+        order = np.argsort(targets, kind="stable")
+        sorted_targets = targets[order]
+        bounds = np.searchsorted(sorted_targets, np.arange(self.n + 1))
+        self.decision_latency.observe(
+            time.perf_counter() - t0, jobs=int(adm_times.size)
+        )
+
+        shed = int(times.size - adm_times.size)
+        counters.inc("service.jobs_dispatched", value=int(adm_times.size))
+        if shed:
+            counters.inc("service.jobs_shed", value=shed)
+
+        state = _WindowState(
+            window=k,
+            start=start,
+            end=end,
+            offered=int(times.size),
+            shed=shed,
+            adm_times=adm_times,
+            adm_sizes=adm_sizes,
+            order=order,
+            bounds=bounds,
+            final=msg.final,
+        )
+        dispatches: list[Dispatch] = []
+        for i in range(self.n):
+            idx = order[bounds[i]:bounds[i + 1]]
+            if idx.size == 0:
+                continue
+            if not self.up[i]:
+                state.lost += int(idx.size)
+                continue
+            state.expected.add(i)
+            dispatches.append(
+                Dispatch(
+                    window=k,
+                    server=i,
+                    times=tuple(adm_times[idx].tolist()),
+                    sizes=tuple(adm_sizes[idx].tolist()),
+                )
+            )
+        self._pending = state
+        resolve = None
+        if not state.expected:
+            resolve = self._finalize_window()
+        return dispatches, resolve
+
+    def handle_complete(self, msg: Complete) -> Resolve | None:
+        """Bank one stub's reply; close the window when all are in."""
+        state = self._pending
+        if state is None or msg.window != state.window:
+            raise RuntimeError(
+                f"unexpected COMPLETE for window {msg.window} "
+                f"(pending: {None if state is None else state.window})"
+            )
+        if msg.server not in state.expected:
+            raise RuntimeError(
+                f"COMPLETE from server {msg.server} not awaited in "
+                f"window {msg.window}"
+            )
+        state.expected.discard(msg.server)
+        state.replies[msg.server] = msg
+        if state.expected:
+            return None
+        return self._finalize_window()
+
+    def handle_heartbeat(self, msg: Heartbeat) -> None:
+        self.last_heartbeat[msg.server] = time.monotonic()
+
+    def handle_server_down(self, server: int) -> Resolve | None:
+        """Failure-detector input: *server* is gone (EOF or timeout).
+
+        Marks it down for the controller's next boundary re-solve and
+        converts its pending slice — if any — to losses; returns the
+        RESOLVE when this completes the in-flight window's barrier.
+        """
+        if not 0 <= server < self.n:
+            raise ValueError(f"server {server} out of range")
+        if not self.up[server]:
+            return None
+        self.up[server] = False
+        state = self._pending
+        now = state.end if state is not None else self.windows_done * \
+            self.config.control_period
+        self.controller.mark_server_down(server, now)
+        counters.inc("net.server_down")
+        if state is not None and server in state.expected:
+            lo, hi = state.bounds[server], state.bounds[server + 1]
+            state.lost += int(hi - lo)
+            state.expected.discard(server)
+            if not state.expected:
+                return self._finalize_window()
+        return None
+
+    # ------------------------------------------------------------------
+    # Window close-out
+    # ------------------------------------------------------------------
+
+    def _finalize_window(self) -> Resolve:
+        """Fold replies, close the estimator window, emit the RESOLVE.
+
+        Fault-free (``lost == 0``) folding is bit-identical to the
+        in-process loop; with losses the surviving slices are folded in
+        server-index order with compacted offsets (lost jobs produce no
+        witnesses and no response samples).
+        """
+        state = self._pending
+        assert state is not None
+        self._pending = None
+        controller = self.controller
+        n_adm = int(state.adm_times.size)
+        completed = n_adm - state.lost
+
+        if state.lost == 0 and n_adm:
+            # Grouped arrays reassembled exactly as the replay emits
+            # them: per-server slices concatenated in server order.
+            svc_g = np.empty(n_adm)
+            dep_g = np.empty(n_adm)
+            for i, reply in sorted(state.replies.items()):
+                lo, hi = state.bounds[i], state.bounds[i + 1]
+                svc_g[lo:hi] = reply.service_times
+                dep_g[lo:hi] = reply.departures
+            sizes_g = state.adm_sizes[state.order]
+            witg = sizes_g / svc_g
+            controller.observe_services_grouped(witg, state.bounds)
+            departures = np.empty(n_adm)
+            departures[state.order] = dep_g
+            response = departures - state.adm_times
+            mrt = float(response.mean())
+            ratio = float((response / state.adm_sizes).mean())
+            controller.observe_responses(response)
+        elif completed > 0:
+            # Kill path: fold survivors only, server-grouped order.
+            svc_parts = []
+            resp_parts = []
+            witnesses = np.empty(completed)
+            offsets = np.zeros(self.n + 1, dtype=np.int64)
+            pos = 0
+            for i in range(self.n):
+                reply = state.replies.get(i)
+                if reply is None:
+                    offsets[i + 1] = pos
+                    continue
+                lo, hi = state.bounds[i], state.bounds[i + 1]
+                idx = state.order[lo:hi]
+                svc = np.asarray(reply.service_times)
+                dep = np.asarray(reply.departures)
+                witnesses[pos:pos + idx.size] = state.adm_sizes[idx] / svc
+                svc_parts.append(state.adm_sizes[idx])
+                resp_parts.append(dep - state.adm_times[idx])
+                pos += int(idx.size)
+                offsets[i + 1] = pos
+            controller.observe_services_grouped(witnesses, offsets)
+            resp = np.concatenate(resp_parts)
+            sizes_c = np.concatenate(svc_parts)
+            mrt = float(resp.mean())
+            ratio = float((resp / sizes_c).mean())
+            controller.observe_responses(resp)
+        else:
+            mrt = float("nan")
+            ratio = float("nan")
+
+        if state.lost:
+            counters.inc("service.jobs_lost", value=int(state.lost))
+
+        decision = controller.resolve(state.end)
+        if decision.swapped:
+            self.dispatcher = SequenceRoundRobin()
+            self.dispatcher.reset(decision.alphas)
+        self.decisions.append(decision)
+
+        estimate = decision.estimate
+        report = self.report
+        report.windows.append(
+            WindowRecord(
+                start=state.start,
+                end=state.end,
+                offered=state.offered,
+                admitted=n_adm,
+                shed=state.shed,
+                mean_response_time=mrt,
+                mean_response_ratio=ratio,
+                lambda_hat=(estimate.arrival_rate if estimate else float("nan")),
+                rho_hat=(estimate.utilization if estimate else float("nan")),
+                swapped=decision.swapped,
+                alphas=decision.alphas,
+                p50=decision.window_p50,
+                p99=decision.window_p99,
+                completed=completed,
+                lost=state.lost,
+                servers_up=int(self.up.sum()),
+                reason=decision.reason,
+            )
+        )
+        report.jobs_offered += state.offered
+        report.jobs_dispatched += n_adm
+        report.jobs_shed += state.shed
+        report.jobs_lost += state.lost
+        self.windows_done += 1
+        if state.final:
+            self._finalize_report()
+        return Resolve(
+            window=state.window,
+            alphas=tuple(float(a) for a in decision.alphas),
+            swapped=decision.swapped,
+            reason=decision.reason,
+            offered=state.offered,
+            admitted=n_adm,
+            shed=state.shed,
+            lost=state.lost,
+            final=state.final,
+        )
+
+    def _finalize_report(self) -> None:
+        report = self.report
+        controller = self.controller
+        report.swaps = controller.swaps
+        report.resolves = controller.resolves
+        report.membership_changes = controller.membership_events
+        report.p50 = controller.p50.value
+        report.p99 = controller.p99.value
+        report.clean_shutdown = True
+        self.finished = True

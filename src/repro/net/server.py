@@ -1,0 +1,102 @@
+"""Server stub: replays dispatched window slices, reports completions.
+
+One stub models one machine of the pool.  It owns exactly the state a
+real FCFS worker needs across windows — the time it frees up — and
+replays each DISPATCH slice with :func:`repro.service.replay.lindley_window`,
+the same per-server recursion the in-process :class:`ServerBank` runs
+(bit-identical, by construction).  Everything else (membership,
+estimation, allocation) lives in the orchestrator; the stub is
+deliberately dumb so the equivalence argument stays small.
+
+The stub is sans-IO: :meth:`handle_message` maps one inbound message to
+a list of outbound messages.  The socket runtime wraps it in a
+connect-and-loop coroutine; the in-process transport calls it directly.
+
+``die_after_window`` scripts the chaos drill: after replying to that
+window the stub "crashes" (drops its connection / refuses further
+dispatches), which the orchestrator must detect within one control
+period.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..service.replay import lindley_window
+from .protocol import Complete, Dispatch, Heartbeat, Message, Shutdown
+
+__all__ = ["ServerStub", "ServerDead"]
+
+
+class ServerDead(RuntimeError):
+    """Raised when a dispatch reaches a stub past its scripted death."""
+
+
+class ServerStub:
+    """Per-server FCFS replay worker with carried backlog."""
+
+    def __init__(
+        self,
+        server_id: int,
+        speed: float,
+        *,
+        die_after_window: int | None = None,
+    ):
+        if speed <= 0:
+            raise ValueError(f"speed must be positive, got {speed}")
+        self.server_id = int(server_id)
+        self.speed = float(speed)
+        self.free_at = 0.0
+        self.windows_replayed = 0
+        self.jobs_replayed = 0
+        self.die_after_window = die_after_window
+
+    def dead_at(self, window: int) -> bool:
+        """Whether the scripted crash has happened before *window*."""
+        return (
+            self.die_after_window is not None
+            and window > self.die_after_window
+        )
+
+    def register(self) -> Heartbeat:
+        """The hello beacon sent on connect (window = -1)."""
+        return Heartbeat(server=self.server_id, window=-1, free_at=self.free_at)
+
+    def handle_dispatch(self, msg: Dispatch) -> list[Message]:
+        """Replay one window slice; answer COMPLETE + HEARTBEAT."""
+        if msg.server != self.server_id:
+            raise ValueError(
+                f"dispatch for server {msg.server} reached stub {self.server_id}"
+            )
+        if self.dead_at(msg.window):
+            raise ServerDead(
+                f"server {self.server_id} died after window {self.die_after_window}"
+            )
+        times = np.asarray(msg.times, dtype=float)
+        sizes = np.asarray(msg.sizes, dtype=float)
+        dep, svc, self.free_at = lindley_window(
+            times, sizes, self.speed, self.free_at
+        )
+        self.windows_replayed += 1
+        self.jobs_replayed += int(times.size)
+        return [
+            Complete(
+                window=msg.window,
+                server=self.server_id,
+                departures=tuple(dep.tolist()),
+                service_times=tuple(svc.tolist()),
+            ),
+            Heartbeat(
+                server=self.server_id,
+                window=msg.window,
+                free_at=self.free_at,
+            ),
+        ]
+
+    def handle_message(self, msg: Message) -> list[Message]:
+        """Sans-IO entry point: one inbound message → outbound replies."""
+        if isinstance(msg, Dispatch):
+            return self.handle_dispatch(msg)
+        if isinstance(msg, Shutdown):
+            return []
+        raise ValueError(f"server stub cannot handle {type(msg).__name__}")

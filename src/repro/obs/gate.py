@@ -27,7 +27,12 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import List, Optional
 
-__all__ = ["GateResult", "check_gate", "DEFAULT_THRESHOLD"]
+__all__ = [
+    "GateResult",
+    "check_gate",
+    "DEFAULT_THRESHOLD",
+    "NET_DISPATCH_CEILING_NS",
+]
 
 #: ">20% slowdown" from the issue spec.
 DEFAULT_THRESHOLD = 0.20
@@ -52,6 +57,8 @@ _IDENTITY_FLAGS = (
     "telemetry.trace_identical",
     "kernels.fcfs_bit_identical",
     "serve.report_identical",
+    "net.report_identical",
+    "net.overload_report_identical",
 )
 
 #: Absolute ratio floors enforced per scale, independent of any baseline:
@@ -66,6 +73,21 @@ _FLOORS = (
      None),
     ("serve.serve_speedup", "quick", 5.0, "vectorized serve loop vs reference",
      ("serve.backend", "c")),
+)
+
+#: Ceiling on the networked dispatch-decision latency, in ns per job.
+#: Deliberately generous — the decision plane runs a few vectorized
+#: folds per window, so even a slow shared runner sits an order of
+#: magnitude under it; breaching it means per-job Python crept back
+#: into the hot path.  ``bench --net`` enforces it inline (nothing is
+#: appended on a breach) and the gate re-checks recorded values.
+NET_DISPATCH_CEILING_NS = 25_000.0
+
+#: Absolute ceilings on latency-like metrics: (dotted path, scale name
+#: or None for all scales, maximum value, description, guard).
+_CEILINGS = (
+    ("net.dispatch_ns_per_job", None, NET_DISPATCH_CEILING_NS,
+     "networked dispatch decision latency per job (ns)", None),
 )
 
 
@@ -137,6 +159,20 @@ def check_gate(
             result.failures.append(
                 f"{label} ({path}): {value:.2f}x below the "
                 f"{minimum:.1f}x floor at scale {scale!r}"
+            )
+
+    # Absolute ceilings: same shape as floors, opposite direction.
+    for path, scale, maximum, label, guard in _CEILINGS:
+        if scale is not None and record.get("scale") != scale:
+            continue
+        if guard is not None and _lookup(record, guard[0]) != guard[1]:
+            continue
+        value = _lookup(record, path)
+        if isinstance(value, (int, float)) and value > maximum:
+            result.passed = False
+            result.failures.append(
+                f"{label} ({path}): {value:.0f} above the "
+                f"{maximum:.0f} ceiling"
             )
 
     baseline = find_baseline(history, record)

@@ -80,7 +80,30 @@ __all__ = [
     "ServiceReport",
     "SchedulerService",
     "ServiceCrash",
+    "build_controller",
 ]
+
+
+def build_controller(config: "ServiceConfig") -> QuasiStaticController:
+    """The controller a service run gets from its config.
+
+    Shared by :class:`SchedulerService` and the networked orchestrator
+    shards (:mod:`repro.net.orchestrator`) so the two stacks can never
+    drift apart in how config knobs map to controller parameters —
+    a prerequisite for the sim-vs-live equivalence guarantee.
+    """
+    return QuasiStaticController(
+        np.asarray(config.speeds, dtype=float),
+        window=config.window,
+        ewma_weight=config.ewma_weight,
+        shed_threshold=config.shed_threshold,
+        rho_cap=config.rho_cap,
+        swap_tolerance=config.swap_tolerance,
+        min_arrivals_to_shed=config.min_arrivals_to_shed,
+        slo_target=config.slo_target,
+        min_responses_to_shed=config.min_responses_to_shed,
+        max_shed_fraction=config.max_shed_fraction,
+    )
 
 
 class ServiceCrash(RuntimeError):
@@ -370,18 +393,7 @@ class SchedulerService:
     ):
         self.config = config
         self.source = source
-        self.controller = controller or QuasiStaticController(
-            np.asarray(config.speeds, dtype=float),
-            window=config.window,
-            ewma_weight=config.ewma_weight,
-            shed_threshold=config.shed_threshold,
-            rho_cap=config.rho_cap,
-            swap_tolerance=config.swap_tolerance,
-            min_arrivals_to_shed=config.min_arrivals_to_shed,
-            slo_target=config.slo_target,
-            min_responses_to_shed=config.min_responses_to_shed,
-            max_shed_fraction=config.max_shed_fraction,
-        )
+        self.controller = controller or build_controller(config)
         self.reference = bool(reference)
         self.bank = ServerBank(config.speeds)
         self.gate = AdmissionGate()

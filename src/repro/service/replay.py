@@ -43,10 +43,30 @@ import numpy as np
 
 from ..sim import ckernel
 
-__all__ = ["ServerBank"]
+__all__ = ["ServerBank", "lindley_window"]
 
 #: In-flight record layout: [origin, size, svc, dep, attempts].
 _ORIGIN, _SIZE, _SVC, _DEP, _ATTEMPTS = range(5)
+
+
+def lindley_window(
+    times: np.ndarray, sizes: np.ndarray, speed: float, free_at: float
+) -> tuple[np.ndarray, np.ndarray, float]:
+    """One server's FCFS Lindley recursion over one window slice.
+
+    Returns ``(departures, service_times, new_free_at)`` for jobs
+    arriving at *times* with demands *sizes* on a server of *speed*
+    that frees up at *free_at*.  This is the exact float-op sequence of
+    the per-server body of :meth:`ServerBank._replay_grouped_python`
+    (proven bit-identical to the compiled sweep), factored out so the
+    networked server stubs replay windows with the very same bits the
+    in-process bank produces.
+    """
+    svc = sizes / speed
+    cum = np.cumsum(svc)
+    starts = times - (cum - svc)
+    dep = cum + np.maximum(np.maximum.accumulate(starts), free_at)
+    return dep, svc, float(dep[-1]) if dep.size else float(free_at)
 
 
 class ServerBank:
@@ -161,13 +181,11 @@ class ServerBank:
             idx = order[bounds[i]:bounds[i + 1]]
             if idx.size == 0:
                 continue
-            svc = sizes[idx] / self.speeds[i]
-            cum = np.cumsum(svc)
-            starts = times[idx] - (cum - svc)
-            dep = cum + np.maximum(np.maximum.accumulate(starts), self.free_at[i])
+            dep, svc, self.free_at[i] = lindley_window(
+                times[idx], sizes[idx], self.speeds[i], self.free_at[i]
+            )
             departures[idx] = dep
             service_times[idx] = svc
-            self.free_at[i] = dep[-1]
         order_out = a.i64("window.order", n)
         np.copyto(order_out, order)
         offsets = a.i64("window.offsets", self.n + 1)

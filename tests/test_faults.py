@@ -56,6 +56,22 @@ class TestFaultConfig:
             FaultConfig.parse("mtbf")
         assert "mttr" in str(excinfo.value)
 
+    def test_parse_rejects_duplicate_key(self):
+        with pytest.raises(ValueError, match="duplicate") as excinfo:
+            FaultConfig.parse("mtbf=500,mtbf=600")
+        assert "mtbf" in str(excinfo.value)
+
+    def test_parse_rejects_duplicate_retry_key(self):
+        # Retry knobs route to a nested RetryPolicy; the duplicate check
+        # must still see them as one flat namespace.
+        with pytest.raises(ValueError, match="duplicate"):
+            FaultConfig.parse("base_delay=1,base_delay=2")
+
+    def test_parse_accepts_each_key_once(self):
+        fc = FaultConfig.parse("mtbf=500,mttr=50,base_delay=1,backoff=3")
+        assert fc.mtbf == 500.0
+        assert fc.retry.backoff == 3.0
+
     def test_retry_delay_is_bounded(self):
         rp = RetryPolicy(base_delay=1.0, backoff=2.0, max_delay=5.0)
         delays = [rp.delay(k) for k in range(10)]

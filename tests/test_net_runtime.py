@@ -1,0 +1,143 @@
+"""Runtime drills for the networked dispatcher: kills and backpressure.
+
+The chaos-facing half of the net test suite: a server stub killed
+mid-run must be detected within one control period, survivors must get
+exactly the failure-aware optimal fractions, and the socket transport
+must report the *same bytes* as the in-process simulation even for the
+kill runs — the crash script is deterministic (drop the connection at
+the first dispatch after the scripted window), so fault-injected runs
+are regression-gated too, not just fault-free ones.
+"""
+
+import asyncio
+import json
+
+import numpy as np
+
+from repro.distributions import distribution_from_mean_cv
+from repro.experiments.extension_chaos import SCENARIOS
+from repro.faults.aware import survivor_fractions
+from repro.net import run_in_process, run_sockets
+from repro.obs import counters
+from repro.service import ServiceConfig, SyntheticJobSource
+from repro.sim.arrivals import Workload
+
+SPEEDS = (1.0, 2.0, 3.0, 2.0)
+CONTROL_PERIOD = 100.0
+
+
+def make_config(**kw):
+    kw.setdefault("speeds", SPEEDS)
+    kw.setdefault("duration", 2000.0)
+    kw.setdefault("control_period", CONTROL_PERIOD)
+    return ServiceConfig(**kw)
+
+
+def make_source(rho=0.6, seed=21):
+    workload = Workload(
+        total_speed=sum(SPEEDS),
+        utilization=rho,
+        size_distribution=distribution_from_mean_cv(1.0, 1.0),
+    )
+    return SyntheticJobSource(workload, seed)
+
+
+def report_bytes(report) -> str:
+    return json.dumps(report.as_dict(), sort_keys=True)
+
+
+# Kill server 2 at its first dispatch after window 9 — the failure
+# "happens" inside window 10 (t in (1000, 1100]) on both transports.
+KILL = {2: 9}
+KILL_WINDOW_END = 1100.0
+
+
+class TestNetKill:
+    def test_socket_kill_matches_in_process_kill_byte_for_byte(self):
+        config = make_config()
+        sim = run_in_process(config, make_source(), kill=KILL)
+        live = asyncio.run(run_sockets(config, make_source(), kill=KILL))
+        assert report_bytes(live.report) == report_bytes(sim.report)
+
+    def test_detection_lands_within_one_control_period(self):
+        config = make_config()
+        net = run_in_process(config, make_source(), kill=KILL)
+        report = net.report
+        assert report.membership_changes == 1
+        assert report.clean_shutdown
+        boundary = [w for w in report.windows if w.end == KILL_WINDOW_END]
+        assert len(boundary) == 1
+        assert boundary[0].reason == "membership"
+        assert boundary[0].alphas[2] == 0.0
+        # Every later window keeps the dead server at zero share.
+        for w in report.windows:
+            if w.end > KILL_WINDOW_END:
+                assert w.alphas[2] == 0.0
+
+    def test_survivors_get_failure_aware_optimal_fractions(self):
+        config = make_config()
+        net = run_in_process(config, make_source(), kill=KILL)
+        decision = next(
+            d
+            for shard in net.decisions
+            for d in shard
+            if d.reason == "membership" and d.resolved
+        )
+        up = np.array([True, True, False, True])
+        expected = survivor_fractions(
+            decision.estimate.speeds,
+            up,
+            min(decision.estimate.utilization, config.rho_cap),
+        )
+        np.testing.assert_array_equal(decision.alphas, expected)
+
+    def test_in_flight_jobs_on_the_dead_server_are_counted_lost(self):
+        config = make_config()
+        before = counters.snapshot()
+        net = run_in_process(config, make_source(), kill=KILL)
+        delta = counters.diff_since(before)
+        report = net.report
+        assert report.jobs_lost > 0
+        assert report.jobs_offered == (
+            report.jobs_dispatched + report.jobs_shed
+        )
+        window_lost = sum(w.lost for w in report.windows)
+        assert window_lost == report.jobs_lost
+        assert int(delta.get("service.jobs_lost", 0)) == report.jobs_lost
+        assert int(delta.get("net.server_down", 0)) == 1
+
+    def test_chaos_roster_includes_the_net_kill_drill(self):
+        names = {s.name for s in SCENARIOS}
+        assert "net-kill" in names
+        scenario = next(s for s in SCENARIOS if s.name == "net-kill")
+        assert scenario.net_kill
+        assert any(kind == "down" for _, kind, _ in scenario.events)
+
+
+class TestBackpressure:
+    def test_client_pipeline_saturates_and_queue_bound_holds(self):
+        config = make_config(duration=1000.0)
+        live = asyncio.run(
+            run_sockets(
+                config, make_source(), max_inflight=6, queue_limit=2
+            )
+        )
+        m = live.metrics
+        assert m.transport == "sockets"
+        assert m.max_inflight == 6
+        assert m.peak_inflight == 6  # the client pipeline filled up
+        assert m.queue_limit == 2
+        assert m.peak_submit_queue <= 2  # the orchestrator bound held
+        assert live.report.clean_shutdown
+
+    def test_default_flow_control_is_stop_and_wait(self):
+        config = make_config(duration=500.0)
+        live = asyncio.run(run_sockets(config, make_source()))
+        assert live.metrics.peak_inflight == 1
+        assert live.report.clean_shutdown
+
+    def test_heartbeats_are_recorded_per_server(self):
+        config = make_config(duration=500.0)
+        net = run_in_process(config, make_source())
+        shard = net.shards[0]
+        assert set(shard.last_heartbeat) == set(range(len(SPEEDS)))

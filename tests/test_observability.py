@@ -505,6 +505,39 @@ class TestGate:
         faster = _record(fcfs=100.0, ts="t1")
         assert check_gate(faster, [base]).passed
 
+    def test_net_dispatch_ceiling_fails_when_breached(self):
+        from repro.obs.gate import NET_DISPATCH_CEILING_NS
+
+        record = _record(ts="t1")
+        record["net"] = {
+            "report_identical": True,
+            "overload_report_identical": True,
+            "dispatch_ns_per_job": NET_DISPATCH_CEILING_NS * 2,
+        }
+        result = check_gate(record, [])
+        assert not result.passed
+        assert any("dispatch" in f and "ceiling" in f for f in result.failures)
+
+    def test_net_dispatch_under_ceiling_passes_at_every_scale(self):
+        # Scale None in the ceiling table means "every scale" — unlike
+        # floors, which pin one scale each.
+        for scale in ("smoke", "quick", "paper"):
+            record = _record(scale=scale, ts="t1")
+            record["cell"]["cell_speedup"] = 2.5  # stay above the quick floor
+            record["net"] = {"dispatch_ns_per_job": 1000.0}
+            assert check_gate(record, []).passed
+
+    def test_net_identity_flags_are_enforced(self):
+        record = _record(ts="t1")
+        record["net"] = {
+            "report_identical": True,
+            "overload_report_identical": False,
+            "dispatch_ns_per_job": 1000.0,
+        }
+        result = check_gate(record, [])
+        assert not result.passed
+        assert any("overload_report_identical" in f for f in result.failures)
+
 
 # ----------------------------------------------------------------------
 # Digests

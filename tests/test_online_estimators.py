@@ -15,6 +15,7 @@ import pytest
 from repro.metrics.online import (
     EwmaEstimator,
     EwmaRateEstimator,
+    LatencyStats,
     OnlineWorkloadEstimator,
     P2Quantile,
     ServerSpeedEstimator,
@@ -348,3 +349,45 @@ def test_estimator_state_round_trip_continues_identically():
     assert sa.arrival_rate == sb.arrival_rate
     assert sa.utilization == sb.utilization
     assert np.array_equal(sa.speeds, sb.speeds)
+
+
+# ---------------------------------------------------------------------------
+# LatencyStats (dispatch-plane wall-clock accounting)
+# ---------------------------------------------------------------------------
+
+
+def test_latency_stats_amortizes_over_jobs():
+    ls = LatencyStats()
+    ls.observe(0.002, jobs=100)
+    ls.observe(0.001, jobs=50)
+    assert ls.windows.count == 2
+    assert ls.jobs == 150
+    assert ls.total_seconds == pytest.approx(0.003)
+    assert ls.ns_per_job == pytest.approx(0.003 * 1e9 / 150)
+
+
+def test_latency_stats_empty_is_nan_not_zero():
+    ls = LatencyStats()
+    assert math.isnan(ls.ns_per_job)
+    ls.observe(0.5, jobs=0)  # an empty window costs time but covers no jobs
+    assert math.isnan(ls.ns_per_job)
+    assert ls.total_seconds == 0.5
+
+
+def test_latency_stats_rejects_negative_time():
+    ls = LatencyStats()
+    with pytest.raises(ValueError):
+        ls.observe(-1e-9, jobs=1)
+
+
+def test_latency_stats_as_dict_is_json_ready():
+    import json
+
+    ls = LatencyStats()
+    for k in range(20):
+        ls.observe(0.001 * (k + 1), jobs=10)
+    d = ls.as_dict()
+    json.dumps(d)  # must not raise
+    assert d["windows"] == 20
+    assert d["jobs"] == 200
+    assert d["window_p50_s"] <= d["window_p99_s"]
