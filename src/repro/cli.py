@@ -1019,9 +1019,12 @@ def _cmd_bench(args) -> int:
     * net (with ``--net``) — the networked dispatcher split: the
       in-process transport must reproduce the SchedulerService report
       byte-for-byte, a socket-mode overload drill must hold its
-      backpressure bounds while staying byte-identical, and the
-      dispatch decision latency must sit under an absolute ceiling —
-      all enforced before anything is appended.
+      backpressure bounds while staying byte-identical, a rebalanced
+      overload drill over an imbalanced 2-shard pool must show the
+      capacity-aware router shedding nothing where the legacy even
+      split sheds, a kill+rejoin drill must stay byte-identical across
+      transports, and the dispatch decision latency must sit under an
+      absolute ceiling — all enforced before anything is appended.
 
     Every agreement gate (kernels vs loops, fast path vs engine, grid
     and cell sweeps vs serial, trace on vs off) must hold or the command
@@ -1624,6 +1627,70 @@ def _cmd_bench(args) -> int:
                   "2-window bound", file=sys.stderr)
             return 1
 
+        # The rebalanced overload drill: an imbalanced 2-shard pool
+        # (shard 0 owns 3 units of speed, shard 1 owns 9) at a load the
+        # full bank carries easily.  The legacy even split halves the
+        # stream and overloads the slow shard into shedding; the
+        # capacity-aware router must shed nothing — and its socket run
+        # must still match the in-process run byte for byte.
+        bal_speeds = (1.0, 4.0, 2.0, 5.0)
+        bal_util = 0.6
+        bal_duration = net_jobs / (bal_util * sum(bal_speeds))
+        bal_cfg = ServiceConfig(
+            speeds=bal_speeds, duration=bal_duration,
+            control_period=bal_duration / 50.0,
+        )
+
+        def _bal_source():
+            wl = Workload(
+                total_speed=sum(bal_speeds), utilization=bal_util,
+                size_distribution=distribution_from_mean_cv(1.0, 1.0),
+            )
+            return SyntheticJobSource(wl, 7)
+
+        bal_even = run_in_process(
+            bal_cfg, _bal_source(), n_shards=2, split="even")
+        bal_cap = run_in_process(
+            bal_cfg, _bal_source(), n_shards=2, split="capacity")
+        bal_live = asyncio.run(run_sockets(
+            bal_cfg, _bal_source(), n_shards=2, split="capacity"))
+        even_split_shed = bal_even.metrics.jobs_shed
+        balanced_no_shed = (
+            bal_cap.metrics.jobs_shed == 0 and even_split_shed > 0
+        )
+        if not balanced_no_shed:
+            print("error: capacity-aware split shed "
+                  f"{bal_cap.metrics.jobs_shed} jobs (even split: "
+                  f"{even_split_shed}) — rebalancing is broken",
+                  file=sys.stderr)
+            return 1
+        balanced_identical = all(
+            json.dumps(a.as_dict(), sort_keys=True)
+            == json.dumps(b.as_dict(), sort_keys=True)
+            for a, b in zip(bal_cap.reports, bal_live.reports)
+        )
+        if not balanced_identical:
+            print("error: capacity-split socket run diverged from the "
+                  "in-process run", file=sys.stderr)
+            return 1
+
+        # The rejoin drill: kill the fastest server mid-run, restart it
+        # five windows later — both transports must agree byte for byte
+        # through the whole death/rejoin membership cycle.
+        rj_kill, rj_rejoin = {3: 9}, {3: 14}
+        rj_sim = run_in_process(
+            net_cfg, _net_source(), kill=rj_kill, rejoin=rj_rejoin)
+        rj_live = asyncio.run(run_sockets(
+            net_cfg, _net_source(), kill=rj_kill, rejoin=rj_rejoin))
+        rejoin_identical = (
+            json.dumps(rj_sim.report.as_dict(), sort_keys=True)
+            == json.dumps(rj_live.report.as_dict(), sort_keys=True)
+        )
+        if not rejoin_identical:
+            print("error: socket-mode kill+rejoin run diverged from the "
+                  "in-process run", file=sys.stderr)
+            return 1
+
         net_dispatch_ns = inproc.metrics.dispatch_ns_per_job
         record["net"] = {
             "servers": len(net_speeds),
@@ -1632,12 +1699,17 @@ def _cmd_bench(args) -> int:
             "windows": inproc.metrics.windows,
             "report_identical": net_identical,
             "overload_report_identical": overload_identical,
+            "rejoin_report_identical": rejoin_identical,
+            "balanced_no_shed": balanced_no_shed,
+            "even_split_shed": even_split_shed,
             "dispatch_ns_per_job": net_dispatch_ns,
             "dispatch_ceiling_ns": NET_DISPATCH_CEILING_NS,
             "inproc_s": inproc.metrics.wall_seconds,
             "inproc_jobs_per_sec": inproc.metrics.jobs_per_sec,
             "socket_s": overload.metrics.wall_seconds,
             "jobs_per_sec": overload.metrics.jobs_per_sec,
+            "rtt_p50_s": overload.metrics.rtt_p50_s,
+            "rtt_p99_s": overload.metrics.rtt_p99_s,
             "max_inflight": overload.metrics.max_inflight,
             "peak_inflight": overload.metrics.peak_inflight,
             "queue_limit": overload.metrics.queue_limit,
@@ -1752,9 +1824,12 @@ def _cmd_bench(args) -> int:
               f"{nv['socket_s']:.3f}s ({nv['jobs_per_sec']:,.0f} jobs/s "
               f"under overload), dispatch "
               f"{nv['dispatch_ns_per_job']:.0f}ns/job "
-              f"(ceiling {nv['dispatch_ceiling_ns']:.0f}), "
+              f"(ceiling {nv['dispatch_ceiling_ns']:.0f}), rtt p50/p99 "
+              f"{nv['rtt_p50_s'] * 1e3:.1f}/{nv['rtt_p99_s'] * 1e3:.1f}ms, "
               f"identical={nv['report_identical']}/"
-              f"{nv['overload_report_identical']}, "
+              f"{nv['overload_report_identical']}/"
+              f"{nv['rejoin_report_identical']}, "
+              f"rebalance sheds 0 vs {nv['even_split_shed']} even, "
               f"inflight {nv['peak_inflight']}/{nv['max_inflight']}, "
               f"queue {nv['peak_submit_queue']}/{nv['queue_limit']}")
     if gate_summary is not None:

@@ -27,7 +27,13 @@ and the bounds to assert:
 * net-kill scenario: a networked server stub is killed over real
   sockets mid-run; the live report must equal the in-process
   simulation byte for byte, and the forced membership resolve must
-  hand survivors exactly the failure-aware optimal fractions.
+  hand survivors exactly the failure-aware optimal fractions;
+* net-rejoin scenario: the killed stub restarts, re-registers, and is
+  folded back into membership at a scripted window boundary — the
+  rejoin resolve must restore the full-bank optimal fractions within
+  one control period with the rejoined server at its *nominal* speed
+  (warm-up guard), no window after the rejoin may lose a job, and the
+  live kill+rejoin run must still match the simulation byte for byte.
 
 The harness also cross-checks the ``service.jobs_lost`` /
 ``service.jobs_retried`` counters against the report's accounting, so
@@ -92,6 +98,9 @@ class ChaosScenario:
     #: Run over the networked stack (real sockets vs in-process), with
     #: the ``down`` events scripted as server-stub connection drops.
     net_kill: bool = False
+    #: Networked kill *and* repair: ``up`` events script restarted stubs
+    #: that re-register for the window containing the event time.
+    net_rejoin: bool = False
 
     def fault_events(self) -> list[FaultEvent]:
         return [FaultEvent(t, kind, srv) for t, kind, srv in self.events]
@@ -208,6 +217,16 @@ SCENARIOS: tuple[ChaosScenario, ...] = (
         events=((1050.0, "down", 2),),
         max_loss_rate=0.05,
         net_kill=True,
+    ),
+    ChaosScenario(
+        name="net-rejoin",
+        description="kill a socket stub, restart it, fold it back in",
+        duration=2000.0,
+        utilization=0.6,
+        seed=23,
+        events=((1050.0, "down", 2), (1450.0, "up", 2)),
+        max_loss_rate=0.08,
+        net_rejoin=True,
     ),
 )
 
@@ -406,6 +425,114 @@ def _check_net_kill(scenario: ChaosScenario, outcome: ChaosOutcome):
     return report
 
 
+def _check_net_rejoin(scenario: ChaosScenario, outcome: ChaosOutcome):
+    """Kill a stub, restart it, and assert the repair path end to end.
+
+    ``down`` events script connection drops exactly as in
+    :func:`_check_net_kill`; ``up`` events script restarted stubs that
+    re-register for the window containing the event time, which the
+    orchestrator folds back into membership at that window's boundary.
+    Asserted on top of the generic kill bounds: the kill+rejoin run is
+    byte-identical between transports, the rejoin resolve restores the
+    full-bank failure-aware optimum with the rejoined server at its
+    *nominal* speed (the warm-up guard discards the stale pre-crash
+    estimate), and no window starting at or after the rejoin boundary
+    loses a job.
+    """
+    cp = CONTROL_PERIOD
+    kill = {
+        srv: int(t // cp) - 1
+        for t, kind, srv in scenario.events
+        if kind == "down"
+    }
+    rejoin = {
+        srv: int(t // cp)
+        for t, kind, srv in scenario.events
+        if kind == "up"
+    }
+    config = scenario.config()
+    sim = run_in_process(config, scenario.source(), kill=kill, rejoin=rejoin)
+    before = counters.snapshot()
+    live = asyncio.run(
+        run_sockets(config, scenario.source(), kill=kill, rejoin=rejoin)
+    )
+    delta = counters.diff_since(before)
+    report = live.report
+    a = json.dumps(sim.report.as_dict(), sort_keys=True)
+    b = json.dumps(report.as_dict(), sort_keys=True)
+    if a != b:
+        outcome.violations.append(
+            "live kill+rejoin report differs from the in-process run"
+        )
+    for counter, expected in (
+        ("service.jobs_lost", report.jobs_lost),
+        ("net.server_down", len(kill)),
+        ("net.server_rejoin", len(rejoin)),
+    ):
+        got = delta.get(counter, 0)
+        if int(got) != int(expected):
+            outcome.violations.append(
+                f"counter {counter}={got:g} disagrees with "
+                f"expected value {expected}"
+            )
+    # The rejoin resolve: first membership decision that hands the
+    # repaired server a share again.  It must be the full-bank optimum
+    # for the estimate it acted on, with the rejoined server back at
+    # nominal speed, and must land within one period of the repair.
+    nominal = np.asarray(SPEEDS, dtype=float)
+    all_up = np.ones(len(SPEEDS), dtype=bool)
+    for t, kind, srv in scenario.events:
+        if kind != "up":
+            continue
+        decision = next(
+            (
+                d
+                for shard in live.decisions
+                for d in shard
+                if d.reason == "membership" and d.resolved
+                and d.alphas[srv] > 0.0
+            ),
+            None,
+        )
+        if decision is None or decision.estimate is None:
+            outcome.violations.append(
+                f"server {srv} rejoined but no membership resolve "
+                "restored its share"
+            )
+            continue
+        if float(decision.estimate.speeds[srv]) != float(nominal[srv]):
+            outcome.violations.append(
+                f"rejoined server {srv} re-entered at speed "
+                f"{decision.estimate.speeds[srv]:g}, not its nominal "
+                f"{nominal[srv]:g} (warm-up guard broken)"
+            )
+        expected = survivor_fractions(
+            decision.estimate.speeds,
+            all_up,
+            min(decision.estimate.utilization, config.rho_cap),
+        )
+        if expected is None or not np.array_equal(decision.alphas, expected):
+            outcome.violations.append(
+                "rejoin resolve alphas are not the full-bank "
+                "failure-aware optimal fractions"
+            )
+        restored = [
+            w for w in report.windows if w.end > t and w.alphas[srv] > 0.0
+        ]
+        if not restored or (restored[0].end - t) / cp > 1.0:
+            outcome.violations.append(
+                f"rejoin at {t:g}: share not restored within one "
+                "control period"
+            )
+    boundary = min(w * cp for w in rejoin.values())
+    late_lost = sum(w.lost for w in report.windows if w.start >= boundary)
+    if late_lost:
+        outcome.violations.append(
+            f"{late_lost} jobs lost after the rejoin boundary"
+        )
+    return report
+
+
 def run_chaos_extension(scale: Scale | str | None = None) -> ChaosResult:
     """Run every scenario; raise ``RuntimeError`` on any violated bound.
 
@@ -420,6 +547,8 @@ def run_chaos_extension(scale: Scale | str | None = None) -> ChaosResult:
             report = _check_crash_resume(scenario, outcome)
         elif scenario.net_kill:
             report = _check_net_kill(scenario, outcome)
+        elif scenario.net_rejoin:
+            report = _check_net_rejoin(scenario, outcome)
         else:
             report = _run_once(scenario).run()
         delta = counters.diff_since(before)
@@ -440,10 +569,11 @@ def run_chaos_extension(scale: Scale | str | None = None) -> ChaosResult:
         if scenario.slo_target is not None:
             _check_slo(scenario, report, outcome)
         # Counter hygiene: the observability ledger must agree with the
-        # report's own accounting (crash-resume and net-kill run several
-        # services, so only the single-run scenarios are cross-checked
-        # here; net-kill checks its own socket leg).
-        if not (scenario.crash_resume or scenario.net_kill):
+        # report's own accounting (crash-resume and the net scenarios
+        # run several services, so only the single-run scenarios are
+        # cross-checked here; the net drills check their own socket leg).
+        if not (scenario.crash_resume or scenario.net_kill
+                or scenario.net_rejoin):
             for counter, expected in (
                 ("service.jobs_lost", report.jobs_lost),
                 ("service.jobs_retried", report.jobs_retried),

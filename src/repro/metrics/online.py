@@ -433,6 +433,15 @@ class ServerSpeedEstimator:
         for e in self._ewmas:
             e.reset()
 
+    def reset_server(self, server: int) -> None:
+        """Forget one server's witnesses — it reports nominal again.
+
+        The rejoin warm-up guard: a restarted server's pre-crash EWMA
+        is stale state, so it re-enters the solver at nominal speed
+        until fresh completions arrive.
+        """
+        self._ewmas[server].reset()
+
     def observe(self, server: int, size: float, service_time: float) -> None:
         if service_time <= 0.0:
             raise ValueError(f"service_time must be positive, got {service_time}")

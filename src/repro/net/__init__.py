@@ -11,7 +11,7 @@ loop bit-comparable to :class:`~repro.service.loop.SchedulerService`,
 and asyncio TCP sockets.
 """
 
-from .client import LoadClient
+from .client import CapacityRouter, LoadClient
 from .orchestrator import OrchestratorShard, shard_config
 from .protocol import (
     PROTOCOL_VERSION,
@@ -20,6 +20,7 @@ from .protocol import (
     Heartbeat,
     Message,
     ProtocolError,
+    Register,
     Resolve,
     Shutdown,
     Submit,
@@ -38,6 +39,7 @@ __all__ = [
     "Dispatch",
     "Complete",
     "Heartbeat",
+    "Register",
     "Resolve",
     "Shutdown",
     "Message",
@@ -47,6 +49,7 @@ __all__ = [
     "decode",
     "pack",
     "unpack",
+    "CapacityRouter",
     "LoadClient",
     "OrchestratorShard",
     "shard_config",

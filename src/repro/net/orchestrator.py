@@ -36,7 +36,20 @@ cost is tracked per window in ``decision_latency`` and surfaced by
 or heartbeat staleness (fallback); its pending slice is counted lost
 (``on_failure="lose"`` semantics — the networked layer has no retry
 path yet), the controller's failure detector is informed, and the next
-boundary re-solve redistributes over the survivors via FA_ORR.
+boundary re-solve redistributes over the survivors via FA_ORR.  The
+repair mirror: a restarted stub reconnects and sends a REGISTER naming
+its rejoin window; the shard parks it (*registering*) and folds it back
+into membership when that window's SUBMIT arrives — deferring to the
+window boundary makes the rejoin land identically on both transports
+regardless of when the REGISTER raced in.  Folding in runs
+``mark_server_up`` with fresh estimates (*warming*: the server's speed
+EWMA is reset so it re-enters at its nominal speed rather than a stale
+pre-crash estimate), which dirties membership and forces the
+out-of-band re-solve back to the full-bank optimum at the same
+boundary.  Every RESOLVE publishes the shard's live capacity (sum of
+nominal speeds of its up servers) for the client's capacity-aware
+router, so both membership edges — kill and rejoin — reshape the
+cross-shard split.
 """
 
 from __future__ import annotations
@@ -55,6 +68,7 @@ from .protocol import (
     Complete,
     Dispatch,
     Heartbeat,
+    Register,
     Resolve,
     Submit,
 )
@@ -120,6 +134,9 @@ class OrchestratorShard:
         self.windows_done = 0
         self.finished = False
         self._pending: _WindowState | None = None
+        #: Parked rejoins: server → its REGISTER, applied at the
+        #: boundary of the window the registration names.
+        self._rejoins: dict[int, Register] = {}
 
     @property
     def busy(self) -> bool:
@@ -152,6 +169,8 @@ class OrchestratorShard:
         if self.finished:
             raise RuntimeError("shard already finalized")
         k = msg.window
+        if self._rejoins:
+            self._apply_rejoins(k)
         cp = self.config.control_period
         start = k * cp
         end = min((k + 1) * cp, self.config.duration)
@@ -239,6 +258,62 @@ class OrchestratorShard:
 
     def handle_heartbeat(self, msg: Heartbeat) -> None:
         self.last_heartbeat[msg.server] = time.monotonic()
+
+    def handle_register(self, msg: Register) -> None:
+        """A stub announced itself: record it, park a rejoin if down.
+
+        The initial hello (server already up) just refreshes the
+        heartbeat registry.  A registration for a *down* server is the
+        rejoin path: it is parked and folded into membership when the
+        SUBMIT for ``msg.window`` arrives, so the membership edge lands
+        at a deterministic window boundary on both transports no matter
+        when the reconnection raced in.
+        """
+        if not 0 <= msg.server < self.n:
+            raise ValueError(f"server {msg.server} out of range")
+        nominal = float(self.config.speeds[msg.server])
+        if float(msg.speed) != nominal:
+            raise RuntimeError(
+                f"server {msg.server} registered speed {msg.speed!r}, "
+                f"config says {nominal!r} — speed vectors drifted between "
+                "components"
+            )
+        self.last_heartbeat[msg.server] = time.monotonic()
+        if self.up[msg.server]:
+            return
+        self._rejoins[msg.server] = msg
+        counters.inc("net.server_register", state="parked")
+
+    def _apply_rejoins(self, window: int) -> None:
+        """Fold parked rejoins due at *window* back into membership.
+
+        The repair mirror of :meth:`handle_server_down`: flip the
+        shard-local up mask, then ``mark_server_up`` with fresh
+        estimates — the warm-up guard resets the server's speed EWMA so
+        it re-enters at nominal speed (a restarted process has no
+        backlog and its pre-crash throughput is stale) — which dirties
+        membership and forces the out-of-band full-bank re-solve at
+        this window's boundary.
+        """
+        start = window * self.config.control_period
+        for server in sorted(self._rejoins):
+            if self._rejoins[server].window <= window:
+                del self._rejoins[server]
+                self.up[server] = True
+                self.controller.mark_server_up(
+                    server, start, fresh_estimates=True
+                )
+                counters.inc("net.server_rejoin")
+
+    def live_capacity(self) -> float:
+        """The shard's live capacity: nominal speeds of its up servers.
+
+        Published on every RESOLVE for the client's capacity-aware
+        router; moves only on membership edges.
+        """
+        return float(
+            np.asarray(self.config.speeds, dtype=float)[self.up].sum()
+        )
 
     def handle_server_down(self, server: int) -> Resolve | None:
         """Failure-detector input: *server* is gone (EOF or timeout).
@@ -382,6 +457,7 @@ class OrchestratorShard:
             shed=state.shed,
             lost=state.lost,
             final=state.final,
+            capacity=self.live_capacity(),
         )
 
     def _finalize_report(self) -> None:

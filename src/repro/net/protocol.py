@@ -1,12 +1,15 @@
 """Versioned wire protocol of the networked dispatcher service.
 
-Six message types flow between the three components (see DESIGN.md
-§11): the load client SUBMITs one control window of arrivals to an
-orchestrator shard, the shard DISPATCHes per-server slices to its
-server stubs, each stub answers with a COMPLETE (departure and service
-times) plus a HEARTBEAT, and the shard closes the window with a
-RESOLVE back to the client — which doubles as the client's flow-control
-credit.  SHUTDOWN tears a connection down cleanly in either direction.
+Seven message types flow between the three components (see DESIGN.md
+§11): a server stub announces itself with a REGISTER (on first connect
+and again when a restarted stub rejoins), the load client SUBMITs one
+control window of arrivals to an orchestrator shard, the shard
+DISPATCHes per-server slices to its server stubs, each stub answers
+with a COMPLETE (departure and service times) plus a HEARTBEAT, and the
+shard closes the window with a RESOLVE back to the client — which
+doubles as the client's flow-control credit and publishes the shard's
+live capacity for the client's weighted router.  SHUTDOWN tears a
+connection down cleanly in either direction.
 
 The encoding is JSON (floats round-trip exactly through ``repr``, so
 the live-socket mode stays bit-comparable to the in-process mode) in
@@ -38,6 +41,7 @@ __all__ = [
     "MAX_FRAME_BYTES",
     "ProtocolError",
     "VersionMismatch",
+    "Register",
     "Submit",
     "Dispatch",
     "Complete",
@@ -54,7 +58,9 @@ __all__ = [
 ]
 
 #: Bump on any incompatible schema change; peers reject a mismatch.
-PROTOCOL_VERSION = 1
+#: v2 added the REGISTER message (server rejoin) and the RESOLVE
+#: ``capacity`` field (capacity-aware shard routing).
+PROTOCOL_VERSION = 2
 
 #: Upper bound on one frame's payload — a length prefix beyond this is
 #: treated as stream corruption, not an allocation request.
@@ -69,6 +75,28 @@ class ProtocolError(ValueError):
 
 class VersionMismatch(ProtocolError):
     """Peer speaks a different protocol version — refuse, don't guess."""
+
+
+@dataclass(frozen=True)
+class Register:
+    """Server stub → orchestrator: hello / re-registration.
+
+    Sent as the first message on every stub connection.  ``window`` is
+    the first window the stub is live for — 0 on the initial connect; a
+    restarted stub announces the window it rejoins at, and the
+    orchestrator folds it back into membership at that window boundary
+    (deterministic on both transports regardless of socket timing).
+    ``incarnation`` counts restarts so a rejoin is distinguishable from
+    a duplicate hello; ``speed`` is the stub's nominal speed, which the
+    orchestrator validates against its config — a drifted speed vector
+    between components would silently corrupt the solver.
+    """
+
+    type: ClassVar[str] = "register"
+    server: int
+    speed: float
+    window: int = 0
+    incarnation: int = 0
 
 
 @dataclass(frozen=True)
@@ -134,6 +162,10 @@ class Resolve:
 
     Acknowledges the window (returning one flow-control credit to the
     client) and reports the boundary decision for observability.
+    ``capacity`` publishes the shard's live capacity — the sum of
+    nominal speeds of its currently-up servers — which the client's
+    capacity-aware router folds into its shard weights; it moves only
+    on membership edges.
     """
 
     type: ClassVar[str] = "resolve"
@@ -146,6 +178,7 @@ class Resolve:
     shed: int
     lost: int = 0
     final: bool = False
+    capacity: float = 0.0
 
 
 @dataclass(frozen=True)
@@ -156,11 +189,15 @@ class Shutdown:
     reason: str = ""
 
 
-Message = Submit | Dispatch | Complete | Heartbeat | Resolve | Shutdown
+Message = (
+    Register | Submit | Dispatch | Complete | Heartbeat | Resolve | Shutdown
+)
 
 _TYPES: dict[str, type] = {
     cls.type: cls
-    for cls in (Submit, Dispatch, Complete, Heartbeat, Resolve, Shutdown)
+    for cls in (
+        Register, Submit, Dispatch, Complete, Heartbeat, Resolve, Shutdown
+    )
 }
 
 #: Fields that carry float sequences — normalized to tuples on decode
@@ -225,7 +262,8 @@ def pack(msg: Message) -> bytes:
     body = json.dumps(encode(msg), separators=(",", ":")).encode("utf-8")
     if len(body) > MAX_FRAME_BYTES:
         raise ProtocolError(
-            f"frame of {len(body)} bytes exceeds the {MAX_FRAME_BYTES}-byte cap"
+            f"refusing to pack {msg.type!r} message: frame of "
+            f"{len(body)} bytes exceeds the {MAX_FRAME_BYTES}-byte cap"
         )
     return _LEN.pack(len(body)) + body
 
@@ -269,8 +307,12 @@ async def read_message(reader) -> Message | None:
         ) from exc
     (length,) = _LEN.unpack(header)
     if length > MAX_FRAME_BYTES:
+        # The type is undecodable before the payload is read, so the
+        # refusal names everything the header gives us: the offending
+        # length and the cap it breached.
         raise ProtocolError(
-            f"frame length {length} exceeds the {MAX_FRAME_BYTES}-byte cap"
+            f"refusing frame: length prefix {length} bytes exceeds the "
+            f"{MAX_FRAME_BYTES}-byte cap (stream corrupt or hostile peer)"
         )
     try:
         body = await reader.readexactly(length)

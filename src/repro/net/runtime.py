@@ -24,10 +24,23 @@ the orchestrator's buffer bound, and produce the identical report.
 
 **Failure detection.**  Connection EOF is the primary detector (a dead
 stub's socket closes); a ``reply_timeout`` on the window barrier is the
-heartbeat-staleness fallback.  A scripted kill (``kill={server: k}``)
-makes the stub drop its connection at the first dispatch after window
-``k`` — both transports detect it during window ``k+1``, so kill drills
-are deterministic and transport-agnostic.
+heartbeat-staleness fallback — when it fires, the shard is marked
+suspect and a ``net.heartbeat_stale{shard}`` counter records the event
+before the stuck servers are presumed dead.  A scripted kill
+(``kill={server: k}``) makes the stub drop its connection at the first
+dispatch after window ``k`` — both transports detect it during window
+``k+1``, so kill drills are deterministic and transport-agnostic.  A
+scripted hang (``hang={server: k}``, socket mode only) keeps the
+connection open but swallows dispatches, exercising the staleness path.
+
+**Rejoin.**  ``rejoin={server: w}`` scripts the repair mirror: once the
+orchestrator has observed the death, a *fresh* stub (incarnation 1,
+empty backlog) reconnects and REGISTERs for window ``w``; the shard
+parks the registration and folds the server back into membership at
+window ``w``'s boundary, so rejoin drills are window-deterministic on
+both transports exactly like kills.  Schedule ``w`` at least two
+windows after the death lands so the REGISTER always beats the
+boundary on the socket transport.
 """
 
 from __future__ import annotations
@@ -37,6 +50,7 @@ import time
 from collections import deque
 from dataclasses import dataclass
 
+from ..obs import counters
 from ..service.loop import ServiceConfig, ServiceReport
 from ..service.sources import JobSource
 from .client import LoadClient
@@ -44,9 +58,9 @@ from .orchestrator import OrchestratorShard, shard_config
 from .protocol import (
     Complete,
     Dispatch,
-    Heartbeat,
     Message,
     ProtocolError,
+    Register,
     Resolve,
     Shutdown,
     Submit,
@@ -79,6 +93,12 @@ class NetMetrics:
     dispatch_ns_per_job: float
     peak_inflight: int
     peak_submit_queue: int
+    #: Client-side RESOLVE round-trip latency (per shard ack), seconds.
+    rtt_p50_s: float = float("nan")
+    rtt_p99_s: float = float("nan")
+    #: Heartbeat-staleness fallback firings and shards marked suspect.
+    stale_timeouts: int = 0
+    suspect_shards: int = 0
 
     def as_dict(self) -> dict:
         return {
@@ -97,6 +117,10 @@ class NetMetrics:
             "dispatch_ns_per_job": self.dispatch_ns_per_job,
             "peak_inflight": self.peak_inflight,
             "peak_submit_queue": self.peak_submit_queue,
+            "rtt_p50_s": self.rtt_p50_s,
+            "rtt_p99_s": self.rtt_p99_s,
+            "stale_timeouts": self.stale_timeouts,
+            "suspect_shards": self.suspect_shards,
         }
 
 
@@ -131,17 +155,35 @@ def _build_shards(
 
 
 def _build_stubs(
-    config: ServiceConfig, n_shards: int, kill: dict[int, int] | None
+    config: ServiceConfig,
+    n_shards: int,
+    kill: dict[int, int] | None,
+    hang: dict[int, int] | None = None,
 ) -> list[list[ServerStub]]:
-    """Per-shard stub lists; *kill* maps global server → last window."""
+    """Per-shard stub lists; *kill*/*hang* map global server → last window."""
     kill = kill or {}
+    hang = hang or {}
     stubs: list[list[ServerStub]] = [[] for _ in range(n_shards)]
     for g, speed in enumerate(config.speeds):
         shard, local = g % n_shards, g // n_shards
         stubs[shard].append(
-            ServerStub(local, speed, die_after_window=kill.get(g))
+            ServerStub(
+                local, speed,
+                die_after_window=kill.get(g),
+                hang_after_window=hang.get(g),
+            )
         )
     return stubs
+
+
+def _shard_weights(shards: list[OrchestratorShard]) -> list[float]:
+    """Initial router weights: each shard's nominal live capacity.
+
+    Computed by the same reduction the orchestrator publishes on every
+    RESOLVE, so the initial weights and the first publication are
+    float-identical and the router never sees a spurious weight edge.
+    """
+    return [sh.live_capacity() for sh in shards]
 
 
 def _metrics(
@@ -152,6 +194,8 @@ def _metrics(
     *,
     queue_limit: int,
     peak_submit_queue: int,
+    stale_timeouts: int = 0,
+    suspect_shards: int = 0,
 ) -> NetMetrics:
     offered = sum(sh.report.jobs_offered for sh in shards)
     dispatched = sum(sh.report.jobs_dispatched for sh in shards)
@@ -177,6 +221,10 @@ def _metrics(
         ),
         peak_inflight=client.peak_inflight,
         peak_submit_queue=peak_submit_queue,
+        rtt_p50_s=client.rtt.p50.value,
+        rtt_p99_s=client.rtt.p99.value,
+        stale_timeouts=stale_timeouts,
+        suspect_shards=suspect_shards,
     )
 
 
@@ -191,7 +239,9 @@ def run_in_process(
     *,
     n_shards: int = 1,
     kill: dict[int, int] | None = None,
+    rejoin: dict[int, int] | None = None,
     codec: bool = True,
+    split: str = "capacity",
 ) -> NetRunResult:
     """Run the three components through a serial in-process transport.
 
@@ -199,13 +249,21 @@ def run_in_process(
     ``codec=False`` to time the pure decision plane), so the only thing
     this mode removes relative to :func:`run_sockets` is the wire — the
     exact property the sim-vs-live equivalence tests pin.
+
+    ``rejoin={server: w}`` scripts the repair path: once the server's
+    death has been observed, a fresh stub (incarnation 1) re-registers
+    for window ``w`` — the same window boundary the socket transport
+    folds it in at.
     """
     rt = (lambda m: unpack(pack(m))) if codec else (lambda m: m)
+    rejoin = rejoin or {}
     shards = _build_shards(config, n_shards)
     stubs = _build_stubs(config, n_shards, kill)
     client = LoadClient(
-        source, config.duration, config.control_period, n_shards=n_shards
+        source, config.duration, config.control_period,
+        n_shards=n_shards, shard_weights=_shard_weights(shards), split=split,
     )
+    reborn: set[int] = set()
     t0 = time.perf_counter()
     while not client.done:
         submits = client.next_submits()
@@ -228,7 +286,19 @@ def run_in_process(
                     else:
                         shard.handle_heartbeat(reply)
             assert resolve is not None  # barrier closes within the turn
-            client.handle_resolve(rt(resolve))
+            client.handle_resolve(rt(resolve), s)
+        # Scripted rejoins: a restarted stub re-registers as soon as the
+        # orchestrator has observed its death — mirroring the socket
+        # rejoin task, which reconnects on the same trigger.  The shard
+        # parks the registration until window `w`'s SUBMIT.
+        for g in sorted(rejoin):
+            s, local = g % n_shards, g // n_shards
+            if g in reborn or shards[s].up[local]:
+                continue
+            stub = ServerStub(local, config.speeds[g], incarnation=1)
+            stubs[s][local] = stub
+            shards[s].handle_register(rt(stub.register(window=rejoin[g])))
+            reborn.add(g)
     wall = time.perf_counter() - t0
     return NetRunResult(
         reports=[sh.report for sh in shards],
@@ -259,6 +329,14 @@ class _ShardNet:
         self.buffered_submits = 0
         self.peak_submit_queue = 0
         self.port: int | None = None
+        #: Notified after every shard-loop step; rejoin tasks wait on it
+        #: to observe the orchestrator's membership state.
+        self.progress = asyncio.Condition()
+        #: Heartbeat-staleness bookkeeping: the reply timeout fired and
+        #: this shard is suspect (some of its servers were presumed
+        #: dead without a connection EOF).
+        self.suspect = False
+        self.stale_timeouts = 0
 
     async def handle_connection(self, reader, writer):
         """Classify the peer by its first message, then pump the inbox."""
@@ -268,7 +346,7 @@ class _ShardNet:
             writer.close()
             return
         try:
-            if isinstance(first, Heartbeat):
+            if isinstance(first, Register):
                 await self._pump_server(first, reader, writer)
             elif isinstance(first, Submit):
                 await self._pump_client(first, reader, writer)
@@ -277,10 +355,10 @@ class _ShardNet:
             if not writer.is_closing():
                 writer.close()
 
-    async def _pump_server(self, hello: Heartbeat, reader, writer):
+    async def _pump_server(self, hello: Register, reader, writer):
         server = hello.server
         self.stub_writers[server] = writer
-        await self.inbox.put(("heartbeat", hello))
+        await self.inbox.put(("register", hello))
         if len(self.stub_writers) == self.shard.n:
             self.registered.set()
         try:
@@ -292,7 +370,11 @@ class _ShardNet:
                 await self.inbox.put((kind, msg))
         except ProtocolError:
             pass
-        await self.inbox.put(("down", server))
+        # Only this connection's death matters — if a restarted stub
+        # already re-registered (new writer), the old EOF is stale and
+        # must not kill the rejoined server.
+        if self.stub_writers.get(server) is writer:
+            await self.inbox.put(("down", server))
 
     async def _pump_client(self, first: Submit, reader, writer):
         self.client_writer = writer
@@ -343,9 +425,14 @@ async def _shard_main(net: _ShardNet, reply_timeout: float) -> None:
         if resolve is not None:
             await send_resolve(resolve)
 
+    async def notify_progress() -> None:
+        async with net.progress:
+            net.progress.notify_all()
+
     while not shard.finished:
         if deferred and not shard.busy:
             await process_submit(deferred.popleft())
+            await notify_progress()
             continue
         if shard.busy:
             try:
@@ -353,12 +440,17 @@ async def _shard_main(net: _ShardNet, reply_timeout: float) -> None:
                     net.inbox.get(), reply_timeout
                 )
             except asyncio.TimeoutError:
-                # Heartbeat-staleness fallback: everyone still awaited
-                # in the stuck window is presumed dead.
+                # Heartbeat-staleness fallback: the shard goes suspect
+                # (counted and surfaced in the run metrics) and everyone
+                # still awaited in the stuck window is presumed dead.
+                net.suspect = True
+                net.stale_timeouts += 1
+                counters.inc("net.heartbeat_stale", shard=str(shard.shard_id))
                 for server in sorted(shard.awaiting):
                     done = shard.handle_server_down(server)
                     if done is not None:
                         await send_resolve(done)
+                await notify_progress()
                 continue
         else:
             kind, msg = await net.inbox.get()
@@ -373,13 +465,17 @@ async def _shard_main(net: _ShardNet, reply_timeout: float) -> None:
                 await send_resolve(done)
         elif kind == "heartbeat":
             shard.handle_heartbeat(msg)
+        elif kind == "register":
+            shard.handle_register(msg)
         elif kind == "down":
             done = shard.handle_server_down(msg)
             if done is not None:
                 await send_resolve(done)
         # "client_shutdown" while unfinished is a client bug; the final
         # window's RESOLVE flips `finished`, so it never races this loop.
+        await notify_progress()
 
+    await notify_progress()  # wake rejoin waiters blocked on a live server
     for w in net.stub_writers.values():
         if not w.is_closing():
             write_message(w, Shutdown(reason="run complete"))
@@ -390,11 +486,13 @@ async def _shard_main(net: _ShardNet, reply_timeout: float) -> None:
             w.close()
 
 
-async def _stub_task(stub: ServerStub, host: str, port: int) -> None:
+async def _stub_task(
+    stub: ServerStub, host: str, port: int, *, register_window: int = 0
+) -> None:
     """One server-stub process: connect, register, replay until told."""
     reader, writer = await asyncio.open_connection(host, port)
     try:
-        write_message(writer, stub.register())
+        write_message(writer, stub.register(window=register_window))
         await writer.drain()
         while True:
             msg = await read_message(reader)
@@ -405,6 +503,10 @@ async def _stub_task(stub: ServerStub, host: str, port: int) -> None:
                     # The scripted crash: drop the connection without
                     # replying — the orchestrator sees EOF.
                     break
+                if stub.hangs_at(msg.window):
+                    # The scripted hang: swallow the dispatch, keep the
+                    # connection — only heartbeat staleness catches it.
+                    continue
                 for out in stub.handle_dispatch(msg):
                     write_message(writer, out)
                 await writer.drain()
@@ -414,6 +516,34 @@ async def _stub_task(stub: ServerStub, host: str, port: int) -> None:
             await writer.wait_closed()
         except ConnectionError:
             pass
+
+
+async def _rejoin_stub_task(
+    net: _ShardNet,
+    local: int,
+    speed: float,
+    window: int,
+    host: str,
+    port: int,
+) -> None:
+    """A restarted stub: wait for the death to be observed, reconnect.
+
+    The fresh stub (incarnation 1, empty backlog) REGISTERs for its
+    scripted rejoin *window*; the orchestrator parks the registration
+    and applies it at that window's boundary, so the connect timing
+    itself need not be deterministic — only "after the kill was seen,
+    before the rejoin window's SUBMIT", which waiting on the shard's
+    progress condition guarantees with windows to spare.
+    """
+    shard = net.shard
+    async with net.progress:
+        await net.progress.wait_for(
+            lambda: not shard.up[local] or shard.finished
+        )
+    if shard.finished:
+        return
+    stub = ServerStub(local, speed, incarnation=1)
+    await _stub_task(stub, host, port, register_window=window)
 
 
 async def _client_task(
@@ -430,7 +560,7 @@ async def _client_task(
             if msg is None or isinstance(msg, Shutdown):
                 break
             if isinstance(msg, Resolve):
-                client.handle_resolve(msg)
+                client.handle_resolve(msg, s)
                 credit.set()
 
     readers = [asyncio.create_task(read_resolves(s)) for s in range(len(conns))]
@@ -467,8 +597,11 @@ async def run_sockets(
     max_inflight: int = 1,
     queue_limit: int | None = None,
     kill: dict[int, int] | None = None,
+    rejoin: dict[int, int] | None = None,
+    hang: dict[int, int] | None = None,
     reply_timeout: float = 30.0,
     host: str = "127.0.0.1",
+    split: str = "capacity",
 ) -> NetRunResult:
     """Run client, orchestrator shards, and server stubs over TCP.
 
@@ -477,13 +610,16 @@ async def run_sockets(
     EOF, socket buffering), not multi-host deployment.
     """
     shards = _build_shards(config, n_shards)
-    stubs = _build_stubs(config, n_shards, kill)
+    stubs = _build_stubs(config, n_shards, kill, hang)
+    rejoin = rejoin or {}
     client = LoadClient(
         source,
         config.duration,
         config.control_period,
         n_shards=n_shards,
         max_inflight=max_inflight,
+        shard_weights=_shard_weights(shards),
+        split=split,
     )
     if queue_limit is None:
         queue_limit = max_inflight
@@ -501,6 +637,19 @@ async def run_sockets(
         asyncio.create_task(_stub_task(stub, host, nets[s].port))
         for s in range(n_shards)
         for stub in stubs[s]
+    ]
+    stub_tasks += [
+        asyncio.create_task(
+            _rejoin_stub_task(
+                nets[g % n_shards],
+                g // n_shards,
+                config.speeds[g],
+                window,
+                host,
+                nets[g % n_shards].port,
+            )
+        )
+        for g, window in sorted(rejoin.items())
     ]
     shard_tasks = [
         asyncio.create_task(_shard_main(net, reply_timeout)) for net in nets
@@ -526,5 +675,7 @@ async def run_sockets(
             "sockets", shards, client, wall,
             queue_limit=queue_limit,
             peak_submit_queue=max(n.peak_submit_queue for n in nets),
+            stale_timeouts=sum(n.stale_timeouts for n in nets),
+            suspect_shards=sum(1 for n in nets if n.suspect),
         ),
     )

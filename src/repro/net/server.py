@@ -15,7 +15,12 @@ connect-and-loop coroutine; the in-process transport calls it directly.
 ``die_after_window`` scripts the chaos drill: after replying to that
 window the stub "crashes" (drops its connection / refuses further
 dispatches), which the orchestrator must detect within one control
-period.
+period.  ``hang_after_window`` scripts the nastier failure mode: the
+stub keeps its connection open but stops replying, so only the
+heartbeat-staleness timeout can catch it.  A *restarted* stub is a
+fresh :class:`ServerStub` with ``incarnation`` bumped — new process,
+empty backlog — that re-registers with the orchestrator at a scripted
+rejoin window.
 """
 
 from __future__ import annotations
@@ -23,7 +28,7 @@ from __future__ import annotations
 import numpy as np
 
 from ..service.replay import lindley_window
-from .protocol import Complete, Dispatch, Heartbeat, Message, Shutdown
+from .protocol import Complete, Dispatch, Heartbeat, Message, Register, Shutdown
 
 __all__ = ["ServerStub", "ServerDead"]
 
@@ -41,6 +46,8 @@ class ServerStub:
         speed: float,
         *,
         die_after_window: int | None = None,
+        hang_after_window: int | None = None,
+        incarnation: int = 0,
     ):
         if speed <= 0:
             raise ValueError(f"speed must be positive, got {speed}")
@@ -50,6 +57,8 @@ class ServerStub:
         self.windows_replayed = 0
         self.jobs_replayed = 0
         self.die_after_window = die_after_window
+        self.hang_after_window = hang_after_window
+        self.incarnation = int(incarnation)
 
     def dead_at(self, window: int) -> bool:
         """Whether the scripted crash has happened before *window*."""
@@ -58,9 +67,31 @@ class ServerStub:
             and window > self.die_after_window
         )
 
-    def register(self) -> Heartbeat:
-        """The hello beacon sent on connect (window = -1)."""
-        return Heartbeat(server=self.server_id, window=-1, free_at=self.free_at)
+    def hangs_at(self, window: int) -> bool:
+        """Whether the scripted hang has started before *window*.
+
+        A hung stub swallows dispatches without replying — the
+        connection stays open, so only the orchestrator's
+        heartbeat-staleness timeout can declare it dead.
+        """
+        return (
+            self.hang_after_window is not None
+            and window > self.hang_after_window
+        )
+
+    def register(self, *, window: int = 0) -> Register:
+        """The hello sent on connect; *window* is the first live window.
+
+        The initial connect registers for window 0; a restarted stub
+        (``incarnation > 0``) registers for its scripted rejoin window,
+        which the orchestrator applies at that window boundary.
+        """
+        return Register(
+            server=self.server_id,
+            speed=self.speed,
+            window=int(window),
+            incarnation=self.incarnation,
+        )
 
     def handle_dispatch(self, msg: Dispatch) -> list[Message]:
         """Replay one window slice; answer COMPLETE + HEARTBEAT."""

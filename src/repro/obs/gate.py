@@ -59,6 +59,8 @@ _IDENTITY_FLAGS = (
     "serve.report_identical",
     "net.report_identical",
     "net.overload_report_identical",
+    "net.rejoin_report_identical",
+    "net.balanced_no_shed",
 )
 
 #: Absolute ratio floors enforced per scale, independent of any baseline:

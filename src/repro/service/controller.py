@@ -273,9 +273,22 @@ class QuasiStaticController:
             self.estimator.set_membership(self.up)
             counters.inc("service.membership_events", kind="down")
 
-    def mark_server_up(self, server: int, now: float) -> None:
-        """Health signal: *server* rejoined at *now*."""
+    def mark_server_up(
+        self, server: int, now: float, *, fresh_estimates: bool = False
+    ) -> None:
+        """Health signal: *server* rejoined at *now*.
+
+        ``fresh_estimates`` is the rejoin warm-up guard: a server that
+        comes back as a *restarted process* (the networked REGISTER
+        path) has no backlog and no continuity with its pre-crash
+        throughput, so its speed EWMA is reset and it re-enters at its
+        nominal speed until new completions arrive.  The sim-only fault
+        timeline keeps the default — a repaired server there resumes
+        the same machine, so its history is still informative.
+        """
         if not self.up[server]:
+            if fresh_estimates:
+                self.estimator.speed.reset_server(server)
             self.up[server] = True
             self._membership_dirty = True
             self.membership_events += 1

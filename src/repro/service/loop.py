@@ -803,6 +803,9 @@ class SchedulerService:
             elif ev.kind == UP:
                 if not self.bank.up[ev.server]:
                     self.bank.repair(ev.server, ev.time)
+                    # The same machine resumes, so its pre-outage speed
+                    # history stays; the networked rejoin path passes
+                    # fresh_estimates=True instead (restarted process).
                     controller.mark_server_up(ev.server, ev.time)
             elif ev.kind == DEGRADE_START:
                 self._degrade_level[ev.server] += 1

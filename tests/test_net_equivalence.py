@@ -131,8 +131,9 @@ class TestSharding:
         assert sum(r.jobs_offered for r in sharded.reports) == (
             single.report.jobs_offered
         )
-        # The even client split can overload a slow shard into shedding,
-        # but every offered job must still be accounted for somewhere.
+        # The capacity-aware split sizes each shard's stream to its
+        # live capacity, and every offered job must still be accounted
+        # for somewhere.
         for r in sharded.reports:
             assert r.jobs_dispatched + r.jobs_shed + r.jobs_lost == (
                 r.jobs_offered
@@ -144,6 +145,36 @@ class TestSharding:
         inproc = run_in_process(config, make_source(), n_shards=2)
         live = asyncio.run(run_sockets(config, make_source(), n_shards=2))
         for a, b in zip(inproc.reports, live.reports):
+            assert report_bytes(b) == report_bytes(a)
+
+    def test_capacity_split_ends_shedding_the_even_split_causes(self):
+        # The rebalanced-overload drill: an imbalanced pool — shard 0
+        # owns 3 units of speed, shard 1 owns 9 — at a total load the
+        # full bank carries with room to spare.  The heterogeneity-blind
+        # even split halves the stream and drives shard 0 to rho = 1.2,
+        # shedding hard; the capacity-aware split holds both shards at
+        # the offered utilization and must shed nothing at all.
+        speeds = (1.0, 4.0, 2.0, 5.0)
+        config = make_config(speeds=speeds, duration=3000.0)
+
+        def source(seed=7):
+            wl = Workload(
+                total_speed=sum(speeds), utilization=0.6,
+                size_distribution=distribution_from_mean_cv(1.0, 1.0),
+            )
+            return SyntheticJobSource(wl, seed)
+
+        even = run_in_process(config, source(), n_shards=2, split="even")
+        cap = run_in_process(config, source(), n_shards=2, split="capacity")
+        assert even.metrics.jobs_shed > 0
+        assert cap.metrics.jobs_shed == 0
+        # Same offered stream either way, and the capacity split's
+        # socket run must still match the in-process run byte for byte.
+        assert cap.metrics.jobs_offered == even.metrics.jobs_offered
+        live = asyncio.run(
+            run_sockets(config, source(), n_shards=2, split="capacity")
+        )
+        for a, b in zip(cap.reports, live.reports):
             assert report_bytes(b) == report_bytes(a)
 
     def test_single_shard_report_accessor_guards_sharded_runs(self):

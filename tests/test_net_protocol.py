@@ -20,6 +20,7 @@ from repro.net import (
     Dispatch,
     Heartbeat,
     ProtocolError,
+    Register,
     Resolve,
     Shutdown,
     Submit,
@@ -63,11 +64,23 @@ resolves = st.builds(
     shed=st.integers(min_value=0, max_value=10**6),
     lost=st.integers(min_value=0, max_value=10**6),
     final=st.booleans(),
+    capacity=st.floats(
+        min_value=0.0, allow_nan=False, allow_infinity=False, width=64
+    ),
+)
+registers = st.builds(
+    Register, server=server,
+    speed=st.floats(
+        min_value=0.001, allow_nan=False, allow_infinity=False, width=64
+    ),
+    window=window,
+    incarnation=st.integers(min_value=0, max_value=100),
 )
 shutdowns = st.builds(Shutdown, reason=st.text(max_size=40))
 
 messages = st.one_of(
-    submits, dispatches, completes, heartbeats, resolves, shutdowns
+    submits, dispatches, completes, heartbeats, registers, resolves,
+    shutdowns,
 )
 
 
@@ -99,9 +112,12 @@ class TestRoundTrip:
     def test_every_type_has_a_distinct_tag(self):
         tags = {
             cls.type
-            for cls in (Submit, Dispatch, Complete, Heartbeat, Resolve, Shutdown)
+            for cls in (
+                Submit, Dispatch, Complete, Heartbeat, Register, Resolve,
+                Shutdown,
+            )
         }
-        assert len(tags) == 6
+        assert len(tags) == 7
 
 
 # ---------------------------------------------------------------------------
@@ -184,6 +200,35 @@ class TestFrames:
         msg = Shutdown(reason="x" * (MAX_FRAME_BYTES + 1))
         with pytest.raises(ProtocolError, match="cap"):
             pack(msg)
+
+    def test_pack_cap_violation_names_type_and_length(self):
+        # The contract: a refused frame must say *which* message type
+        # overflowed and *how large* the frame was, so an operator can
+        # find the producer without a packet capture.
+        msg = Shutdown(reason="x" * (MAX_FRAME_BYTES + 1))
+        body_len = len(
+            json.dumps(encode(msg), separators=(",", ":")).encode()
+        )
+        with pytest.raises(ProtocolError) as excinfo:
+            pack(msg)
+        text = str(excinfo.value)
+        assert "'shutdown'" in text
+        assert str(body_len) in text
+        assert str(MAX_FRAME_BYTES) in text
+
+    def test_read_cap_violation_names_length(self):
+        bad = MAX_FRAME_BYTES + 17
+
+        async def scenario():
+            reader = asyncio.StreamReader()
+            reader.feed_data(struct.pack(">I", bad))
+            with pytest.raises(ProtocolError) as excinfo:
+                await read_message(reader)
+            text = str(excinfo.value)
+            assert str(bad) in text
+            assert str(MAX_FRAME_BYTES) in text
+
+        asyncio.run(scenario())
 
 
 # ---------------------------------------------------------------------------

@@ -114,6 +114,132 @@ class TestNetKill:
         assert any(kind == "down" for _, kind, _ in scenario.events)
 
 
+# Server 2 restarts and re-registers for window 14: membership folds it
+# back in at the window-14 boundary (start 1400), the forced re-solve at
+# t=1500 restores the full-bank optimum.
+REJOIN = {2: 14}
+REJOIN_BOUNDARY = 1400.0
+
+
+class TestRejoin:
+    def test_socket_rejoin_matches_in_process_byte_for_byte(self):
+        config = make_config()
+        sim = run_in_process(
+            config, make_source(), kill=KILL, rejoin=REJOIN
+        )
+        live = asyncio.run(
+            run_sockets(config, make_source(), kill=KILL, rejoin=REJOIN)
+        )
+        assert report_bytes(live.report) == report_bytes(sim.report)
+
+    def test_rejoin_restores_the_full_bank_optimum(self):
+        config = make_config()
+        before = counters.snapshot()
+        net = run_in_process(config, make_source(), kill=KILL, rejoin=REJOIN)
+        delta = counters.diff_since(before)
+        report = net.report
+        assert report.membership_changes == 2  # one down, one up
+        assert report.clean_shutdown
+        assert int(delta.get("net.server_rejoin", 0)) == 1
+        # The rejoin resolve lands at the first boundary after the
+        # registration window opens, with full-bank optimal fractions.
+        rejoined = [
+            w for w in report.windows
+            if w.end > REJOIN_BOUNDARY and w.alphas[2] > 0.0
+        ]
+        assert rejoined
+        assert rejoined[0].end == REJOIN_BOUNDARY + CONTROL_PERIOD
+        assert rejoined[0].reason == "membership"
+        assert rejoined[0].servers_up == len(SPEEDS)
+        decision = next(
+            d
+            for shard in net.decisions
+            for d in shard
+            if d.reason == "membership" and d.resolved and d.alphas[2] > 0.0
+        )
+        expected = survivor_fractions(
+            decision.estimate.speeds,
+            np.ones(len(SPEEDS), dtype=bool),
+            min(decision.estimate.utilization, config.rho_cap),
+        )
+        np.testing.assert_array_equal(decision.alphas, expected)
+
+    def test_rejoined_server_warms_up_at_nominal_speed(self):
+        # The warm-up guard: the restarted server's speed EWMA is reset,
+        # so the rejoin re-solve sees its *nominal* speed, not a stale
+        # pre-crash estimate.
+        config = make_config()
+        net = run_in_process(config, make_source(), kill=KILL, rejoin=REJOIN)
+        decision = next(
+            d
+            for shard in net.decisions
+            for d in shard
+            if d.reason == "membership" and d.resolved and d.alphas[2] > 0.0
+        )
+        assert float(decision.estimate.speeds[2]) == SPEEDS[2]
+
+    def test_no_jobs_lost_after_the_rejoin_boundary(self):
+        config = make_config()
+        net = run_in_process(config, make_source(), kill=KILL, rejoin=REJOIN)
+        late = [w for w in net.report.windows if w.start >= REJOIN_BOUNDARY]
+        assert late
+        assert sum(w.lost for w in late) == 0
+
+    def test_rejoin_without_a_kill_never_fires(self):
+        config = make_config()
+        plain = run_in_process(config, make_source())
+        scripted = run_in_process(config, make_source(), rejoin=REJOIN)
+        assert report_bytes(scripted.report) == report_bytes(plain.report)
+        assert scripted.report.membership_changes == 0
+
+    def test_chaos_roster_includes_the_net_rejoin_drill(self):
+        names = {s.name for s in SCENARIOS}
+        assert "net-rejoin" in names
+        scenario = next(s for s in SCENARIOS if s.name == "net-rejoin")
+        assert scenario.net_rejoin
+        assert any(kind == "up" for _, kind, _ in scenario.events)
+
+
+class TestStaleness:
+    def test_hung_stub_is_declared_dead_by_the_staleness_timeout(self):
+        # A hang keeps the connection open, so EOF detection never
+        # fires — only the reply-timeout fallback can catch it, and it
+        # must say so via the counter and the run metrics.
+        config = make_config(duration=1500.0)
+        before = counters.snapshot()
+        live = asyncio.run(
+            run_sockets(
+                config, make_source(), hang={2: 9}, reply_timeout=0.5
+            )
+        )
+        delta = counters.diff_since(before)
+        report = live.report
+        assert report.clean_shutdown
+        assert report.membership_changes == 1
+        assert report.jobs_lost > 0
+        assert live.metrics.stale_timeouts >= 1
+        assert live.metrics.suspect_shards == 1
+        assert int(delta.get("net.heartbeat_stale{shard=0}", 0)) >= 1
+        # Post-detection the dead server keeps zero share, like a kill.
+        boundary = [w for w in report.windows if w.end == KILL_WINDOW_END]
+        assert boundary[0].alphas[2] == 0.0
+
+    def test_fault_free_run_reports_no_staleness(self):
+        config = make_config(duration=500.0)
+        live = asyncio.run(run_sockets(config, make_source()))
+        assert live.metrics.stale_timeouts == 0
+        assert live.metrics.suspect_shards == 0
+
+    def test_rtt_percentiles_are_populated(self):
+        config = make_config(duration=500.0)
+        live = asyncio.run(run_sockets(config, make_source()))
+        m = live.metrics
+        assert np.isfinite(m.rtt_p50_s) and m.rtt_p50_s > 0.0
+        assert np.isfinite(m.rtt_p99_s) and m.rtt_p99_s >= m.rtt_p50_s
+        assert {"rtt_p50_s", "rtt_p99_s", "stale_timeouts",
+                "suspect_shards"} <= m.as_dict().keys()
+
+
 class TestBackpressure:
     def test_client_pipeline_saturates_and_queue_bound_holds(self):
         config = make_config(duration=1000.0)
